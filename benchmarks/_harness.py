@@ -1,0 +1,17 @@
+"""Shared bench-harness helper (imported by every bench file)."""
+
+import os
+
+
+def run_and_report(benchmark, module, ctx, report_dir, name, **run_kwargs):
+    """Run ``module.run(ctx)`` once under benchmark timing, render its
+    report, persist it under results/, and return the result object."""
+    result = benchmark.pedantic(
+        module.run, args=(ctx,), kwargs=run_kwargs, rounds=1, iterations=1
+    )
+    report = module.format_report(result, ctx)
+    print("\n" + report)
+    path = os.path.join(report_dir, "{}.txt".format(name))
+    with open(path, "w") as handle:
+        handle.write(report + "\n")
+    return result

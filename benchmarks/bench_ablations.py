@@ -1,0 +1,18 @@
+"""Ablations of PPEP's design choices (NNLS, alpha, multiplexing).
+
+Not a paper figure: quantifies the design decisions DESIGN.md calls
+out.  The report is written to results/ablations.txt.
+"""
+
+from repro.experiments import ablations
+
+from _harness import run_and_report
+
+
+def test_ablations(benchmark, ctx, report_dir):
+    result = run_and_report(benchmark, ablations, ctx, report_dir, "ablations")
+    assert result.regression["NNLS (PPEP)"] <= result.regression["unconstrained OLS"] * 1.2
+    assert (
+        result.multiplexing["ideal counters"]
+        <= result.multiplexing["multiplexed (real)"] * 1.1
+    )

@@ -1,0 +1,18 @@
+"""Section III: LL-MAB CPI predictor validation (paper: 3.4%/3.0%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/cpi_validation.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import cpi_validation
+
+from _harness import run_and_report
+
+
+def test_cpi_validation(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, cpi_validation, ctx, report_dir, "cpi_validation"
+    )
+    assert result.down_average < 0.08
+    assert result.up_average < 0.08

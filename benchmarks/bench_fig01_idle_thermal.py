@@ -1,0 +1,18 @@
+"""Figure 1: idle power and temperature during heat-up / cool-down.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig01.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig01_idle_thermal
+
+from _harness import run_and_report
+
+
+def test_fig01(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig01_idle_thermal, ctx, report_dir, "fig01"
+    )
+    assert result.cooling_linearity > 0.95
+    assert result.power_drop > 2.0

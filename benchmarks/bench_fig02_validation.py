@@ -1,0 +1,19 @@
+"""Figure 2: dynamic and chip power model validation (paper: 10.6% / 4.6%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig02.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig02_model_validation
+
+from _harness import run_and_report
+
+
+def test_fig02(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig02_model_validation, ctx, report_dir, "fig02"
+    )
+    assert result.overall_chip < 0.10
+    assert result.overall_dynamic < 0.25
+    assert result.overall_chip < result.overall_dynamic

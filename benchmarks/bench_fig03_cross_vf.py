@@ -1,0 +1,18 @@
+"""Figure 3: cross-VF power prediction (paper: 8.3% / 4.2%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig03.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig03_cross_vf
+
+from _harness import run_and_report
+
+
+def test_fig03(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig03_cross_vf, ctx, report_dir, "fig03"
+    )
+    assert result.overall_chip < 0.10
+    assert result.overall_dynamic < 0.25

@@ -1,0 +1,19 @@
+"""Figure 4: power gating sweep and idle power decomposition.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig04.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig04_power_gating
+
+from _harness import run_and_report
+
+
+def test_fig04(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig04_power_gating, ctx, report_dir, "fig04"
+    )
+    d5 = result.decompositions[5]
+    d1 = result.decompositions[1]
+    assert d5.p_cu > d1.p_cu > 0

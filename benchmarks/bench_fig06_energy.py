@@ -1,0 +1,18 @@
+"""Figure 6: next-interval energy prediction, PPEP vs Green Governors.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig06.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig06_energy_prediction
+
+from _harness import run_and_report
+
+
+def test_fig06(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig06_energy_prediction, ctx, report_dir, "fig06"
+    )
+    assert result.ppep_average < result.gg_average
+    assert result.ppep_average < 0.08

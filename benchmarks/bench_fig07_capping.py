@@ -1,0 +1,18 @@
+"""Figure 7: one-step power capping vs the iterative baseline.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig07.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig07_power_capping
+
+from _harness import run_and_report
+
+
+def test_fig07(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig07_power_capping, ctx, report_dir, "fig07"
+    )
+    assert result.ppep.worst_settle <= 2
+    assert result.responsiveness_ratio >= 3

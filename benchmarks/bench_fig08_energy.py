@@ -1,0 +1,18 @@
+"""Figure 8: per-thread energy across VF states and instance counts.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig08.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig08_background_energy
+
+from _harness import run_and_report
+
+
+def test_fig08(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig08_background_energy, ctx, report_dir, "fig08"
+    )
+    assert result.normalized[("433", 4, 5)] > result.normalized[("433", 1, 5)]
+    assert result.normalized[("458", 4, 5)] < result.normalized[("458", 1, 5)]

@@ -1,0 +1,18 @@
+"""Figure 9: per-thread EDP across VF states and instance counts.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig09.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig09_background_edp
+
+from _harness import run_and_report
+
+
+def test_fig09(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig09_background_edp, ctx, report_dir, "fig09"
+    )
+    assert result.best_vf[("458", 1)] == 5
+    assert result.best_vf[("458", 4)] <= result.best_vf[("458", 1)]

@@ -1,0 +1,19 @@
+"""Figure 10: NB energy share (paper: ~60% memory-bound, ~25% CPU-bound).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig10.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig10_nb_share
+
+from _harness import run_and_report
+
+
+def test_fig10(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig10_nb_share, ctx, report_dir, "fig10"
+    )
+    mem_avg = result.stats("433")[0]
+    cpu_avg = result.stats("458")[0]
+    assert mem_avg > cpu_avg

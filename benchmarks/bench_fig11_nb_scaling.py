@@ -1,0 +1,18 @@
+"""Figure 11: NB VF scaling (paper: 20.4% saving, 1.37x speedup).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/fig11.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import fig11_nb_scaling
+
+from _harness import run_and_report
+
+
+def test_fig11(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, fig11_nb_scaling, ctx, report_dir, "fig11"
+    )
+    assert result.average_saving > 0.08
+    assert result.average_speedup > 1.05

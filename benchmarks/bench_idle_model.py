@@ -1,0 +1,17 @@
+"""Section IV-A: idle power model AAE per VF state (paper: 2-4%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/idle_model.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import idle_model_validation
+
+from _harness import run_and_report
+
+
+def test_idle_model(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, idle_model_validation, ctx, report_dir, "idle_model"
+    )
+    assert result.average < 0.05

@@ -1,0 +1,18 @@
+"""Extension: the fully simulated multi-state NB DVFS frontier.
+
+Goes beyond the paper's two-state what-if (Figure 11): the NB domain is
+genuinely simulated across a four-point ladder and the energy/delay
+Pareto frontier measured.  Report written to results/nb_frontier.txt.
+"""
+
+from repro.experiments import nb_frontier
+
+from _harness import run_and_report
+
+
+def test_nb_frontier(benchmark, ctx, report_dir):
+    result = run_and_report(benchmark, nb_frontier, ctx, report_dir, "nb_frontier")
+    for program in ("433", "458"):
+        assert result.energy_saving(program) > 0.05
+        assert result.iso_energy_speedup(program) >= 1.0
+        assert result.frontier(program)  # non-empty Pareto set

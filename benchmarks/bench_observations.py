@@ -1,0 +1,18 @@
+"""Section IV-C: Observations 1 and 2 (paper: 0.6-5.0% and 1.7%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/observations.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import observations
+
+from _harness import run_and_report
+
+
+def test_observations(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, observations, ctx, report_dir, "observations"
+    )
+    assert max(result.event_deltas.values()) < 0.10
+    assert result.gap_delta < 0.05

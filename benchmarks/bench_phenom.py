@@ -1,0 +1,18 @@
+"""Phenom II generality validation (paper: chip 2.6-3.6%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/phenom.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import phenom_validation
+
+from _harness import run_and_report
+
+
+def test_phenom(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, phenom_validation, ctx, report_dir, "phenom"
+    )
+    assert all(v < 0.12 for v in result.chip_aae.values())
+    assert result.cross_chip < 0.12

@@ -1,0 +1,18 @@
+"""Section V-C1: static vs dynamic DVFS (paper: dynamic gains < 2%).
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/static_vs_dynamic.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import static_vs_dynamic
+
+from _harness import run_and_report
+
+
+def test_static_vs_dynamic(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, static_vs_dynamic, ctx, report_dir, "static_vs_dynamic"
+    )
+    for program in result.dynamic_energy:
+        assert abs(result.improvement(program)) < 0.10

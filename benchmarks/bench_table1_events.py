@@ -1,0 +1,18 @@
+"""Table I: the twelve selected hardware events.
+
+Regenerates the rows/series the paper reports; the rendered report is
+printed and written to results/table1.txt.  Absolute numbers come from
+the simulated substrate -- the assertions check the paper's *shape*.
+"""
+
+from repro.experiments import table1_events
+
+from _harness import run_and_report
+
+
+def test_table1(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, table1_events, ctx, report_dir, "table1"
+    )
+    assert result.num_events == 12
+    assert result.groups_fit_hardware

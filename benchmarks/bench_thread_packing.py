@@ -1,0 +1,24 @@
+"""Extension: thread packing under power caps (Pack & Cap-inspired).
+
+Measures what thread packing adds over pure DVFS capping on the
+simulated FX-8320.  Report written to results/thread_packing.txt.
+"""
+
+from repro.experiments import thread_packing
+
+from _harness import run_and_report
+
+
+def test_thread_packing(benchmark, ctx, report_dir):
+    result = run_and_report(
+        benchmark, thread_packing, ctx, report_dir, "thread_packing"
+    )
+    # Packing gates two CUs, so at equal VF it always draws less power.
+    by_key = {(p.placement, p.vf_index): p for p in result.points}
+    for vf_index in (1, 3, 5):
+        assert (
+            by_key[("packed", vf_index)].power_w
+            < by_key[("spread", vf_index)].power_w
+        )
+    # At some tight cap the packed placement must win outright.
+    assert any(result.winner(cap) == "packed" for cap in result.decisions)

@@ -1,0 +1,34 @@
+"""Benchmark-harness fixtures.
+
+Every file in this directory regenerates one paper table/figure (see
+DESIGN.md's per-experiment index).  Benches share one experiment
+context per session, so the expensive trace sweeps are simulated once
+and reused; each bench runs its experiment exactly once under
+pytest-benchmark timing (``pedantic(rounds=1)``) -- these are
+reproduction harnesses, not microbenchmarks.
+
+Scale control: set ``PPEP_BENCH_SCALE=quick`` for a fast smoke pass;
+the default is the paper's full 152-combination roster.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import get_context
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    scale = os.environ.get("PPEP_BENCH_SCALE", "full")
+    return get_context(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+

@@ -1,0 +1,86 @@
+"""Quickstart: train PPEP and predict PPE across all VF states.
+
+This walks the Figure 5 pipeline end to end on the simulated FX-8320:
+
+1. train PPEP offline (cool-down traces, VF5 benchmark traces, the
+   alpha calibration, and the power-gating sweep);
+2. run an unseen workload mix and read one 200 ms interval sample --
+   performance counters, power sensor, thermal diode;
+3. ask PPEP for the chip's performance/power/energy at *every* VF state
+   without ever switching.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FX8320_SPEC, Platform, PPEPTrainer, TraceLibrary
+from repro.analysis.formatting import format_table
+from repro.hardware.platform import CoreAssignment
+from repro.workloads.suites import spec_combinations, spec_program
+
+
+def main() -> None:
+    spec = FX8320_SPEC
+    print("Training PPEP on {} ...".format(spec.name))
+
+    # Offline training: a handful of SPEC-analog combinations suffices
+    # for a demo (the benchmark harness uses the full 152).
+    trainer = PPEPTrainer(spec, bench_intervals=16)
+    ppep = trainer.train(spec_combinations()[:12], TraceLibrary())
+    print(
+        "  idle model fitted, alpha = {:.2f}, nine Eq.3 weights, "
+        "PG decomposition ready\n".format(ppep.dynamic_model.alpha)
+    )
+
+    # An unseen workload mix: memory-bound + CPU-bound, one per CU.
+    platform = Platform(spec, seed=2024, power_gating=True,
+                        initial_temperature=spec.ambient_temperature + 15)
+    platform.set_assignment(
+        CoreAssignment.one_per_cu(spec, [spec_program("470"), spec_program("445")])
+    )
+    platform.run(3)  # warm up
+    sample = platform.step()
+
+    print(
+        "Observed interval: measured {:.1f} W at {} / diode {:.1f} K".format(
+            sample.measured_power, sample.cu_vfs[0].name, sample.temperature
+        )
+    )
+    snapshot = ppep.analyze(sample)
+    print(
+        "PPEP estimate at current state: {:.1f} W "
+        "(sensor-free, counters only)\n".format(snapshot.current_estimate)
+    )
+
+    rows = []
+    for p in snapshot.all_predictions():
+        rows.append(
+            [
+                p.vf.name,
+                "{:.3f}V / {:.1f}GHz".format(p.vf.voltage, p.vf.frequency_ghz),
+                "{:.2e}".format(p.instructions_per_second),
+                "{:.1f}".format(p.chip_power),
+                "{:.1f}".format(p.nb_power),
+                "{:.1f}".format(p.energy_per_instruction * 1e9),
+            ]
+        )
+    print(
+        format_table(
+            ["state", "operating point", "inst/s", "chip W", "NB W", "nJ/inst"],
+            rows,
+            title="PPEP predictions across the DVFS space (one step, no switching)",
+        )
+    )
+
+    from repro.core.energy import EnergyPredictor
+
+    best_e = EnergyPredictor.best_energy(snapshot.all_predictions())
+    best_edp = EnergyPredictor.best_edp(snapshot.all_predictions())
+    print(
+        "\nEnergy-optimal state: {}   EDP-optimal state: {}".format(
+            best_e.vf.name, best_edp.vf.name
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""PPEP reproduction: online performance, power, and energy prediction.
+
+A from-scratch reproduction of "PPEP: Online Performance, Power, and
+Energy Prediction Framework and DVFS Space Exploration" (MICRO 2014) on
+a simulated AMD-FX-8320-class platform.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Public API tour:
+
+- :mod:`repro.hardware` -- the simulated platform (chip, sensor,
+  thermal diode, counter multiplexing);
+- :mod:`repro.workloads` -- synthetic SPEC/PARSEC/NPB-analog suites;
+- :mod:`repro.core` -- the PPEP models and training (the paper's
+  contribution);
+- :mod:`repro.dvfs` -- DVFS policies built on PPEP (power capping,
+  energy governors, NB scaling, the Green Governors baseline);
+- :mod:`repro.experiments` -- one module per paper table/figure;
+- :mod:`repro.analysis` -- traces, error metrics, formatting.
+
+Quickstart::
+
+    from repro import FX8320_SPEC, PPEPTrainer, TraceLibrary
+    from repro.workloads.suites import spec_combinations
+
+    trainer = PPEPTrainer(FX8320_SPEC)
+    ppep = trainer.train(spec_combinations()[:16], TraceLibrary())
+    # feed it interval samples from a Platform; see examples/.
+"""
+
+from repro.analysis.trace import Trace, TraceLibrary
+from repro.core.ppep import PPEP, PPEPTrainer
+from repro.core.energy import EnergyPredictor, VFPrediction
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC, PHENOM_II_SPEC
+from repro.hardware.platform import CoreAssignment, IntervalSample, Platform
+from repro.hardware.vfstates import VFState, VFTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Trace",
+    "TraceLibrary",
+    "PPEP",
+    "PPEPTrainer",
+    "EnergyPredictor",
+    "VFPrediction",
+    "ChipSpec",
+    "FX8320_SPEC",
+    "PHENOM_II_SPEC",
+    "CoreAssignment",
+    "IntervalSample",
+    "Platform",
+    "VFState",
+    "VFTable",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Trace containers, error metrics, and result formatting."""
+
+from repro.analysis.trace import Trace, TraceLibrary
+from repro.analysis.metrics import (
+    absolute_percentage_error,
+    average_absolute_error,
+    ErrorSummary,
+    summarize_errors,
+)
+from repro.analysis.formatting import format_table, format_series
+
+__all__ = [
+    "Trace",
+    "TraceLibrary",
+    "absolute_percentage_error",
+    "average_absolute_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,85 @@
+"""ASCII time-series charts.
+
+The paper's Figures 1 and 7 are time-series plots (power/temperature
+during heat-cool; power chasing a cap).  The harness renders text-only
+reports, so this module provides a small fixed-grid plotter good enough
+to *see* the trajectories in a terminal or a results file: one or two
+series, optional reference line, automatic vertical scaling, and
+column-wise downsampling to the requested width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_series"]
+
+
+def _downsample(values: Sequence[float], width: int) -> List[float]:
+    """Average ``values`` into exactly ``width`` buckets."""
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out = []
+    for col in range(width):
+        lo = col * n // width
+        hi = max((col + 1) * n // width, lo + 1)
+        window = values[lo:hi]
+        out.append(sum(window) / len(window))
+    return out
+
+
+def render_series(
+    series: Sequence[float],
+    second: Optional[Sequence[float]] = None,
+    reference: Optional[Sequence[float]] = None,
+    width: int = 72,
+    height: int = 14,
+    labels: Sequence[str] = ("*", "o", "-"),
+    y_format: str = "{:8.1f}",
+) -> str:
+    """Plot one or two series (plus a reference line) as ASCII.
+
+    ``series`` uses ``labels[0]``, ``second`` ``labels[1]``, and
+    ``reference`` (e.g. a power cap) ``labels[2]``; later layers do not
+    overwrite earlier ones where they collide.  The y-axis is annotated
+    with the top, middle, and bottom values.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small to be legible")
+
+    layers = [(_downsample(series, width), labels[0])]
+    if second is not None and len(second) > 0:
+        layers.append((_downsample(second, width), labels[1]))
+    if reference is not None and len(reference) > 0:
+        layers.append((_downsample(reference, width), labels[2]))
+
+    lo = min(min(vals) for vals, _c in layers)
+    hi = max(max(vals) for vals, _c in layers)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for vals, char in layers:
+        for x, value in enumerate(vals):
+            frac = (value - lo) / (hi - lo)
+            y = height - 1 - int(round(frac * (height - 1)))
+            if grid[y][x] == " ":
+                grid[y][x] = char
+
+    lines = []
+    for y, row in enumerate(grid):
+        if y == 0:
+            prefix = y_format.format(hi)
+        elif y == height // 2:
+            prefix = y_format.format((hi + lo) / 2)
+        elif y == height - 1:
+            prefix = y_format.format(lo)
+        else:
+            prefix = " " * len(y_format.format(0.0))
+        lines.append("{} |{}".format(prefix, "".join(row)))
+    axis_pad = " " * len(y_format.format(0.0))
+    lines.append("{} +{}".format(axis_pad, "-" * width))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Fixed-width text rendering for experiment results.
+
+Every experiment prints its reproduction of a paper table/figure as
+plain text: the benchmark harness captures these rows and EXPERIMENTS.md
+records them.  Keeping the renderers in one place guarantees a uniform
+look across the twenty-odd experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_percent", "Cell"]
+
+Cell = Union[str, float, int]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """A fraction rendered as a percentage string (0.046 -> '4.6%')."""
+    return "{:.{d}f}%".format(value * 100.0, d=digits)
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return "{:.3f}".format(cell)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Column widths adapt to content; floats default to three decimals
+    (pre-format cells as strings for custom precision).
+    """
+    rendered_rows: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width {} != header width {}".format(len(row), len(headers)))
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Mapping[str, float],
+    percent: bool = False,
+    digits: int = 1,
+) -> str:
+    """Render one named data series as 'name: key=value key=value ...'."""
+    parts = []
+    for key, value in values.items():
+        if percent:
+            parts.append("{}={}".format(key, format_percent(value, digits)))
+        else:
+            parts.append("{}={:.{d}f}".format(key, value, d=digits + 1))
+    return "{}: {}".format(name, " ".join(parts))

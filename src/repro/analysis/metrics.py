@@ -1,0 +1,102 @@
+"""Error metrics.
+
+The paper reports model quality as the **average absolute error (AAE)**
+of relative (percentage) errors per 200 ms sample, aggregated per
+benchmark, then averaged (with a standard deviation across benchmarks)
+per suite and per VF state.  This module implements that exact
+aggregation chain so every figure reproduction shares one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "absolute_percentage_error",
+    "average_absolute_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "group_summaries",
+]
+
+
+def absolute_percentage_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> np.ndarray:
+    """Per-sample ``|predicted - actual| / actual`` as fractions.
+
+    Samples with a non-positive actual value are excluded (they carry no
+    meaningful relative error; the paper's power values are strictly
+    positive).
+    """
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    mask = act > 0
+    return np.abs(pred[mask] - act[mask]) / act[mask]
+
+
+def average_absolute_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """The paper's AAE: mean of per-sample absolute percentage errors."""
+    errors = absolute_percentage_error(predicted, actual)
+    if errors.size == 0:
+        raise ValueError("no valid samples to compute an error over")
+    return float(errors.mean())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Average and spread of per-benchmark AAEs (one figure bar + cross)."""
+
+    label: str
+    average: float
+    std_dev: float
+    count: int
+    maximum: float
+
+    def as_percent(self) -> str:
+        return "{:>6.1%} avg, {:>5.1%} sd, {:>6.1%} max (n={})".format(
+            self.average, self.std_dev, self.maximum, self.count
+        )
+
+
+def summarize_errors(label: str, per_benchmark_aae: Iterable[float]) -> ErrorSummary:
+    """Aggregate per-benchmark AAEs the way the paper's figures do.
+
+    The bar is the mean of the per-benchmark AAEs; the cross is their
+    standard deviation; the maximum is reported in the text (the 49 %
+    outlier discussion).
+    """
+    values = np.asarray(list(per_benchmark_aae), dtype=float)
+    if values.size == 0:
+        raise ValueError("no benchmark errors to summarise")
+    return ErrorSummary(
+        label=label,
+        average=float(values.mean()),
+        std_dev=float(values.std(ddof=0)),
+        count=int(values.size),
+        maximum=float(values.max()),
+    )
+
+
+def group_summaries(
+    per_benchmark: Mapping[str, float],
+    groups: Mapping[str, Sequence[str]],
+) -> List[ErrorSummary]:
+    """Summaries for named groups of benchmarks (per-suite bars).
+
+    ``groups`` maps a group label to the benchmark names in it; the
+    special label ``ALL`` can be produced by passing all names.
+    """
+    summaries = []
+    for label, names in groups.items():
+        values = [per_benchmark[name] for name in names if name in per_benchmark]
+        if values:
+            summaries.append(summarize_errors(label, values))
+    return summaries

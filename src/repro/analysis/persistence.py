@@ -1,0 +1,117 @@
+"""Trace persistence.
+
+Traces are the expensive artefact of this reproduction (a full sweep
+simulates 152 benchmark combinations at five VF states).  This module
+serialises them to a compact ``.npz`` archive so sweeps can be captured
+once and re-analysed offline, shared, or diffed across code versions.
+
+The format stores, per interval: the ten power samples, ground-truth
+power, diode temperature, per-core measured and true event matrices,
+instructions, per-CU VF indices, and the PG/NB configuration.  The
+ground-truth power *breakdown* is not persisted (it is a debugging aid,
+not part of the measurement surface); loaded samples carry
+``breakdown=None``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.trace import Trace
+from repro.hardware.events import EventVector, NUM_EVENTS
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Serialise ``trace`` to an ``.npz`` archive at ``path``."""
+    samples = trace.samples
+    n = len(samples)
+    num_cores = len(samples[0].core_events)
+
+    def event_matrix(selector) -> np.ndarray:
+        data = np.empty((n, num_cores, NUM_EVENTS))
+        for i, sample in enumerate(samples):
+            for c, vec in enumerate(selector(sample)):
+                data[i, c, :] = vec.as_list()
+        return data
+
+    np.savez_compressed(
+        path,
+        version=np.array(_FORMAT_VERSION),
+        label=np.array(trace.label),
+        index=np.array([s.index for s in samples]),
+        time=np.array([s.time for s in samples]),
+        power_samples=np.array([s.power_samples for s in samples]),
+        measured_power=np.array([s.measured_power for s in samples]),
+        true_power=np.array([s.true_power for s in samples]),
+        temperature=np.array([s.temperature for s in samples]),
+        instructions=np.array([s.instructions for s in samples]),
+        cu_vf_indices=np.array([[vf.index for vf in s.cu_vfs] for s in samples]),
+        nb_vf_index=np.array([s.nb_vf.index for s in samples]),
+        nb_utilisation=np.array([s.nb_utilisation for s in samples]),
+        power_gating=np.array([s.power_gating for s in samples]),
+        core_events=event_matrix(lambda s: s.core_events),
+        true_core_events=event_matrix(lambda s: s.true_core_events),
+    )
+
+
+def load_trace(path: str, spec: ChipSpec) -> Trace:
+    """Load a trace saved by :func:`save_trace`.
+
+    ``spec`` resolves VF indices back to :class:`VFState` objects; it
+    must describe the same chip the trace was captured on.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                "unsupported trace format version {}".format(version)
+            )
+        n = data["time"].shape[0]
+        nb_table = {spec.nb_vf.index: spec.nb_vf}
+        from repro.hardware.vfstates import NB_VF_HI, NB_VF_LO
+
+        nb_table.setdefault(NB_VF_HI.index, NB_VF_HI)
+        nb_table.setdefault(NB_VF_LO.index, NB_VF_LO)
+
+        samples: List[IntervalSample] = []
+        for i in range(n):
+            cu_vfs = [
+                spec.vf_table.by_index(int(idx))
+                for idx in data["cu_vf_indices"][i]
+            ]
+            core_events = [
+                EventVector(data["core_events"][i, c, :])
+                for c in range(data["core_events"].shape[1])
+            ]
+            true_events = [
+                EventVector(data["true_core_events"][i, c, :])
+                for c in range(data["true_core_events"].shape[1])
+            ]
+            samples.append(
+                IntervalSample(
+                    index=int(data["index"][i]),
+                    time=float(data["time"][i]),
+                    cu_vfs=cu_vfs,
+                    nb_vf=nb_table[int(data["nb_vf_index"][i])],
+                    power_gating=bool(data["power_gating"][i]),
+                    power_samples=list(data["power_samples"][i]),
+                    measured_power=float(data["measured_power"][i]),
+                    temperature=float(data["temperature"][i]),
+                    core_events=core_events,
+                    true_core_events=true_events,
+                    instructions=list(data["instructions"][i]),
+                    true_power=float(data["true_power"][i]),
+                    breakdown=None,
+                    nb_utilisation=float(data["nb_utilisation"][i]),
+                )
+            )
+        return Trace(samples, label=str(data["label"]))

@@ -1,0 +1,148 @@
+"""Trace containers.
+
+A :class:`Trace` wraps the list of
+:class:`~repro.hardware.platform.IntervalSample` objects a platform run
+produces and exposes the aggregate views the models and experiments
+need: measured power arrays, summed event counts, instruction-aligned
+segments, and warm-up trimming.
+
+:class:`TraceLibrary` memoises traces by an arbitrary hashable key so
+that expensive sweeps (152 combinations x 5 VF states) are simulated
+once and shared across experiments within a process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.hardware.events import Event, EventVector
+from repro.hardware.platform import IntervalSample, INTERVAL_S
+
+__all__ = ["Trace", "TraceLibrary", "INTERVAL_S"]
+
+
+class Trace:
+    """An ordered sequence of interval samples from one run."""
+
+    def __init__(self, samples: Sequence[IntervalSample], label: str = "") -> None:
+        if not samples:
+            raise ValueError("a trace needs at least one sample")
+        self.samples: List[IntervalSample] = list(samples)
+        self.label = label
+
+    # -- basic container behaviour ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[IntervalSample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.samples[index], self.label)
+        return self.samples[index]
+
+    def skip_warmup(self, n: int) -> "Trace":
+        """Drop the first ``n`` intervals (thermal / phase warm-up)."""
+        if n >= len(self.samples):
+            raise ValueError("cannot skip the whole trace")
+        return Trace(self.samples[n:], self.label)
+
+    # -- aggregate views -------------------------------------------------------
+
+    def measured_power(self) -> np.ndarray:
+        """Per-interval measured (sensor) power, watts."""
+        return np.array([s.measured_power for s in self.samples])
+
+    def true_power(self) -> np.ndarray:
+        """Per-interval ground-truth power, watts."""
+        return np.array([s.true_power for s in self.samples])
+
+    def temperatures(self) -> np.ndarray:
+        """Per-interval diode readings, kelvin."""
+        return np.array([s.temperature for s in self.samples])
+
+    def times(self) -> np.ndarray:
+        """Per-interval end times, seconds."""
+        return np.array([s.time for s in self.samples])
+
+    def average_measured_power(self) -> float:
+        return float(self.measured_power().mean())
+
+    def total_measured_energy(self) -> float:
+        """Measured energy over the whole trace, joules."""
+        return float(self.measured_power().sum() * INTERVAL_S)
+
+    def total_true_energy(self) -> float:
+        return float(self.true_power().sum() * INTERVAL_S)
+
+    def duration(self) -> float:
+        """Trace length in seconds."""
+        return len(self.samples) * INTERVAL_S
+
+    # -- event views ----------------------------------------------------------
+
+    def chip_events(self, measured: bool = True) -> List[EventVector]:
+        """Per-interval event counts summed over all cores.
+
+        ``measured`` selects the multiplexed counter estimates (what PPEP
+        sees); ``False`` selects the exact ground truth.
+        """
+        result = []
+        for sample in self.samples:
+            vectors = sample.core_events if measured else sample.true_core_events
+            total = EventVector.zeros()
+            for vec in vectors:
+                total += vec
+            result.append(total)
+        return result
+
+    def core_events(self, core_id: int, measured: bool = True) -> List[EventVector]:
+        """Per-interval event counts of one core."""
+        return [
+            (s.core_events if measured else s.true_core_events)[core_id]
+            for s in self.samples
+        ]
+
+    def total_instructions(self) -> float:
+        return sum(s.total_instructions() for s in self.samples)
+
+    def instructions_per_interval(self) -> np.ndarray:
+        return np.array([s.total_instructions() for s in self.samples])
+
+    # -- instruction-aligned segmentation (Section III methodology) -------------
+
+    def cumulative_instructions(self, core_id: int) -> np.ndarray:
+        """Cumulative retired instructions of ``core_id`` at each
+        interval end -- the alignment axis for cross-frequency CPI
+        comparison (the paper divides traces into segments based on the
+        number of instructions completed)."""
+        per_interval = np.array([s.instructions[core_id] for s in self.samples])
+        return np.cumsum(per_interval)
+
+
+class TraceLibrary:
+    """Memoising trace store keyed by arbitrary hashable keys."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, Trace] = {}
+
+    def get_or_run(self, key: Hashable, producer: Callable[[], Trace]) -> Trace:
+        """Return the cached trace for ``key`` or produce and cache it."""
+        trace = self._store.get(key)
+        if trace is None:
+            trace = producer()
+            self._store[key] = trace
+        return trace
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()

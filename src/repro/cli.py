@@ -1,0 +1,150 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    ppep-repro list
+    ppep-repro run fig02 [--scale quick|full]
+    ppep-repro run all  --scale quick
+
+Each experiment prints the same rows/series the paper's corresponding
+table or figure reports, annotated with the paper's reference values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict
+
+from repro.experiments import common
+from repro.experiments import (
+    ablations,
+    cpi_validation,
+    nb_frontier,
+    thread_packing,
+    fig01_idle_thermal,
+    fig02_model_validation,
+    fig03_cross_vf,
+    fig04_power_gating,
+    fig06_energy_prediction,
+    fig07_power_capping,
+    fig08_background_energy,
+    fig09_background_edp,
+    fig10_nb_share,
+    fig11_nb_scaling,
+    idle_model_validation,
+    observations,
+    phenom_validation,
+    static_vs_dynamic,
+    table1_events,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name -> (module, description).  Module contract: run(ctx) and
+#: format_report(result, ctx).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1_events, "Table I: selected hardware events"),
+    "cpi": (cpi_validation, "Section III: CPI predictor validation"),
+    "observations": (observations, "Section IV-C: Observations 1 and 2"),
+    "fig01": (fig01_idle_thermal, "Figure 1: idle power and temperature"),
+    "idle": (idle_model_validation, "Section IV-A: idle power model AAE"),
+    "fig02": (fig02_model_validation, "Figure 2: power model validation"),
+    "fig03": (fig03_cross_vf, "Figure 3: cross-VF power prediction"),
+    "fig04": (fig04_power_gating, "Figure 4: power gating sweep"),
+    "fig06": (fig06_energy_prediction, "Figure 6: energy prediction vs GG"),
+    "fig07": (fig07_power_capping, "Figure 7: one-step power capping"),
+    "fig08": (fig08_background_energy, "Figure 8: per-thread energy"),
+    "fig09": (fig09_background_edp, "Figure 9: per-thread EDP"),
+    "fig10": (fig10_nb_share, "Figure 10: NB energy share"),
+    "fig11": (fig11_nb_scaling, "Figure 11: NB VF scaling"),
+    "static": (static_vs_dynamic, "Section V-C1: static vs dynamic DVFS"),
+    "phenom": (phenom_validation, "Phenom II generality validation"),
+    "ablations": (ablations, "Ablations: NNLS, alpha, counter multiplexing"),
+    "frontier": (nb_frontier, "Extension: simulated multi-state NB frontier"),
+    "packing": (thread_packing, "Extension: thread packing under power caps"),
+}
+
+
+def _run_one(name: str, ctx: common.ExperimentContext) -> None:
+    module, description = EXPERIMENTS[name]
+    print("=== {} — {} ===".format(name, description))
+    started = time.time()
+    result = module.run(ctx)
+    report = module.format_report(result, ctx)
+    print(report)
+    print("[{} finished in {:.1f}s]\n".format(name, time.time() - started))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="ppep-repro",
+        description="PPEP (MICRO 2014) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    report_parser = sub.add_parser(
+        "report", help="assemble results/*.txt into one summary document"
+    )
+    report_parser.add_argument(
+        "--results-dir", default="results", help="directory the benches wrote to"
+    )
+    report_parser.add_argument(
+        "--output", default=None, help="write the summary here (default: stdout)"
+    )
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=list(EXPERIMENTS) + ["all"])
+    run_parser.add_argument(
+        "--scale",
+        choices=["full", "quick"],
+        default="full",
+        help="full = the paper's 152 combinations; quick = a fast subset",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, (_module, description) in EXPERIMENTS.items():
+            print("{:<{w}}  {}".format(name, description, w=width))
+        return 0
+
+    if args.command == "report":
+        return _assemble_report(args.results_dir, args.output)
+
+    ctx = common.get_context(scale=args.scale)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, ctx)
+    return 0
+
+
+def _assemble_report(results_dir: str, output: str) -> int:
+    """Concatenate the per-experiment reports into one document."""
+    if not os.path.isdir(results_dir):
+        print("no results directory at {!r}; run the benches first".format(results_dir))
+        return 1
+    names = sorted(n for n in os.listdir(results_dir) if n.endswith(".txt"))
+    if not names:
+        print("no reports in {!r}".format(results_dir))
+        return 1
+    sections = []
+    for name in names:
+        with open(os.path.join(results_dir, name)) as handle:
+            body = handle.read().rstrip()
+        title = name[: -len(".txt")]
+        sections.append("##### {} #####\n{}".format(title, body))
+    document = "\n\n".join(sections) + "\n"
+    if output:
+        with open(output, "w") as handle:
+            handle.write(document)
+        print("wrote {} reports to {}".format(len(names), output))
+    else:
+        print(document, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

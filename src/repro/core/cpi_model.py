@@ -1,0 +1,159 @@
+"""The LL-MAB CPI predictor (Section III, Eq. 1).
+
+Leading-loads predictors split execution into *core time* (scales with
+frequency) and *memory time* (constant wall-clock).  On AMD hardware the
+paper approximates leading-load cycles with the MAB (miss address
+buffer) wait-cycle counter:
+
+    CPI  = E10 / E11          (CPU Clocks not Halted / Retired Instructions)
+    MCPI = E12 / E11          (MAB Wait Cycles      / Retired Instructions)
+    CCPI = CPI - MCPI
+
+    CPI(f') = CCPI(f) + MCPI(f) * f' / f                          (Eq. 1)
+
+This module provides the per-interval predictor plus the paper's
+evaluation methodology: because the same program runs for different
+wall-clock times at different frequencies, predicted and measured traces
+cannot be compared interval-by-interval; instead both traces are
+re-segmented on *instruction count* boundaries and cycle totals are
+compared segment by segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hardware.events import Event, EventVector
+
+__all__ = ["CPISample", "CPIModel", "segment_cycles", "segment_prediction_errors"]
+
+
+@dataclass(frozen=True)
+class CPISample:
+    """The CPI decomposition PPEP extracts from one interval's counters."""
+
+    cpi: float
+    mcpi: float
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.cpi < 0 or self.mcpi < 0:
+            raise ValueError("CPI terms cannot be negative")
+
+    @property
+    def ccpi(self) -> float:
+        """Core CPI: the frequency-invariant component (clamped at 0)."""
+        return max(self.cpi - self.mcpi, 0.0)
+
+    @classmethod
+    def from_events(cls, events: EventVector, frequency_ghz: float) -> "CPISample":
+        """Extract the decomposition from raw interval counters."""
+        return cls(
+            cpi=events.cpi, mcpi=events.mcpi, frequency_ghz=frequency_ghz
+        )
+
+
+class CPIModel:
+    """Eq. 1: predict CPI at any frequency from one interval's sample."""
+
+    @staticmethod
+    def predict_cpi(sample: CPISample, target_frequency_ghz: float) -> float:
+        """``CPI(f') = CCPI(f) + MCPI(f) * f'/f``."""
+        if target_frequency_ghz <= 0:
+            raise ValueError("target frequency must be positive")
+        scale = target_frequency_ghz / sample.frequency_ghz
+        return sample.ccpi + sample.mcpi * scale
+
+    @staticmethod
+    def predict_mcpi(sample: CPISample, target_frequency_ghz: float) -> float:
+        """Memory CPI scales proportionally with frequency."""
+        if target_frequency_ghz <= 0:
+            raise ValueError("target frequency must be positive")
+        return sample.mcpi * target_frequency_ghz / sample.frequency_ghz
+
+    @staticmethod
+    def predict_time_per_instruction_ns(
+        sample: CPISample, target_frequency_ghz: float
+    ) -> float:
+        """Wall-clock nanoseconds per instruction at the target frequency."""
+        cpi = CPIModel.predict_cpi(sample, target_frequency_ghz)
+        return cpi / target_frequency_ghz
+
+    @staticmethod
+    def speedup(sample: CPISample, target_frequency_ghz: float) -> float:
+        """Predicted instruction-rate ratio target/current.
+
+        Equals ``f'/f`` for a CPU-bound sample and approaches 1 for a
+        fully memory-bound one.
+        """
+        current_ns = sample.cpi / sample.frequency_ghz
+        target_ns = CPIModel.predict_time_per_instruction_ns(
+            sample, target_frequency_ghz
+        )
+        return current_ns / target_ns
+
+
+def segment_cycles(
+    instructions: Sequence[float],
+    cycles: Sequence[float],
+    boundaries: Sequence[float],
+) -> np.ndarray:
+    """Total cycles spent in each instruction-count segment.
+
+    ``instructions``/``cycles`` are per-interval counts of one trace;
+    ``boundaries`` are cumulative instruction counts delimiting segments
+    (e.g. every 10^9 instructions).  Cycles of an interval straddling a
+    boundary are split proportionally -- the linear interpolation the
+    paper's methodology implies.
+    """
+    inst = np.asarray(instructions, dtype=float)
+    cyc = np.asarray(cycles, dtype=float)
+    if inst.shape != cyc.shape or inst.ndim != 1:
+        raise ValueError("instructions and cycles must be equal-length vectors")
+    cum_inst = np.concatenate([[0.0], np.cumsum(inst)])
+    cum_cyc = np.concatenate([[0.0], np.cumsum(cyc)])
+    bounds = np.asarray(boundaries, dtype=float)
+    if np.any(bounds <= 0) or np.any(np.diff(bounds) <= 0):
+        raise ValueError("boundaries must be positive and increasing")
+    if bounds[-1] > cum_inst[-1] + 1e-6:
+        raise ValueError("boundaries exceed the trace's instruction total")
+    # Cycles accumulated by each boundary, linear within intervals.
+    cyc_at = np.interp(bounds, cum_inst, cum_cyc)
+    cyc_at = np.concatenate([[0.0], cyc_at])
+    return np.diff(cyc_at)
+
+
+def segment_prediction_errors(
+    source_instructions: Sequence[float],
+    source_predicted_cycles: Sequence[float],
+    target_instructions: Sequence[float],
+    target_cycles: Sequence[float],
+    segment_instructions: float,
+) -> np.ndarray:
+    """Per-segment relative cycle errors, Section III methodology.
+
+    The *source* trace (run at frequency ``f``) yields per-interval
+    predicted cycle counts for the target frequency ``f'``; the *target*
+    trace is the measurement at ``f'``.  Both are re-segmented every
+    ``segment_instructions`` retired instructions, and the relative error
+    of predicted vs. measured cycles is returned per segment.
+    """
+    if segment_instructions <= 0:
+        raise ValueError("segment_instructions must be positive")
+    total = min(
+        float(np.sum(source_instructions)), float(np.sum(target_instructions))
+    )
+    n_segments = int(total // segment_instructions)
+    if n_segments < 1:
+        raise ValueError("traces too short for even one segment")
+    boundaries = segment_instructions * np.arange(1, n_segments + 1)
+    predicted = segment_cycles(
+        source_instructions, source_predicted_cycles, boundaries
+    )
+    measured = segment_cycles(target_instructions, target_cycles, boundaries)
+    return np.abs(predicted - measured) / measured

@@ -1,0 +1,170 @@
+"""The chip dynamic power model (Section IV-B, Eq. 3).
+
+    P_dyn = sum_cores ( sum_{i=1..7} (Vn/V5)^alpha * W_dyn(i) * E_i
+                       + sum_{i=8..9}              W_dyn(i) * E_i )
+
+The paper adds same-event counts across cores first, producing one
+nine-element rate vector per interval, and fits the weights by linear
+regression on data gathered at VF5 (dynamic power = measured chip power
+minus the Eq. 2 idle estimate).  The weights of the seven core events
+are voltage-scaled by ``(Vn/V5)**alpha`` at other VF states; the two
+NB-proxy events (L2 misses, dispatch stalls) are not, because the NB
+voltage is held constant.
+
+``alpha`` is a per-process-technology constant the paper derives from
+measured power at different voltages; :func:`estimate_alpha` reproduces
+that derivation from training runs at non-VF5 states.
+
+We fit with non-negative least squares: the weights are effective
+energies per event, so negative values are unphysical and would
+extrapolate badly across VF states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regression import nonnegative_least_squares
+from repro.hardware.events import DYNAMIC_POWER_EVENTS, Event, EventVector
+
+__all__ = [
+    "DynamicPowerModel",
+    "fit_dynamic_power_model",
+    "estimate_alpha",
+    "dynamic_feature_vector",
+]
+
+#: Number of voltage-scaled weights (E1-E7).
+_NUM_SCALED = 7
+#: Total model inputs (E1-E9).
+_NUM_FEATURES = 9
+
+
+def dynamic_feature_vector(chip_events_per_second: EventVector) -> np.ndarray:
+    """The nine-element rate vector Eq. 3 consumes (E1-E9, events/s).
+
+    The input must already be summed over cores and converted to
+    per-second rates.
+    """
+    return np.array(
+        [chip_events_per_second[e] for e in DYNAMIC_POWER_EVENTS], dtype=float
+    )
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """Fitted Eq. 3."""
+
+    #: W_dyn(1..9): effective watts per (event/second).
+    weights: Tuple[float, ...]
+    #: Voltage-scaling exponent for the seven core-event weights.
+    alpha: float
+    #: The training voltage V5.
+    train_voltage: float
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != _NUM_FEATURES:
+            raise ValueError("Eq. 3 takes exactly nine weights")
+        if self.train_voltage <= 0:
+            raise ValueError("training voltage must be positive")
+
+    def estimate(self, features: np.ndarray, voltage: float) -> float:
+        """Dynamic power for a nine-element rate vector at ``voltage``."""
+        if len(features) != _NUM_FEATURES:
+            raise ValueError("expected nine event rates")
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        scale = (voltage / self.train_voltage) ** self.alpha
+        w = np.asarray(self.weights)
+        core = float(np.dot(w[:_NUM_SCALED], features[:_NUM_SCALED])) * scale
+        nb = float(np.dot(w[_NUM_SCALED:], features[_NUM_SCALED:]))
+        return core + nb
+
+    def estimate_from_events(
+        self, chip_events: EventVector, interval_s: float, voltage: float
+    ) -> float:
+        """Dynamic power from raw per-interval chip event counts."""
+        rates = chip_events.rates(interval_s)
+        return self.estimate(dynamic_feature_vector(rates), voltage)
+
+    def core_term(self, features: np.ndarray, voltage: float) -> float:
+        """The voltage-scaled (core, E1-E7) part of the estimate."""
+        scale = (voltage / self.train_voltage) ** self.alpha
+        w = np.asarray(self.weights)
+        return float(np.dot(w[:_NUM_SCALED], features[:_NUM_SCALED])) * scale
+
+    def nb_term(self, features: np.ndarray) -> float:
+        """The NB-proxy (E8-E9) part of the estimate."""
+        w = np.asarray(self.weights)
+        return float(np.dot(w[_NUM_SCALED:], features[_NUM_SCALED:]))
+
+    def with_alpha(self, alpha: float) -> "DynamicPowerModel":
+        return DynamicPowerModel(self.weights, alpha, self.train_voltage)
+
+
+def fit_dynamic_power_model(
+    feature_rows: Sequence[np.ndarray],
+    dynamic_powers: Sequence[float],
+    train_voltage: float,
+    alpha: float = 2.0,
+) -> DynamicPowerModel:
+    """Fit the nine weights at the training voltage (VF5).
+
+    ``feature_rows`` are per-interval nine-element rate vectors (already
+    summed over cores); ``dynamic_powers`` the matching measured-minus-
+    idle power targets.  ``alpha`` may be refined afterwards with
+    :func:`estimate_alpha` (the weights do not depend on it at the
+    training voltage, where the scale factor is one).
+    """
+    matrix = np.vstack([np.asarray(r, dtype=float) for r in feature_rows])
+    if matrix.shape[1] != _NUM_FEATURES:
+        raise ValueError("feature rows must have nine columns")
+    targets = np.asarray(dynamic_powers, dtype=float)
+    # Negative targets can occur when idle-model error exceeds the tiny
+    # dynamic power of nearly-idle intervals; clamp rather than let them
+    # drag weights negative.
+    targets = np.clip(targets, 0.0, None)
+    weights = nonnegative_least_squares(matrix, targets)
+    return DynamicPowerModel(
+        weights=tuple(float(w) for w in weights),
+        alpha=alpha,
+        train_voltage=train_voltage,
+    )
+
+
+def estimate_alpha(
+    model: DynamicPowerModel,
+    feature_rows: Sequence[np.ndarray],
+    dynamic_powers: Sequence[float],
+    voltages: Sequence[float],
+) -> float:
+    """Derive the voltage-scaling exponent from non-VF5 measurements.
+
+    For each sample at voltage ``V != V5`` the implied exponent is
+
+        alpha = log((P_dyn - NB_term) / core_term_at_V5) / log(V / V5)
+
+    and the estimate is the median over samples where the ratio is
+    well-defined (positive numerator, non-trivial core term).  The
+    median is robust to the near-idle intervals where the idle-model
+    error dominates.
+    """
+    if not (len(feature_rows) == len(dynamic_powers) == len(voltages)):
+        raise ValueError("feature rows, powers, and voltages must align")
+    implied = []
+    for features, power, voltage in zip(feature_rows, dynamic_powers, voltages):
+        ratio_v = voltage / model.train_voltage
+        if abs(np.log(ratio_v)) < 1e-6:
+            continue  # the training voltage itself carries no information
+        nb = model.nb_term(np.asarray(features, dtype=float))
+        core_at_v5 = model.core_term(np.asarray(features, dtype=float), model.train_voltage)
+        numerator = power - nb
+        if numerator <= 0 or core_at_v5 <= 1e-3:
+            continue
+        implied.append(float(np.log(numerator / core_at_v5) / np.log(ratio_v)))
+    if not implied:
+        raise ValueError("no usable samples to estimate alpha from")
+    return float(np.median(implied))

@@ -1,0 +1,113 @@
+"""Energy and EDP prediction (Section V-A).
+
+PPEP predicts energy by combining its power prediction with interval
+length (for the next-interval energy predictor the paper evaluates in
+Figure 6) or with predicted execution time (for the energy/EDP space
+exploration of Figures 8-9).  :class:`VFPrediction` is the per-VF-state
+record the PPEP manager emits -- one row of the "DVFS exploring space"
+in Figure 5 -- and :class:`EnergyPredictor` derives the energy/EDP
+figures of merit from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hardware.platform import INTERVAL_S
+from repro.hardware.vfstates import VFState
+
+__all__ = ["VFPrediction", "EnergyPredictor"]
+
+
+@dataclass(frozen=True)
+class VFPrediction:
+    """PPEP's projection of the chip onto one VF state."""
+
+    vf: VFState
+    #: Predicted per-core CPI (zero entries for idle cores).
+    core_cpis: Tuple[float, ...]
+    #: Predicted chip-total instruction throughput, inst/s.
+    instructions_per_second: float
+    #: Predicted Eq. 3 dynamic power, W.
+    dynamic_power: float
+    #: Predicted idle power (Eq. 2, or the PG-aware model), W.
+    idle_power: float
+    #: Power attributable to the north bridge (NB-proxy terms + NB idle).
+    nb_power: float
+
+    @property
+    def chip_power(self) -> float:
+        """Predicted total chip power, W."""
+        return self.dynamic_power + self.idle_power
+
+    @property
+    def core_power(self) -> float:
+        """Everything not attributed to the NB (includes base power)."""
+        return self.chip_power - self.nb_power
+
+    @property
+    def energy_per_interval(self) -> float:
+        """Predicted chip energy over one 200 ms interval, joules."""
+        return self.chip_power * INTERVAL_S
+
+    @property
+    def energy_per_instruction(self) -> float:
+        """Joules per instruction -- the fixed-work energy metric.
+
+        Infinite when no instructions are predicted to retire (fully
+        idle chip), which makes idle states never "win" an energy
+        comparison.
+        """
+        if self.instructions_per_second <= 0:
+            return float("inf")
+        return self.chip_power / self.instructions_per_second
+
+    @property
+    def edp_per_instruction(self) -> float:
+        """Energy-delay product per unit of work (J*s per instruction^2).
+
+        Proportional to ``P * t^2`` for a fixed instruction count, the
+        quantity Figure 9 compares across VF states.
+        """
+        if self.instructions_per_second <= 0:
+            return float("inf")
+        return self.chip_power / self.instructions_per_second ** 2
+
+
+class EnergyPredictor:
+    """Figure-of-merit selection over a set of VF predictions."""
+
+    @staticmethod
+    def next_interval_energy(prediction: VFPrediction) -> float:
+        """Section V-A: the current interval's estimated energy is the
+        prediction for the next interval (phase-locality assumption)."""
+        return prediction.energy_per_interval
+
+    @staticmethod
+    def best_energy(predictions: "list[VFPrediction]") -> VFPrediction:
+        """The VF state minimising energy per instruction."""
+        if not predictions:
+            raise ValueError("no predictions to choose from")
+        return min(predictions, key=lambda p: p.energy_per_instruction)
+
+    @staticmethod
+    def best_edp(predictions: "list[VFPrediction]") -> VFPrediction:
+        """The VF state minimising EDP per instruction."""
+        if not predictions:
+            raise ValueError("no predictions to choose from")
+        return min(predictions, key=lambda p: p.edp_per_instruction)
+
+    @staticmethod
+    def best_performance_under_cap(
+        predictions: "list[VFPrediction]", power_cap: float
+    ) -> Optional[VFPrediction]:
+        """The fastest VF state predicted to fit under ``power_cap``.
+
+        Returns ``None`` when even the slowest state exceeds the cap
+        (the caller decides the fallback policy).
+        """
+        eligible = [p for p in predictions if p.chip_power <= power_cap]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda p: p.instructions_per_second)

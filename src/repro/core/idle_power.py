@@ -1,0 +1,102 @@
+"""The chip idle power model (Section IV-A, Eq. 2).
+
+    P_idle(V, T) = W_idle1(V) * T + W_idle0(V)
+
+Idle power bundles leakage (exponential in temperature, but near-linear
+over the chip's normal operating range) and the constant active-idle
+power of OS housekeeping.  The paper fits the model from
+heat-up/cool-down experiments (Figure 1): run heavy work until the chip
+is hot, stop it, and record (temperature, power) pairs while the idle
+chip cools at the VF state under study.  A linear fit per VF state gives
+one (slope, intercept) pair per voltage; third-order polynomials over
+voltage generalise them to ``W_idle1(V)`` and ``W_idle0(V)``.
+
+The model is for a chip with power gating *disabled* (all CUs awake);
+Section IV-D's decomposition (:mod:`repro.core.power_gating`) handles
+the gated case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.regression import Polynomial, linear_fit, polyfit
+
+__all__ = ["IdlePowerModel", "fit_idle_power_model", "fit_cooling_trace"]
+
+
+@dataclass(frozen=True)
+class IdlePowerModel:
+    """Eq. 2 with fitted voltage polynomials."""
+
+    w_idle1: Polynomial
+    w_idle0: Polynomial
+    #: Voltage range the fit covered (prediction outside it extrapolates).
+    voltage_range: Tuple[float, float]
+
+    def predict(self, voltage: float, temperature: float) -> float:
+        """Chip idle power at ``voltage`` volts and ``temperature`` K."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive kelvin")
+        return self.w_idle1(voltage) * temperature + self.w_idle0(voltage)
+
+    def temperature_slope(self, voltage: float) -> float:
+        """dP_idle/dT at ``voltage`` -- the leakage-temperature
+        sensitivity PPEP uses to adjust predictions as the chip heats."""
+        return self.w_idle1(voltage)
+
+
+def fit_cooling_trace(
+    temperatures: Sequence[float], powers: Sequence[float]
+) -> Tuple[float, float]:
+    """Linear (slope, intercept) fit of one VF state's cooling trace."""
+    return linear_fit(temperatures, powers)
+
+
+def fit_idle_power_model(
+    traces: Mapping[float, Tuple[Sequence[float], Sequence[float]]],
+) -> IdlePowerModel:
+    """Fit Eq. 2 from per-voltage cooling traces.
+
+    ``traces`` maps voltage -> (temperatures, powers) gathered while the
+    idle chip cooled at that voltage.  Each trace is reduced to a linear
+    temperature fit, then third-order polynomials are fitted over
+    voltage (degree is reduced gracefully when fewer voltage points are
+    available, e.g. the four-state Phenom II).
+    """
+    if len(traces) < 2:
+        raise ValueError("need cooling traces at two or more voltages")
+    voltages = sorted(traces)
+    slopes = []
+    intercepts = []
+    for voltage in voltages:
+        temperatures, powers = traces[voltage]
+        slope, intercept = fit_cooling_trace(temperatures, powers)
+        slopes.append(slope)
+        intercepts.append(intercept)
+    degree = min(3, len(voltages) - 1)
+    return IdlePowerModel(
+        w_idle1=polyfit(voltages, slopes, degree),
+        w_idle0=polyfit(voltages, intercepts, degree),
+        voltage_range=(voltages[0], voltages[-1]),
+    )
+
+
+def validate_idle_model(
+    model: IdlePowerModel,
+    voltage: float,
+    temperatures: Sequence[float],
+    powers: Sequence[float],
+) -> float:
+    """Average absolute error of the model on a held-out trace."""
+    temps = np.asarray(temperatures, dtype=float)
+    meas = np.asarray(powers, dtype=float)
+    if temps.shape != meas.shape:
+        raise ValueError("temperatures and powers must align")
+    predicted = np.array([model.predict(voltage, t) for t in temps])
+    return float(np.mean(np.abs(predicted - meas) / meas))

@@ -1,0 +1,144 @@
+"""Power-gating-aware per-core idle power (Section IV-D, Eqs. 7-8).
+
+The FX-8320 gates a compute unit when both of its cores idle and gates
+the NB when every CU idles.  The paper quantifies the gated components
+with the Figure 4 experiment: run 0..4 instances of the NB-quiet
+``bench_A`` microbenchmark (one per CU), with power gating enabled and
+disabled, at each VF state.  The bar gaps expose:
+
+- ``P_idle(CU)``   -- one CU's idle (leakage + clocks) power;
+- ``P_idle(NB)``   -- the NB's idle power;
+- ``P_idle(Base)`` -- the always-on remainder (PG-on, fully idle chip).
+
+Idle power is then *attributed* to busy cores:
+
+- PG on  (Eq. 7):  ``P_idle(core) = P_idle(CU)/m + (P_idle(NB) + P_idle(Base))/n``
+- PG off (Eq. 8):  ``P_idle(core) = (N_CU * P_idle(CU) + P_idle(NB) + P_idle(Base))/n``
+
+with ``m`` busy cores in the core's CU and ``n`` busy cores on the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.hardware.vfstates import VFState
+
+__all__ = ["IdlePowerDecomposition", "PGAwareIdleModel", "decompose_from_sweep"]
+
+
+@dataclass(frozen=True)
+class IdlePowerDecomposition:
+    """The three Figure 4 components at one core VF state."""
+
+    vf: VFState
+    p_cu: float
+    p_nb: float
+    p_base: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_cu", "p_nb", "p_base"):
+            if getattr(self, name) < 0:
+                raise ValueError("{} cannot be negative".format(name))
+
+    @property
+    def chip_idle_ungated(self) -> float:
+        """Chip idle power with PG disabled (Eq. 8 numerator needs the
+        CU count; see :class:`PGAwareIdleModel`)."""
+        return self.p_nb + self.p_base  # plus num_cus * p_cu, added by caller
+
+
+def decompose_from_sweep(
+    vf: VFState,
+    power_pg_off: Sequence[float],
+    power_pg_on: Sequence[float],
+    num_cus: int,
+) -> IdlePowerDecomposition:
+    """Recover the decomposition from a Figure 4 busy-CU sweep.
+
+    ``power_pg_off[k]`` / ``power_pg_on[k]`` are the measured chip powers
+    with ``k`` busy CUs (k = 0..num_cus).  Per the paper: with k busy
+    CUs the PG gap is ``(num_cus - k) * P_idle(CU)`` except at k = 0,
+    where the NB is also gated and the gap is
+    ``num_cus * P_idle(CU) + P_idle(NB)``; the PG-on idle chip reads
+    ``P_idle(Base)``.
+
+    ``P_idle(CU)`` is averaged over the k = 1..num_cus-1 gaps, each an
+    independent estimate, which mirrors how one reads the figure.
+    """
+    if len(power_pg_off) != num_cus + 1 or len(power_pg_on) != num_cus + 1:
+        raise ValueError("sweeps must cover 0..num_cus busy CUs")
+    cu_estimates = []
+    for k in range(1, num_cus):
+        gap = power_pg_off[k] - power_pg_on[k]
+        cu_estimates.append(gap / (num_cus - k))
+    if not cu_estimates:
+        raise ValueError("need at least two CUs to separate the components")
+    p_cu = max(sum(cu_estimates) / len(cu_estimates), 0.0)
+    idle_gap = power_pg_off[0] - power_pg_on[0]
+    p_nb = max(idle_gap - num_cus * p_cu, 0.0)
+    p_base = max(power_pg_on[0], 0.0)
+    return IdlePowerDecomposition(vf=vf, p_cu=p_cu, p_nb=p_nb, p_base=p_base)
+
+
+class PGAwareIdleModel:
+    """Eqs. 7-8: per-core and chip idle power under either PG setting."""
+
+    def __init__(
+        self,
+        decompositions: Mapping[int, IdlePowerDecomposition],
+        num_cus: int,
+        cores_per_cu: int,
+    ) -> None:
+        if not decompositions:
+            raise ValueError("need a decomposition for at least one VF state")
+        self._by_index: Dict[int, IdlePowerDecomposition] = dict(decompositions)
+        self.num_cus = num_cus
+        self.cores_per_cu = cores_per_cu
+
+    def decomposition(self, vf: VFState) -> IdlePowerDecomposition:
+        try:
+            return self._by_index[vf.index]
+        except KeyError:
+            raise KeyError("no decomposition for {}".format(vf)) from None
+
+    # -- per-core attribution ------------------------------------------------
+
+    def per_core_idle(
+        self,
+        vf: VFState,
+        busy_in_cu: int,
+        busy_total: int,
+        power_gating: bool,
+    ) -> float:
+        """Idle power attributed to one busy core (Eq. 7 or Eq. 8)."""
+        if busy_in_cu < 1 or busy_total < busy_in_cu:
+            raise ValueError("attribution needs a busy core (m >= 1, n >= m)")
+        d = self.decomposition(vf)
+        if power_gating:
+            return d.p_cu / busy_in_cu + (d.p_nb + d.p_base) / busy_total
+        chip_idle = self.num_cus * d.p_cu + d.p_nb + d.p_base
+        return chip_idle / busy_total
+
+    # -- chip-level idle -----------------------------------------------------
+
+    def chip_idle(
+        self,
+        vf: VFState,
+        busy_cus: int,
+        power_gating: bool,
+    ) -> float:
+        """Chip idle power with ``busy_cus`` awake compute units."""
+        if not 0 <= busy_cus <= self.num_cus:
+            raise ValueError("busy_cus out of range")
+        d = self.decomposition(vf)
+        if not power_gating:
+            return self.num_cus * d.p_cu + d.p_nb + d.p_base
+        if busy_cus == 0:
+            return d.p_base
+        return busy_cus * d.p_cu + d.p_nb + d.p_base
+
+    def nb_idle(self, vf: VFState) -> float:
+        """The NB's idle power component (Section V-C NB analyses)."""
+        return self.decomposition(vf).p_nb

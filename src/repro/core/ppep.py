@@ -1,0 +1,579 @@
+"""The PPEP manager and its training driver (Figure 5).
+
+:class:`PPEP` is the "all-in-one" box of Figure 5.  Each 200 ms interval
+it ingests the observable state of the platform -- per-core performance
+counters, per-CU VF states, and the temperature diode -- and emits a
+:class:`~repro.core.energy.VFPrediction` for every VF state:
+
+1. the performance predictor estimates each core's CPI at all VF states
+   (Eq. 1);
+2. the hardware event predictor converts those CPIs plus the current
+   counters into event *rates* at all VF states (Observations 1-2);
+3. the dynamic power model (Eq. 3) prices those rates;
+4. the idle power model (Eq. 2, or the PG-aware decomposition) adds the
+   activity-independent remainder;
+5. the energy predictor derives energy/EDP figures of merit;
+6. a DVFS policy (see :mod:`repro.dvfs`) turns the predictions into a
+   decision.
+
+:class:`PPEPTrainer` reproduces the paper's one-time offline training:
+cool-down traces per VF state for the idle model, VF5 benchmark traces
+for the regression weights, lower-VF traces for the alpha exponent, and
+the ``bench_A`` busy-CU sweep for the power-gating decomposition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.trace import Trace, TraceLibrary
+from repro.core.dynamic_power import (
+    DynamicPowerModel,
+    dynamic_feature_vector,
+    estimate_alpha,
+    fit_dynamic_power_model,
+)
+from repro.core.energy import VFPrediction
+from repro.core.event_predictor import CoreEventState, EventPredictor
+from repro.core.idle_power import IdlePowerModel, fit_idle_power_model
+from repro.core.power_gating import (
+    IdlePowerDecomposition,
+    PGAwareIdleModel,
+    decompose_from_sweep,
+)
+from repro.hardware.events import EventVector
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.platform import (
+    CoreAssignment,
+    IntervalSample,
+    INTERVAL_S,
+    Platform,
+)
+from repro.hardware.vfstates import VFState
+from repro.workloads.microbench import bench_a
+from repro.workloads.suites import BenchmarkCombination
+from repro.workloads.synthetic import make_cpu_bound
+
+__all__ = ["PPEP", "PPEPSnapshot", "PPEPTrainer", "TrainingData", "stable_seed"]
+
+
+def stable_seed(*parts: object) -> int:
+    """A reproducible 32-bit seed from arbitrary key parts."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class PPEPSnapshot:
+    """PPEP's view of one interval: inputs plus all-VF predictions."""
+
+    time: float
+    temperature: float
+    measured_power: float
+    states: List[CoreEventState]
+    #: Predictions for chip-uniform VF targets, keyed by VF index.
+    predictions: Dict[int, VFPrediction]
+    #: PPEP's estimate of chip power at the *current* operating point.
+    current_estimate: float
+
+    def prediction(self, vf: VFState) -> VFPrediction:
+        return self.predictions[vf.index]
+
+    def all_predictions(self) -> List[VFPrediction]:
+        """Predictions ordered fastest VF first."""
+        return [self.predictions[i] for i in sorted(self.predictions, reverse=True)]
+
+
+class PPEP:
+    """The trained framework: models plus the prediction pipeline."""
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        idle_model: IdlePowerModel,
+        dynamic_model: DynamicPowerModel,
+        pg_model: Optional[PGAwareIdleModel] = None,
+    ) -> None:
+        self.spec = spec
+        self.idle_model = idle_model
+        self.dynamic_model = dynamic_model
+        self.pg_model = pg_model
+        self.event_predictor = EventPredictor()
+
+    # -- state extraction ----------------------------------------------------
+
+    def core_states(self, sample: IntervalSample) -> List[CoreEventState]:
+        """Per-core normalised observations from one interval sample."""
+        states = []
+        for core_id, events in enumerate(sample.core_events):
+            vf = sample.cu_vfs[self.spec.cu_of_core(core_id)]
+            states.append(CoreEventState(events, vf, INTERVAL_S))
+        return states
+
+    # -- the Figure 5 pipeline --------------------------------------------------
+
+    def analyze(self, sample: IntervalSample) -> PPEPSnapshot:
+        """Run the full pipeline on one interval sample."""
+        states = self.core_states(sample)
+        predictions = {
+            vf.index: self.predict_at(
+                states, sample.temperature, vf, sample.power_gating
+            )
+            for vf in self.spec.vf_table
+        }
+        current = self.estimate_current(sample, states)
+        return PPEPSnapshot(
+            time=sample.time,
+            temperature=sample.temperature,
+            measured_power=sample.measured_power,
+            states=states,
+            predictions=predictions,
+            current_estimate=current,
+        )
+
+    def predict_at(
+        self,
+        states: Sequence[CoreEventState],
+        temperature: float,
+        target: VFState,
+        power_gating: bool,
+    ) -> VFPrediction:
+        """Project the chip onto a uniform ``target`` VF state."""
+        chip_rates = EventVector.zeros()
+        core_cpis = []
+        inst_per_s = 0.0
+        for state in states:
+            predicted = self.event_predictor.predict(state, target)
+            chip_rates += predicted.rates
+            core_cpis.append(predicted.cpi)
+            inst_per_s += predicted.instructions_per_second
+
+        features = dynamic_feature_vector(chip_rates)
+        dynamic = self.dynamic_model.estimate(features, target.voltage)
+        idle = self._idle_power(states, temperature, target, power_gating)
+        nb_power = self.dynamic_model.nb_term(features) + self._nb_idle(target)
+        return VFPrediction(
+            vf=target,
+            core_cpis=tuple(core_cpis),
+            instructions_per_second=inst_per_s,
+            dynamic_power=dynamic,
+            idle_power=idle,
+            nb_power=nb_power,
+        )
+
+    def estimate_current(
+        self,
+        sample: IntervalSample,
+        states: Optional[Sequence[CoreEventState]] = None,
+    ) -> float:
+        """Chip power estimate at the sample's own operating point.
+
+        Handles per-CU VF mixes (the power-capping configuration) by
+        voltage-scaling each core's contribution individually.
+        """
+        if states is None:
+            states = self.core_states(sample)
+        dynamic = 0.0
+        for state in states:
+            rates = state.per_inst * (
+                state.instructions / INTERVAL_S if state.active else 0.0
+            )
+            features = dynamic_feature_vector(rates)
+            dynamic += self.dynamic_model.core_term(features, state.vf.voltage)
+            dynamic += self.dynamic_model.nb_term(features)
+        idle = self._idle_power_mixed(
+            states, sample.temperature, sample.cu_vfs, sample.power_gating
+        )
+        return dynamic + idle
+
+    def predict_mixed(
+        self,
+        states: Sequence[CoreEventState],
+        temperature: float,
+        cu_targets: Sequence[VFState],
+        power_gating: bool,
+    ) -> Tuple[float, float]:
+        """(chip power, chip instruction rate) for a per-CU VF mix.
+
+        The search space of the one-step power capper (Section V-B).
+        """
+        if len(cu_targets) != self.spec.num_cus:
+            raise ValueError("need one target VF per CU")
+        dynamic = 0.0
+        inst_per_s = 0.0
+        for core_id, state in enumerate(states):
+            target = cu_targets[self.spec.cu_of_core(core_id)]
+            predicted = self.event_predictor.predict(state, target)
+            features = dynamic_feature_vector(predicted.rates)
+            dynamic += self.dynamic_model.core_term(features, target.voltage)
+            dynamic += self.dynamic_model.nb_term(features)
+            inst_per_s += predicted.instructions_per_second
+        idle = self._idle_power_mixed(states, temperature, cu_targets, power_gating)
+        return dynamic + idle, inst_per_s
+
+    # -- idle power plumbing -------------------------------------------------------
+
+    def _busy_cus(self, states: Sequence[CoreEventState]) -> List[bool]:
+        busy = [False] * self.spec.num_cus
+        for core_id, state in enumerate(states):
+            if state.active:
+                busy[self.spec.cu_of_core(core_id)] = True
+        return busy
+
+    def _idle_power(
+        self,
+        states: Sequence[CoreEventState],
+        temperature: float,
+        target: VFState,
+        power_gating: bool,
+    ) -> float:
+        if power_gating and self.pg_model is not None:
+            busy_cus = sum(self._busy_cus(states))
+            return self.pg_model.chip_idle(target, busy_cus, True)
+        return self.idle_model.predict(target.voltage, temperature)
+
+    def _idle_power_mixed(
+        self,
+        states: Sequence[CoreEventState],
+        temperature: float,
+        cu_vfs: Sequence[VFState],
+        power_gating: bool,
+    ) -> float:
+        distinct = {vf.index for vf in cu_vfs}
+        if len(distinct) == 1:
+            return self._idle_power(states, temperature, cu_vfs[0], power_gating)
+        if self.pg_model is None:
+            # Without the decomposition, fall back to Eq. 2 at the mean
+            # voltage -- adequate because mixed-VF configurations only
+            # arise in the PG-aware power-capping study.
+            mean_v = sum(vf.voltage for vf in cu_vfs) / len(cu_vfs)
+            return self.idle_model.predict(mean_v, temperature)
+        busy = self._busy_cus(states)
+        total = 0.0
+        d0 = self.pg_model.decomposition(cu_vfs[0])
+        total += d0.p_base
+        if any(busy) or not power_gating:
+            total += d0.p_nb
+        for cu, vf in enumerate(cu_vfs):
+            if busy[cu] or not power_gating:
+                total += self.pg_model.decomposition(vf).p_cu
+        return total
+
+    def _nb_idle(self, vf: VFState) -> float:
+        """NB idle share for the core/NB power split (Figure 10)."""
+        if self.pg_model is not None:
+            return self.pg_model.nb_idle(vf)
+        return 0.0
+
+
+@dataclass
+class TrainingData:
+    """Everything the trainer gathered from the (simulated) machine."""
+
+    #: voltage -> (temperatures, powers) cool-down traces.
+    cooling: Dict[float, Tuple[List[float], List[float]]] = field(default_factory=dict)
+    #: (combination name, VF index) -> benchmark trace.
+    traces: Dict[Tuple[str, int], Trace] = field(default_factory=dict)
+    #: VF index -> (power with PG off, power with PG on) by busy CUs.
+    pg_sweeps: Dict[int, Tuple[List[float], List[float]]] = field(default_factory=dict)
+
+
+class PPEPTrainer:
+    """Reproduces the paper's one-time offline training procedure."""
+
+    #: Intervals of heavy load used to settle the chip hot before a
+    #: cool-down (the platform is started near the loaded steady-state
+    #: temperature, mirroring the paper's "run heavy workloads to heat
+    #: up the processor until it reaches a steady-state temperature").
+    HEAT_INTERVALS = 15
+    #: Junction temperature the heat phase starts from, kelvin.
+    HEAT_START_TEMPERATURE = 342.0
+    #: Intervals of idle cool-down recorded per VF state.  The cool-down
+    #: must sweep a wide temperature range (tens of kelvin) or the
+    #: per-voltage linear temperature fits are noise-dominated.
+    COOL_INTERVALS = 300
+    #: Intervals recorded per benchmark trace.
+    BENCH_INTERVALS = 40
+    #: Leading intervals dropped from each benchmark trace (warm-up).
+    WARMUP = 2
+    #: Intervals averaged per point of the Figure 4 busy-CU sweep.
+    SWEEP_INTERVALS = 15
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        base_seed: int = 20141213,
+        bench_intervals: int = None,
+        cool_intervals: int = None,
+    ) -> None:
+        # Any integer works; everything derived from the seed is stable.
+        self.spec = spec
+        self.base_seed = base_seed
+        if bench_intervals is not None:
+            if bench_intervals < 2:
+                raise ValueError("bench_intervals must be >= 2")
+            self.BENCH_INTERVALS = bench_intervals
+        if cool_intervals is not None:
+            if cool_intervals < 10:
+                raise ValueError("cool_intervals must be >= 10")
+            self.COOL_INTERVALS = cool_intervals
+
+    # -- data collection -----------------------------------------------------------
+
+    def collect_cooling(self, vf: VFState) -> Tuple[List[float], List[float]]:
+        """One Figure 1 heat-then-cool experiment at ``vf``."""
+        platform = Platform(
+            self.spec,
+            seed=stable_seed(self.base_seed, "cooling", vf.index),
+            power_gating=False,
+            initial_temperature=self.HEAT_START_TEMPERATURE,
+        )
+        platform.set_all_vf(vf)
+        heaters = [
+            make_cpu_bound("heater-{}".format(i)) for i in range(self.spec.num_cores)
+        ]
+        platform.set_assignment(CoreAssignment.packed(heaters))
+        platform.run(self.HEAT_INTERVALS)
+        platform.set_assignment(CoreAssignment.idle())
+        temperatures: List[float] = []
+        powers: List[float] = []
+        for sample in platform.run(self.COOL_INTERVALS):
+            temperatures.append(sample.temperature)
+            powers.append(sample.measured_power)
+        return temperatures, powers
+
+    def collect_all_cooling(self) -> Dict[float, Tuple[List[float], List[float]]]:
+        return {
+            vf.voltage: self.collect_cooling(vf) for vf in self.spec.vf_table
+        }
+
+    def collect_trace(
+        self,
+        combo: BenchmarkCombination,
+        vf: VFState,
+        library: Optional[TraceLibrary] = None,
+        power_gating: bool = False,
+    ) -> Trace:
+        """A benchmark trace at one VF state (cached via ``library``)."""
+        key = (self.spec.name, combo.name, vf.index, power_gating)
+
+        def produce() -> Trace:
+            platform = Platform(
+                self.spec,
+                seed=stable_seed(self.base_seed, combo.name, vf.index),
+                power_gating=power_gating,
+                initial_temperature=self.spec.ambient_temperature + 15.0,
+            )
+            platform.set_all_vf(vf)
+            platform.set_assignment(combo.assignment(self.spec))
+            samples = platform.run(self.BENCH_INTERVALS + self.WARMUP)
+            return Trace(samples, label=combo.name).skip_warmup(self.WARMUP)
+
+        if library is not None:
+            return library.get_or_run(key, produce)
+        return produce()
+
+    def collect_pg_sweep(self, vf: VFState) -> Tuple[List[float], List[float]]:
+        """The Figure 4 busy-CU sweep at ``vf`` (PG off, PG on)."""
+        results: Dict[bool, List[float]] = {False: [], True: []}
+        for pg in (False, True):
+            for busy_cus in range(self.spec.num_cus + 1):
+                platform = Platform(
+                    self.spec,
+                    seed=stable_seed(self.base_seed, "pg", vf.index, busy_cus, pg),
+                    power_gating=pg,
+                    initial_temperature=self.spec.ambient_temperature + 12.0,
+                )
+                platform.set_all_vf(vf)
+                instances = [bench_a() for _ in range(busy_cus)]
+                platform.set_assignment(
+                    CoreAssignment.one_per_cu(self.spec, instances)
+                )
+                samples = platform.run(self.SWEEP_INTERVALS)
+                tail = samples[self.SWEEP_INTERVALS // 3 :]
+                results[pg].append(
+                    sum(s.measured_power for s in tail) / len(tail)
+                )
+        return results[False], results[True]
+
+    # -- model fitting ----------------------------------------------------------------
+
+    @staticmethod
+    def features_and_power(trace: Trace) -> Tuple[List[np.ndarray], List[float], List[float]]:
+        """(feature rows, measured powers, temperatures) of a trace."""
+        rows: List[np.ndarray] = []
+        powers: List[float] = []
+        temps: List[float] = []
+        for sample, chip_events in zip(trace, trace.chip_events(measured=True)):
+            rates = chip_events.rates(INTERVAL_S)
+            rows.append(dynamic_feature_vector(rates))
+            powers.append(sample.measured_power)
+            temps.append(sample.temperature)
+        return rows, powers, temps
+
+    def collect_alpha_calibration(
+        self, vf: VFState, instances: int = None
+    ) -> Trace:
+        """A steady ``bench_A`` run at ``vf`` for the alpha derivation.
+
+        The paper derives the voltage-scaling exponent "from actual
+        measured power at different voltages" as a one-time,
+        per-process-technology constant.  An NB-quiet, steady
+        microbenchmark isolates the core-voltage scaling from NB power
+        and workload variation, which a suite-wide regression cannot.
+        """
+        if instances is None:
+            instances = self.spec.num_cus
+        platform = Platform(
+            self.spec,
+            seed=stable_seed(self.base_seed, "alpha", vf.index),
+            power_gating=False,
+            initial_temperature=self.spec.ambient_temperature + 12.0,
+        )
+        platform.set_all_vf(vf)
+        platform.set_assignment(
+            CoreAssignment.one_per_cu(self.spec, [bench_a() for _ in range(instances)])
+        )
+        samples = platform.run(self.SWEEP_INTERVALS + self.WARMUP)
+        return Trace(samples, label="alpha-{}".format(vf.name)).skip_warmup(self.WARMUP)
+
+    def estimate_alpha_from_microbench(self, idle_model: IdlePowerModel) -> float:
+        """Alpha from measured bench_A power ratios across VF states.
+
+        For a steady, NB-quiet workload whose event rates all scale with
+        frequency, dynamic power obeys
+
+            P_dyn(V, f) = P_dyn(V5, f5) * (f/f5) * (V/V5)^alpha
+
+        so each lower VF state yields one model-free estimate
+
+            alpha = log( P_dyn(V)/P_dyn(V5) * f5/f ) / log( V/V5 )
+
+        and the median over states is the constant.  Deriving alpha from
+        measured ratios (rather than through the fitted weights) keeps
+        workload-specific regression bias out of the exponent.
+        """
+        vf5 = self.spec.vf_table.fastest
+        dynamic_by_vf: Dict[int, float] = {}
+        for vf in self.spec.vf_table:
+            trace = self.collect_alpha_calibration(vf)
+            _feats, powers, temps = self.features_and_power(trace)
+            dyn = [
+                p - idle_model.predict(vf.voltage, t) for p, t in zip(powers, temps)
+            ]
+            dynamic_by_vf[vf.index] = sum(dyn) / len(dyn)
+        base = dynamic_by_vf[vf5.index]
+        if base <= 0:
+            raise ValueError("no measurable dynamic power at the training state")
+        estimates = []
+        for vf in self.spec.vf_table:
+            if vf.index == vf5.index:
+                continue
+            ratio_p = dynamic_by_vf[vf.index] / base
+            ratio_f = vf5.frequency_ghz / vf.frequency_ghz
+            ratio_v = vf.voltage / vf5.voltage
+            if ratio_p <= 0:
+                continue
+            estimates.append(float(np.log(ratio_p * ratio_f) / np.log(ratio_v)))
+        if not estimates:
+            raise ValueError("no usable VF states for the alpha derivation")
+        return float(np.median(estimates))
+
+    def fit_dynamic_model(
+        self,
+        idle_model: IdlePowerModel,
+        vf5_traces: Mapping[str, Trace],
+        alpha_traces: Mapping[Tuple[str, int], Trace],
+    ) -> DynamicPowerModel:
+        """Fit Eq. 3 weights at VF5 and the alpha exponent from the
+        lower-VF traces."""
+        v5 = self.spec.vf_table.fastest.voltage
+        rows: List[np.ndarray] = []
+        targets: List[float] = []
+        for trace in vf5_traces.values():
+            feats, powers, temps = self.features_and_power(trace)
+            for f, p, t in zip(feats, powers, temps):
+                rows.append(f)
+                targets.append(p - idle_model.predict(v5, t))
+        model = fit_dynamic_power_model(rows, targets, train_voltage=v5)
+
+        a_rows: List[np.ndarray] = []
+        a_targets: List[float] = []
+        a_voltages: List[float] = []
+        for (_name, vf_index), trace in alpha_traces.items():
+            voltage = self.spec.vf_table.by_index(vf_index).voltage
+            feats, powers, temps = self.features_and_power(trace)
+            for f, p, t in zip(feats, powers, temps):
+                a_rows.append(f)
+                a_targets.append(p - idle_model.predict(voltage, t))
+                a_voltages.append(voltage)
+        if a_rows:
+            alpha = estimate_alpha(model, a_rows, a_targets, a_voltages)
+            model = model.with_alpha(alpha)
+        return model
+
+    def fit_pg_model(
+        self, sweeps: Mapping[int, Tuple[Sequence[float], Sequence[float]]]
+    ) -> PGAwareIdleModel:
+        decompositions: Dict[int, IdlePowerDecomposition] = {}
+        for vf_index, (pg_off, pg_on) in sweeps.items():
+            vf = self.spec.vf_table.by_index(vf_index)
+            decompositions[vf_index] = decompose_from_sweep(
+                vf, list(pg_off), list(pg_on), self.spec.num_cus
+            )
+        return PGAwareIdleModel(
+            decompositions, self.spec.num_cus, self.spec.cores_per_cu
+        )
+
+    # -- one-call training ---------------------------------------------------------------
+
+    def train(
+        self,
+        combos: Sequence[BenchmarkCombination],
+        library: Optional[TraceLibrary] = None,
+        alpha_vf_indices: Sequence[int] = (),
+        with_pg_model: bool = True,
+    ) -> PPEP:
+        """Full training run: idle model, Eq. 3 weights, alpha, PG model.
+
+        ``combos`` is the *training* set (the cross-validation harness
+        passes fold subsets).  By default alpha comes from the bench_A
+        calibration runs (see :meth:`estimate_alpha_from_microbench`);
+        pass ``alpha_vf_indices`` to instead derive it from the training
+        suite's traces at those VF states.
+        """
+        data = TrainingData()
+        data.cooling = self.collect_all_cooling()
+        idle_model = fit_idle_power_model(data.cooling)
+
+        vf5 = self.spec.vf_table.fastest
+        vf5_traces = {
+            combo.name: self.collect_trace(combo, vf5, library) for combo in combos
+        }
+        alpha_traces: Dict[Tuple[str, int], Trace] = {}
+        for combo in combos:
+            for vf_index in alpha_vf_indices:
+                if vf_index >= vf5.index or vf_index < 1:
+                    continue
+                vf = self.spec.vf_table.by_index(vf_index)
+                alpha_traces[(combo.name, vf_index)] = self.collect_trace(
+                    combo, vf, library
+                )
+        dynamic_model = self.fit_dynamic_model(idle_model, vf5_traces, alpha_traces)
+        if not alpha_traces:
+            alpha = self.estimate_alpha_from_microbench(idle_model)
+            dynamic_model = dynamic_model.with_alpha(alpha)
+
+        pg_model = None
+        if with_pg_model and self.spec.supports_power_gating:
+            sweeps = {
+                vf.index: self.collect_pg_sweep(vf) for vf in self.spec.vf_table
+            }
+            pg_model = self.fit_pg_model(sweeps)
+
+        return PPEP(self.spec, idle_model, dynamic_model, pg_model)

@@ -1,0 +1,109 @@
+"""Shared fitting utilities for the PPEP models.
+
+Two fitters cover every model in the paper:
+
+- :func:`nonnegative_least_squares` for the dynamic power model (Eq. 3):
+  event weights are physical energies, so negative coefficients are
+  meaningless and NNLS keeps the model extrapolatable across VF states;
+- :func:`polyfit` / :class:`Polynomial` for the idle model's third-order
+  voltage polynomials (Eq. 2) and the linear temperature fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+__all__ = [
+    "nonnegative_least_squares",
+    "ordinary_least_squares",
+    "linear_fit",
+    "Polynomial",
+    "polyfit",
+]
+
+
+def ordinary_least_squares(features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Unconstrained least squares (the ablation counterpart of NNLS).
+
+    Coefficients may come out negative; the regression ablation shows
+    why that extrapolates badly across VF states.
+    """
+    a = np.asarray(features, dtype=float)
+    b = np.asarray(targets, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    if b.ndim != 1 or b.shape[0] != a.shape[0]:
+        raise ValueError("targets must be a vector matching the sample count")
+    if a.shape[0] == 0:
+        raise ValueError("cannot fit with zero samples")
+    coefficients, _res, _rank, _sv = np.linalg.lstsq(a, b, rcond=None)
+    return coefficients
+
+
+def nonnegative_least_squares(
+    features: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Solve ``min ||A x - b||`` subject to ``x >= 0``.
+
+    ``features`` is (samples, coefficients); returns the coefficient
+    vector.  Raises ``ValueError`` on shape mismatch or an empty system.
+    """
+    a = np.asarray(features, dtype=float)
+    b = np.asarray(targets, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    if b.ndim != 1 or b.shape[0] != a.shape[0]:
+        raise ValueError("targets must be a vector matching the sample count")
+    if a.shape[0] == 0:
+        raise ValueError("cannot fit with zero samples")
+    coefficients, _residual = nnls(a, b)
+    return coefficients
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> "tuple[float, float]":
+    """Ordinary least-squares line ``y = slope * x + intercept``."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be equal-length vectors")
+    if xs.size < 2:
+        raise ValueError("need at least two points for a line")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(slope), float(intercept)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A fitted polynomial, highest degree first (numpy convention)."""
+
+    coefficients: "tuple[float, ...]"
+
+    def __call__(self, x: float) -> float:
+        return float(np.polyval(self.coefficients, x))
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+
+def polyfit(x: Sequence[float], y: Sequence[float], degree: int) -> Polynomial:
+    """Least-squares polynomial of the given degree.
+
+    When the system is exactly determined (points == degree + 1) this
+    interpolates, which is how the paper's third-order voltage
+    polynomials behave over five VF states.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("x and y must be equal-length vectors")
+    if xs.size < degree + 1:
+        raise ValueError(
+            "need at least {} points for degree {}".format(degree + 1, degree)
+        )
+    coeffs = np.polyfit(xs, ys, degree)
+    return Polynomial(tuple(float(c) for c in coeffs))

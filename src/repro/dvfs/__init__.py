@@ -1,0 +1,40 @@
+"""DVFS policies built on PPEP (Section V).
+
+- :mod:`repro.dvfs.governor` -- the controller interface and the
+  simulation loop that couples a policy to a platform;
+- :mod:`repro.dvfs.power_capping` -- the one-step PPEP power capper and
+  the simple iterative baseline (Figure 7);
+- :mod:`repro.dvfs.energy_governor` -- energy-/EDP-optimal VF selection
+  (Section V-C1) including the static-vs-dynamic policy comparison;
+- :mod:`repro.dvfs.green_governors` -- the Green Governors baseline
+  power model (theoretical CV^2f, no NB term) used in Figure 6;
+- :mod:`repro.dvfs.nb_scaling` -- the Section V-C2 what-if model for a
+  north bridge with two VF states.
+"""
+
+from repro.dvfs.governor import DVFSController, ControlledRun, run_controlled
+from repro.dvfs.power_capping import (
+    PPEPPowerCapper,
+    IterativePowerCapper,
+    CappingResult,
+    evaluate_capping,
+)
+from repro.dvfs.energy_governor import EnergyGovernor, PolicyObjective
+from repro.dvfs.green_governors import GreenGovernorsModel, fit_green_governors
+from repro.dvfs.nb_scaling import NBScalingModel, NBScalingOutcome
+
+__all__ = [
+    "DVFSController",
+    "ControlledRun",
+    "run_controlled",
+    "PPEPPowerCapper",
+    "IterativePowerCapper",
+    "CappingResult",
+    "evaluate_capping",
+    "EnergyGovernor",
+    "PolicyObjective",
+    "GreenGovernorsModel",
+    "fit_green_governors",
+    "NBScalingModel",
+    "NBScalingOutcome",
+]

@@ -1,0 +1,97 @@
+"""PPEP-driven boost control (Section IV-E's firmware suggestion).
+
+The paper disables the FX-8320's hardware boost states to keep its
+measurements controlled, but notes that "if implemented in firmware,
+PPEP can also be used to control hardware boost states".  This module
+realises that suggestion: a controller that opportunistically raises
+CUs *above* the nominal state whenever PPEP predicts the chip will stay
+inside both a power budget (TDP) and a temperature ceiling, and backs
+off proactively -- before a violation -- because the predictions are
+available for every candidate state each interval.
+
+Use with a chip spec whose VF table includes boost states above the
+nominal index (see :func:`boosted_fx8320_spec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.ppep import PPEP
+from repro.dvfs.governor import DVFSController
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState, VFTable
+
+__all__ = ["boosted_fx8320_spec", "BoostController"]
+
+
+def boosted_fx8320_spec() -> ChipSpec:
+    """An FX-8320 spec with the two hardware boost states re-enabled.
+
+    The real part boosts to 4.0 GHz over its 3.5 GHz nominal clock;
+    the table grows to VF7 (1.3875 V / 3.8 GHz) and VF6... -- states are
+    re-indexed so VF5 stays the nominal state and VF6/VF7 are boost.
+    """
+    table = VFTable(
+        [
+            VFState(7, 1.4125, 4.0, name="VF7(boost)"),
+            VFState(6, 1.3875, 3.8, name="VF6(boost)"),
+            VFState(5, 1.320, 3.5),
+            VFState(4, 1.242, 2.9),
+            VFState(3, 1.128, 2.3),
+            VFState(2, 1.008, 1.7),
+            VFState(1, 0.888, 1.4),
+        ]
+    )
+    return dataclasses.replace(
+        FX8320_SPEC, name="AMD FX-8320 (simulated, boost enabled)", vf_table=table
+    )
+
+
+class BoostController(DVFSController):
+    """Opportunistic boost under a power budget and thermal ceiling.
+
+    Each interval: start from the nominal state; among all states from
+    slowest up to the top boost state, pick the fastest whose predicted
+    chip power fits ``power_budget * margin`` -- but never boost above
+    nominal while the diode exceeds ``temperature_ceiling`` (boost
+    residency is thermally limited on the real part)."""
+
+    def __init__(
+        self,
+        ppep: PPEP,
+        power_budget: float,
+        temperature_ceiling: float = 342.0,
+        nominal_index: int = 5,
+        margin: float = 0.95,
+    ) -> None:
+        if power_budget <= 0:
+            raise ValueError("power budget must be positive")
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must lie in (0, 1]")
+        self.ppep = ppep
+        self.power_budget = power_budget
+        self.temperature_ceiling = temperature_ceiling
+        self.nominal_index = nominal_index
+        self.margin = margin
+
+    def decide(self, sample: IntervalSample) -> Sequence[VFState]:
+        spec = self.ppep.spec
+        table = spec.vf_table
+        snapshot = self.ppep.analyze(sample)
+        budget = self.power_budget * self.margin
+        thermally_limited = sample.temperature >= self.temperature_ceiling
+
+        best: VFState = table.slowest
+        for vf in table.ascending():
+            if thermally_limited and vf.index > self.nominal_index:
+                continue
+            if snapshot.prediction(vf).chip_power <= budget:
+                best = vf
+        return [best] * spec.num_cus
+
+    def is_boosting(self, decision: Sequence[VFState]) -> bool:
+        """Whether a decision runs any CU above the nominal state."""
+        return any(vf.index > self.nominal_index for vf in decision)

@@ -1,0 +1,162 @@
+"""North-bridge DVFS what-if model (Section V-C2, Figure 11).
+
+The paper asks: what if the NB had a second, lower VF state
+(``VF_lo`` = 0.940 V / 1.1 GHz, a 20 % voltage and 50 % frequency drop)?
+Its stated modelling assumptions, which we adopt verbatim:
+
+- NB idle power drops 40 %;
+- NB dynamic energy per operation drops 36 % (voltage squared);
+- leading-load (exposed memory) cycles increase 50 % when the NB
+  frequency halves.
+
+Given per-core-VF run measurements at the stock NB state (execution
+time, core-side power, NB idle power, NB dynamic energy, and the
+memory-time share), the model projects every (core VF, NB VF)
+combination and derives the two Figure 11 metrics:
+
+- **energy saving**: how much lower the best achievable energy becomes
+  once NB_lo is allowed;
+- **speedup at similar energy**: with (core VF1, NB_hi) as the
+  baseline, the fastest combination whose energy does not exceed the
+  baseline's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["PerVFRunData", "NBScalingModel", "NBScalingOutcome", "ComboProjection"]
+
+
+@dataclass(frozen=True)
+class PerVFRunData:
+    """Measurements of one fixed-work run at (core VF, stock NB)."""
+
+    vf_index: int
+    #: Wall-clock execution time, seconds.
+    time_s: float
+    #: Average core-side power (everything but the NB), watts.
+    core_power: float
+    #: Average NB idle (leakage + clock) power, watts.
+    nb_idle_power: float
+    #: Total NB dynamic energy over the run, joules (operation-count
+    #: driven: it does not stretch with execution time).
+    nb_dynamic_energy: float
+    #: Fraction of execution time exposed to memory (MCPI / CPI).
+    memory_share: float
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise ValueError("execution time must be positive")
+        if not 0.0 <= self.memory_share <= 1.0:
+            raise ValueError("memory share must lie in [0, 1]")
+
+    @property
+    def energy(self) -> float:
+        """Total chip energy at the stock NB state, joules."""
+        return (
+            (self.core_power + self.nb_idle_power) * self.time_s
+            + self.nb_dynamic_energy
+        )
+
+
+@dataclass(frozen=True)
+class ComboProjection:
+    """Projected (core VF, NB state) operating point."""
+
+    vf_index: int
+    nb_low: bool
+    time_s: float
+    energy: float
+
+
+@dataclass(frozen=True)
+class NBScalingOutcome:
+    """The two Figure 11 metrics for one run configuration."""
+
+    #: 1 - best_energy(with NB_lo allowed) / best_energy(NB_hi only).
+    energy_saving: float
+    #: Speedup of the fastest iso-energy combo vs (core VF1, NB_hi).
+    speedup: float
+    #: All projected combos (for inspection / plotting).
+    combos: Tuple[ComboProjection, ...]
+
+
+class NBScalingModel:
+    """Applies the paper's VF_lo assumptions to stock-NB measurements."""
+
+    def __init__(
+        self,
+        idle_drop: float = 0.40,
+        dynamic_drop: float = 0.36,
+        leading_load_stretch: float = 0.50,
+        energy_tolerance: float = 0.05,
+    ) -> None:
+        for name, value in (
+            ("idle_drop", idle_drop),
+            ("dynamic_drop", dynamic_drop),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError("{} must lie in [0, 1)".format(name))
+        if leading_load_stretch < 0:
+            raise ValueError("leading-load stretch cannot be negative")
+        if energy_tolerance < 0:
+            raise ValueError("energy tolerance cannot be negative")
+        self.idle_drop = idle_drop
+        self.dynamic_drop = dynamic_drop
+        self.leading_load_stretch = leading_load_stretch
+        #: "Similar energy consumption" slack for the speedup metric:
+        #: a combo qualifies when its energy is within this fraction of
+        #: the (core VF1, NB_hi) baseline.
+        self.energy_tolerance = energy_tolerance
+
+    # -- projections -----------------------------------------------------------
+
+    def project(self, run: PerVFRunData, nb_low: bool) -> ComboProjection:
+        """One run projected onto the chosen NB state."""
+        if not nb_low:
+            return ComboProjection(
+                vf_index=run.vf_index,
+                nb_low=False,
+                time_s=run.time_s,
+                energy=run.energy,
+            )
+        # Memory time stretches by the leading-load factor; core time is
+        # untouched, so total time stretches by the memory share of it.
+        time = run.time_s * (1.0 + run.memory_share * self.leading_load_stretch)
+        energy = (
+            run.core_power * time
+            + run.nb_idle_power * (1.0 - self.idle_drop) * time
+            + run.nb_dynamic_energy * (1.0 - self.dynamic_drop)
+        )
+        return ComboProjection(
+            vf_index=run.vf_index, nb_low=True, time_s=time, energy=energy
+        )
+
+    def evaluate(self, runs: Sequence[PerVFRunData]) -> NBScalingOutcome:
+        """The Figure 11 metrics over a core-VF sweep of one workload."""
+        if not runs:
+            raise ValueError("need at least one per-VF run")
+        combos: List[ComboProjection] = []
+        for run in runs:
+            combos.append(self.project(run, nb_low=False))
+            combos.append(self.project(run, nb_low=True))
+
+        hi_only = [c for c in combos if not c.nb_low]
+        best_hi = min(c.energy for c in hi_only)
+        best_any = min(c.energy for c in combos)
+        saving = 1.0 - best_any / best_hi
+
+        baseline = min(hi_only, key=lambda c: c.vf_index)
+        eligible = [
+            c
+            for c in combos
+            if c.energy <= baseline.energy * (1.0 + self.energy_tolerance)
+        ]
+        fastest = min(eligible, key=lambda c: c.time_s)
+        speedup = baseline.time_s / fastest.time_s
+
+        return NBScalingOutcome(
+            energy_saving=saving, speedup=speedup, combos=tuple(combos)
+        )

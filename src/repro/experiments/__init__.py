@@ -1,0 +1,13 @@
+"""Per-figure experiment reproductions.
+
+One module per paper table/figure (see DESIGN.md's per-experiment
+index).  Every module exposes ``run(context)`` returning a structured
+result and ``format_report(result)`` rendering the rows the paper
+reports.  The shared :class:`~repro.experiments.common.ExperimentContext`
+memoises traces and trained models so a full harness run simulates each
+(benchmark, VF) pair exactly once.
+"""
+
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["ExperimentContext"]

@@ -1,0 +1,242 @@
+"""Ablations of PPEP's design choices.
+
+DESIGN.md calls out three choices whose value the paper asserts but
+does not isolate; these ablations quantify each on the simulated
+platform:
+
+1. **Non-negative regression** (Eq. 3 weights are physical energies):
+   refit the dynamic model with unconstrained least squares and compare
+   cross-VF chip power prediction error.  Negative weights fit the
+   training state equally well but extrapolate badly once the
+   voltage-scaling factor reweights the terms.
+
+2. **The alpha exponent** (derived per process technology): sweep fixed
+   exponents around the calibrated value and measure VF5->VF1 chip
+   error.  Too-small alpha overpredicts low-voltage power, too-large
+   underpredicts.
+
+3. **Counter multiplexing** (6 counters for 12 events): evaluate the
+   trained model on ideal (non-multiplexed) counters and compare
+   per-interval estimation error on the rapid-phase benchmarks, which
+   the paper names as its outlier source.
+
+4. **Sampling interval** (the paper samples every 200 ms and notes
+   faster sampling is cheap): merge consecutive intervals into 400 ms
+   and 800 ms decision periods and measure the next-period energy
+   prediction error.  Longer periods respond later to phase changes but
+   also average over them; the ablation quantifies the net effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.analysis.metrics import average_absolute_error
+from repro.core.dynamic_power import DynamicPowerModel, dynamic_feature_vector
+from repro.core.ppep import PPEP
+from repro.core.regression import ordinary_least_squares
+from repro.experiments.common import ExperimentContext
+from repro.hardware.events import EventVector
+from repro.hardware.platform import INTERVAL_S
+
+__all__ = ["AblationResult", "run", "format_report"]
+
+
+@dataclass
+class AblationResult:
+    """All three ablations, each as (variant label -> error)."""
+
+    #: VF5 -> VF1 chip prediction error: NNLS vs OLS.
+    regression: Dict[str, float]
+    #: VF5 -> VF1 chip prediction error per alpha variant.
+    alpha_sweep: Dict[str, float]
+    #: Chip estimation AAE on rapid-phase benchmarks: multiplexed vs
+    #: ideal counters.
+    multiplexing: Dict[str, float]
+    #: Next-period energy prediction AAE per decision-period length.
+    sampling: Dict[str, float]
+    calibrated_alpha: float
+
+
+def _fit_ols_variant(ctx: ExperimentContext, train_combos) -> PPEP:
+    """The fold-0 model refitted with unconstrained least squares."""
+    vf5 = ctx.spec.vf_table.fastest
+    rows: List[np.ndarray] = []
+    targets: List[float] = []
+    for combo in train_combos:
+        trace = ctx.trace(combo, vf5)
+        feats, powers, temps = ctx.trainer.features_and_power(trace)
+        for f, p, t in zip(feats, powers, temps):
+            rows.append(f)
+            targets.append(p - ctx.idle_model.predict(vf5.voltage, t))
+    weights = ordinary_least_squares(
+        np.vstack(rows), np.clip(np.asarray(targets), 0.0, None)
+    )
+    model = DynamicPowerModel(
+        weights=tuple(float(w) for w in weights),
+        alpha=ctx.alpha,
+        train_voltage=vf5.voltage,
+    )
+    return PPEP(ctx.spec, ctx.idle_model, model, ctx.pg_model)
+
+
+def _cross_vf_error(ctx: ExperimentContext, model: PPEP, combos) -> float:
+    """Mean VF5 -> VF1 average-chip-power prediction error."""
+    vf5 = ctx.spec.vf_table.fastest
+    vf1 = ctx.spec.vf_table.slowest
+    errors = []
+    for combo in combos:
+        src = ctx.trace(combo, vf5)
+        tgt = ctx.trace(combo, vf1)
+        predicted = float(
+            np.mean([model.analyze(s).prediction(vf1).chip_power for s in src])
+        )
+        actual = tgt.average_measured_power()
+        errors.append(abs(predicted - actual) / actual)
+    return float(np.mean(errors))
+
+
+def _estimation_error(
+    ctx: ExperimentContext, model: PPEP, combos, measured_counters: bool
+) -> float:
+    """Per-interval chip estimation AAE at VF5, with real or ideal
+    counters."""
+    vf5 = ctx.spec.vf_table.fastest
+    estimates, actuals = [], []
+    for combo in combos:
+        trace = ctx.trace(combo, vf5)
+        for sample, chip_events in zip(
+            trace, trace.chip_events(measured=measured_counters)
+        ):
+            features = dynamic_feature_vector(chip_events.rates(INTERVAL_S))
+            dynamic = model.dynamic_model.estimate(features, vf5.voltage)
+            idle = model.idle_model.predict(vf5.voltage, sample.temperature)
+            estimates.append(dynamic + idle)
+            actuals.append(sample.measured_power)
+    return average_absolute_error(estimates, actuals)
+
+
+def _sampling_interval_error(
+    ctx: ExperimentContext, model: PPEP, combos, merge: int
+) -> float:
+    """Next-period energy prediction AAE with ``merge`` intervals per
+    decision period (merge=1 is the paper's 200 ms)."""
+    vf5 = ctx.spec.vf_table.fastest
+    errors = []
+    for combo in combos:
+        trace = ctx.trace(combo, vf5)
+        chip_events = trace.chip_events(measured=True)
+        blocks = []
+        for start in range(0, len(trace) - merge + 1, merge):
+            events = EventVector.zeros()
+            power = 0.0
+            temp = 0.0
+            for k in range(merge):
+                events += chip_events[start + k]
+                power += trace[start + k].measured_power
+                temp += trace[start + k].temperature
+            blocks.append((events, power / merge, temp / merge))
+        for (events, _p, temp), (_e2, next_power, _t2) in zip(blocks, blocks[1:]):
+            features = dynamic_feature_vector(events.rates(merge * INTERVAL_S))
+            predicted = model.dynamic_model.estimate(
+                features, vf5.voltage
+            ) + model.idle_model.predict(vf5.voltage, temp)
+            actual = next_power
+            errors.append(abs(predicted - actual) / actual)
+    return float(np.mean(errors))
+
+
+def run(ctx: ExperimentContext) -> AblationResult:
+    """Run all four design-choice ablations on the fold-0 model."""
+    fold_model, test_combos = ctx.fold_models()[0]
+    train_combos = [
+        c for c in ctx.roster if c.name not in {t.name for t in test_combos}
+    ]
+    eval_combos = test_combos[: 8 if ctx.scale == "quick" else 20]
+
+    # 1. regression constraint
+    ols_model = _fit_ols_variant(ctx, train_combos)
+    regression = {
+        "NNLS (PPEP)": _cross_vf_error(ctx, fold_model, eval_combos),
+        "unconstrained OLS": _cross_vf_error(ctx, ols_model, eval_combos),
+    }
+
+    # 2. alpha sweep
+    alpha_sweep: Dict[str, float] = {}
+    for alpha in (1.0, 1.5, ctx.alpha, 2.5, 3.0):
+        label = (
+            "calibrated ({:.2f})".format(alpha)
+            if abs(alpha - ctx.alpha) < 1e-9
+            else "{:.1f}".format(alpha)
+        )
+        variant = PPEP(
+            ctx.spec,
+            ctx.idle_model,
+            fold_model.dynamic_model.with_alpha(alpha),
+            ctx.pg_model,
+        )
+        alpha_sweep[label] = _cross_vf_error(ctx, variant, eval_combos)
+
+    # 3. counter multiplexing, on the rapid-phase benchmarks
+    rapid = [
+        c
+        for c in ctx.roster
+        if any(tag in c.name for tag in ("dedup", "DC-", "IS-"))
+    ] or eval_combos
+    multiplexing = {
+        "multiplexed (real)": _estimation_error(ctx, fold_model, rapid, True),
+        "ideal counters": _estimation_error(ctx, fold_model, rapid, False),
+    }
+
+    # 4. decision-period length (needs phase-changing benchmarks)
+    sampling = {
+        "{} ms".format(200 * merge): _sampling_interval_error(
+            ctx, fold_model, rapid, merge
+        )
+        for merge in (1, 2, 4)
+    }
+
+    return AblationResult(
+        regression=regression,
+        alpha_sweep=alpha_sweep,
+        multiplexing=multiplexing,
+        sampling=sampling,
+        calibrated_alpha=ctx.alpha,
+    )
+
+
+def format_report(result: AblationResult, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    def table(title: str, data: Dict[str, float], metric: str) -> str:
+        rows = [[label, format_percent(value)] for label, value in data.items()]
+        return format_table(["variant", metric], rows, title=title)
+
+    return "\n\n".join(
+        [
+            table(
+                "Ablation 1: regression constraint (VF5->VF1 chip error)",
+                result.regression,
+                "error",
+            ),
+            table(
+                "Ablation 2: voltage exponent alpha (VF5->VF1 chip error)",
+                result.alpha_sweep,
+                "error",
+            ),
+            table(
+                "Ablation 3: counter multiplexing (rapid-phase chip AAE)",
+                result.multiplexing,
+                "AAE",
+            ),
+            table(
+                "Ablation 4: decision-period length (next-period energy AAE)",
+                result.sampling,
+                "AAE",
+            ),
+            "calibrated alpha = {:.2f}".format(result.calibrated_alpha),
+        ]
+    )

@@ -1,0 +1,141 @@
+"""The shared Figure 8-11 sweep: instances x VF states, fixed work.
+
+Sections V-C1/C2 all consume the same experiment: run 1..4 instances of
+a memory-bound program (433.milc) and a CPU-bound program (458.sjeng),
+one instance per compute unit, power gating enabled, at every VF state,
+until a fixed per-instance instruction budget completes.  Per cell the
+sweep records execution time, measured chip energy, PPEP's core/NB/base
+energy attribution, and the memory-time share -- everything Figures
+8 (energy), 9 (EDP), 10 (NB share), and 11 (NB scaling) need.
+
+The sweep is simulated once per context and memoised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.dynamic_power import dynamic_feature_vector
+from repro.experiments.common import ExperimentContext, FixedWorkRun
+from repro.hardware.events import Event, EventVector
+from repro.hardware.platform import INTERVAL_S
+from repro.workloads.suites import spec_program
+
+__all__ = ["SweepCell", "SweepData", "run_sweep", "DEFAULT_PROGRAMS", "DEFAULT_COUNTS"]
+
+DEFAULT_PROGRAMS: Tuple[str, ...] = ("433", "458")
+DEFAULT_COUNTS: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+@dataclass
+class SweepCell:
+    """One (program, instance count, VF state) fixed-work run."""
+
+    program: str
+    n_instances: int
+    vf_index: int
+    run: FixedWorkRun
+    #: PPEP-attributed energies over the run, joules.
+    core_energy: float
+    nb_idle_energy: float
+    nb_dynamic_energy: float
+    base_energy: float
+    #: Aggregate MAB-wait cycles / unhalted cycles (memory-time share).
+    memory_share: float
+
+    @property
+    def nb_energy(self) -> float:
+        return self.nb_idle_energy + self.nb_dynamic_energy
+
+    @property
+    def per_thread_energy(self) -> float:
+        return self.run.per_thread_energy
+
+    @property
+    def per_thread_edp(self) -> float:
+        return self.run.per_thread_edp
+
+    @property
+    def nb_ratio(self) -> float:
+        """NB share of the non-base chip energy (Figure 10's ratio)."""
+        denom = self.core_energy + self.nb_energy
+        return self.nb_energy / denom if denom > 0 else 0.0
+
+
+@dataclass
+class SweepData:
+    cells: Dict[Tuple[str, int, int], SweepCell]
+
+    def cell(self, program: str, n: int, vf_index: int) -> SweepCell:
+        return self.cells[(program, n, vf_index)]
+
+
+def _attribute_energies(ctx: ExperimentContext, run: FixedWorkRun):
+    """PPEP's core/NB/base energy attribution for one run."""
+    ppep = ctx.full_ppep
+    pg = ppep.pg_model
+    vf = ctx.spec.vf_table.by_index(run.vf_index)
+    core_e = 0.0
+    nb_idle_e = 0.0
+    nb_dyn_e = 0.0
+    base_e = 0.0
+    mab = 0.0
+    cycles = 0.0
+    for sample in run.samples:
+        if sample.time > run.time_s + INTERVAL_S:
+            break
+        chip_est = ppep.estimate_current(sample)
+        total_events = EventVector.zeros()
+        for events in sample.core_events:
+            total_events += events
+        features = dynamic_feature_vector(total_events.rates(INTERVAL_S))
+        nb_dyn = ppep.dynamic_model.nb_term(features)
+        nb_idle = pg.nb_idle(vf) if pg is not None else 0.0
+        base = pg.decomposition(vf).p_base if pg is not None else 0.0
+        core = max(chip_est - nb_dyn - nb_idle - base, 0.0)
+        core_e += core * INTERVAL_S
+        nb_idle_e += nb_idle * INTERVAL_S
+        nb_dyn_e += nb_dyn * INTERVAL_S
+        base_e += base * INTERVAL_S
+        mab += total_events[Event.MAB_WAIT_CYCLES]
+        cycles += total_events[Event.CPU_CLOCKS_NOT_HALTED]
+    share = mab / cycles if cycles > 0 else 0.0
+    return core_e, nb_idle_e, nb_dyn_e, base_e, min(share, 1.0)
+
+
+def run_sweep(
+    ctx: ExperimentContext,
+    programs: Sequence[str] = DEFAULT_PROGRAMS,
+    counts: Sequence[int] = DEFAULT_COUNTS,
+) -> SweepData:
+    """Run (or fetch) the full background-workload sweep."""
+    key = ("background-sweep", tuple(programs), tuple(counts))
+    if key in ctx.cache:
+        return ctx.cache[key]
+
+    cells: Dict[Tuple[str, int, int], SweepCell] = {}
+    for name in programs:
+        workload = spec_program(name)
+        for n in counts:
+            if n > ctx.spec.num_cus:
+                continue
+            for vf in ctx.spec.vf_table:
+                run = ctx.run_fixed_work(workload, n, vf, power_gating=True)
+                core_e, nb_idle_e, nb_dyn_e, base_e, share = _attribute_energies(
+                    ctx, run
+                )
+                cells[(name, n, vf.index)] = SweepCell(
+                    program=name,
+                    n_instances=n,
+                    vf_index=vf.index,
+                    run=run,
+                    core_energy=core_e,
+                    nb_idle_energy=nb_idle_e,
+                    nb_dynamic_energy=nb_dyn_e,
+                    base_energy=base_e,
+                    memory_share=share,
+                )
+    data = SweepData(cells=cells)
+    ctx.cache[key] = data
+    return data

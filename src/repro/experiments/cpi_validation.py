@@ -1,0 +1,154 @@
+"""Section III: LL-MAB CPI predictor validation.
+
+The paper runs the single-threaded versions of its 52 benchmarks at VF5
+and VF2, sampling counters every 200 ms, then compares predicted and
+measured *cycles per instruction-aligned segment* (a direct
+interval-by-interval comparison is meaningless because execution time
+differs across frequencies).
+
+Paper reference values: 3.4 % average error predicting VF5 -> VF2 (SD
+4.6 %) and 3.0 % predicting VF2 -> VF5 (SD 3.2 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.core.cpi_model import CPIModel, CPISample, segment_prediction_errors
+from repro.experiments.common import ExperimentContext
+from repro.hardware.vfstates import VFState
+from repro.workloads.suites import BenchmarkCombination, Suite, single_threaded_programs
+
+__all__ = ["CPIValidationResult", "run", "format_report", "single_thread_combo"]
+
+_SUITE_BY_LABEL = {"SPEC": Suite.SPEC, "PARSEC": Suite.PARSEC, "NPB": Suite.NPB}
+
+
+def single_thread_combo(workload) -> BenchmarkCombination:
+    """Wrap a single-threaded program as a 1-context combination."""
+    suite = _SUITE_BY_LABEL.get(workload.suite, Suite.SPEC)
+    return BenchmarkCombination(
+        name="{}-1t".format(workload.name),
+        suite=suite,
+        workloads=(workload,),
+        kind="multithread",
+    )
+
+
+@dataclass
+class CPIValidationResult:
+    """Per-direction per-benchmark segment errors."""
+
+    #: benchmark name -> mean segment error, predicting high -> low.
+    down_errors: Dict[str, float]
+    #: benchmark name -> mean segment error, predicting low -> high.
+    up_errors: Dict[str, float]
+    source_high: VFState
+    source_low: VFState
+
+    @property
+    def down_average(self) -> float:
+        return float(np.mean(list(self.down_errors.values())))
+
+    @property
+    def down_std(self) -> float:
+        return float(np.std(list(self.down_errors.values())))
+
+    @property
+    def up_average(self) -> float:
+        return float(np.mean(list(self.up_errors.values())))
+
+    @property
+    def up_std(self) -> float:
+        return float(np.std(list(self.up_errors.values())))
+
+
+def _trace_vectors(trace, core_id: int = 0):
+    """Per-interval (instructions, cycles, CPI samples) of one core."""
+    instructions: List[float] = []
+    cycles: List[float] = []
+    samples: List[CPISample] = []
+    vf = trace.samples[0].cu_vfs[0]
+    for sample in trace:
+        events = sample.core_events[core_id]
+        instructions.append(events.instructions)
+        cycles.append(events.cycles)
+        samples.append(CPISample.from_events(events, vf.frequency_ghz))
+    return np.array(instructions), np.array(cycles), samples
+
+
+def _direction_error(
+    ctx: ExperimentContext,
+    combo: BenchmarkCombination,
+    source: VFState,
+    target: VFState,
+    segment_instructions: float,
+) -> float:
+    source_trace = ctx.trace(combo, source)
+    target_trace = ctx.trace(combo, target)
+    src_inst, _src_cycles, src_samples = _trace_vectors(source_trace)
+    tgt_inst, tgt_cycles, _ = _trace_vectors(target_trace)
+    predicted_cycles = np.array(
+        [
+            CPIModel.predict_cpi(s, target.frequency_ghz) * inst
+            for s, inst in zip(src_samples, src_inst)
+        ]
+    )
+    errors = segment_prediction_errors(
+        src_inst, predicted_cycles, tgt_inst, tgt_cycles, segment_instructions
+    )
+    return float(np.mean(errors))
+
+
+def run(ctx: ExperimentContext, segment_instructions: float = None) -> CPIValidationResult:
+    """Reproduce the Section III CPI validation numbers."""
+    table = ctx.spec.vf_table
+    high = table.fastest
+    low = table.by_index(2) if len(table) >= 4 else table.slowest
+    if segment_instructions is None:
+        segment_instructions = 5.0e8 if ctx.scale == "full" else 2.0e8
+
+    programs = single_threaded_programs()
+    if ctx.scale == "quick":
+        programs = programs[::4]
+
+    down: Dict[str, float] = {}
+    up: Dict[str, float] = {}
+    for program in programs:
+        combo = single_thread_combo(program)
+        down[program.name] = _direction_error(
+            ctx, combo, high, low, segment_instructions
+        )
+        up[program.name] = _direction_error(
+            ctx, combo, low, high, segment_instructions
+        )
+    return CPIValidationResult(
+        down_errors=down, up_errors=up, source_high=high, source_low=low
+    )
+
+
+def format_report(result: CPIValidationResult, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    headers = ["direction", "avg error", "std dev", "n"]
+    rows = [
+        [
+            "{} -> {}".format(result.source_high.name, result.source_low.name),
+            format_percent(result.down_average),
+            format_percent(result.down_std),
+            str(len(result.down_errors)),
+        ],
+        [
+            "{} -> {}".format(result.source_low.name, result.source_high.name),
+            format_percent(result.up_average),
+            format_percent(result.up_std),
+            str(len(result.up_errors)),
+        ],
+    ]
+    table = format_table(
+        headers, rows, title="Section III: LL-MAB CPI predictor segment errors"
+    )
+    return "{}\n(paper: 3.4% avg / 4.6% SD down, 3.0% avg / 3.2% SD up)".format(table)

@@ -1,0 +1,128 @@
+"""Figure 1: idle power and temperature as the workload changes.
+
+The experiment behind the idle power model: heat the chip with heavy
+work at VF5 until (near) steady state, then stop the work and watch
+power decay with temperature while the chip idles (power gating off).
+The figure's signature features, which the reproduction checks:
+
+- temperature rises during the heating phase and decays during cooling;
+- idle power tracks temperature downward (the leakage component);
+- over the chip's normal range the idle power / temperature relation is
+  close to linear (the justification for Eq. 2's linear form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.ascii_chart import render_series
+from repro.analysis.formatting import format_table
+from repro.core.ppep import stable_seed
+from repro.experiments.common import ExperimentContext
+from repro.hardware.platform import CoreAssignment, Platform
+from repro.workloads.synthetic import make_cpu_bound
+
+__all__ = ["Fig1Result", "run", "format_report"]
+
+
+@dataclass
+class Fig1Result:
+    """The heating/cooling trajectory."""
+
+    #: Per-interval measured power, heating then cooling, watts.
+    powers: List[float]
+    #: Per-interval diode temperature, kelvin.
+    temperatures: List[float]
+    #: Index of the first cooling interval.
+    cooling_start: int
+    #: Pearson correlation of (T, P) over the cooling tail.
+    cooling_linearity: float
+
+    @property
+    def peak_temperature(self) -> float:
+        return max(self.temperatures)
+
+    @property
+    def final_temperature(self) -> float:
+        return self.temperatures[-1]
+
+    @property
+    def power_drop(self) -> float:
+        """Idle power decline over the cooling phase, watts."""
+        cooling = self.powers[self.cooling_start :]
+        return cooling[0] - cooling[-1]
+
+
+def run(
+    ctx: ExperimentContext,
+    heat_intervals: int = None,
+    cool_intervals: int = None,
+) -> Fig1Result:
+    """Reproduce the Figure 1 trajectory at the fastest VF state."""
+    # The loaded steady-state temperature (~345 K at VF5) sits well above
+    # the idle steady state (~320 K); the heat phase must approach the
+    # former or the cool-down has nothing to decay through.  The thermal
+    # time constant is ~36 s (180 intervals), so "full" heats for ~3.3
+    # time constants.
+    if heat_intervals is None:
+        heat_intervals = 600 if ctx.scale == "full" else 300
+    if cool_intervals is None:
+        cool_intervals = 500 if ctx.scale == "full" else 250
+
+    spec = ctx.spec
+    platform = Platform(
+        spec,
+        seed=stable_seed(ctx.base_seed, "fig1"),
+        power_gating=False,
+    )
+    platform.set_all_vf(spec.vf_table.fastest)
+    heaters = [make_cpu_bound("fig1-heater-{}".format(i)) for i in range(spec.num_cores)]
+    platform.set_assignment(CoreAssignment.packed(heaters))
+
+    powers: List[float] = []
+    temperatures: List[float] = []
+    for sample in platform.run(heat_intervals):
+        powers.append(sample.measured_power)
+        temperatures.append(sample.temperature)
+    platform.set_assignment(CoreAssignment.idle())
+    for sample in platform.run(cool_intervals):
+        powers.append(sample.measured_power)
+        temperatures.append(sample.temperature)
+
+    cool_p = np.array(powers[heat_intervals:])
+    cool_t = np.array(temperatures[heat_intervals:])
+    linearity = float(np.corrcoef(cool_t, cool_p)[0, 1])
+    return Fig1Result(
+        powers=powers,
+        temperatures=temperatures,
+        cooling_start=heat_intervals,
+        cooling_linearity=linearity,
+    )
+
+
+def format_report(result: Fig1Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    heat_peak_p = max(result.powers[: result.cooling_start])
+    idle_start_p = result.powers[result.cooling_start]
+    rows = [
+        ["peak temperature (K)", "{:.1f}".format(result.peak_temperature)],
+        ["final temperature (K)", "{:.1f}".format(result.final_temperature)],
+        ["peak load power (W)", "{:.1f}".format(heat_peak_p)],
+        ["idle power at cut-over (W)", "{:.1f}".format(idle_start_p)],
+        ["idle power drop while cooling (W)", "{:.1f}".format(result.power_drop)],
+        ["cooling P-T correlation", "{:.4f}".format(result.cooling_linearity)],
+    ]
+    table = format_table(["quantity", "value"], rows,
+                         title="Figure 1: idle power and temperature (heat, then cool at VF5)")
+    power_chart = render_series(result.powers, y_format="{:7.1f}W")
+    temp_chart = render_series(result.temperatures, y_format="{:7.1f}K")
+    return (
+        "{}\n\nChip power (heating, then idle cool-down):\n{}\n\n"
+        "Diode temperature:\n{}\n"
+        "(the near-1 correlation justifies Eq. 2's linear-in-T form)".format(
+            table, power_chart, temp_chart
+        )
+    )

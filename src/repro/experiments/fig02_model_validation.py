@@ -1,0 +1,129 @@
+"""Figure 2: validation error of the dynamic and chip power models.
+
+For every held-out benchmark combination (4-fold CV) and every VF
+state, PPEP estimates power from the interval's own counters; the AAE
+against the measured power is gathered per combination, then averaged
+(bar) with a standard deviation (cross) per suite and VF state.
+
+Paper reference values: dynamic power AAE 10.6 % overall
+(8.9 / 8.4 / 9.5 / 12.0 / 14.4 % across VF5..VF1, SD ~5.8 %); chip
+power AAE 4.6 % overall (SD 2.8 %), worst outliers up to 49 % on
+rapid-phase benchmarks (NPB DC/IS, dedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.analysis.metrics import ErrorSummary, average_absolute_error, summarize_errors
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Fig2Result", "run", "format_report"]
+
+_SUITE_ORDER = ("SPE", "PAR", "NPB", "ALL")
+
+
+@dataclass
+class Fig2Result:
+    """Per-(VF, suite) error summaries plus overall averages."""
+
+    #: (vf_index, suite label) -> summary of per-combination AAEs.
+    dynamic: Dict[Tuple[int, str], ErrorSummary]
+    chip: Dict[Tuple[int, str], ErrorSummary]
+    #: Mean of per-combination AAEs over everything.
+    overall_dynamic: float
+    overall_chip: float
+    #: The single worst per-combination chip AAE (outlier discussion).
+    worst_chip: Tuple[str, float]
+    worst_dynamic: Tuple[str, float]
+
+
+def run(ctx: ExperimentContext) -> Fig2Result:
+    """Reproduce both panels of Figure 2."""
+    per_combo_dyn: Dict[Tuple[int, str], float] = {}
+    per_combo_chip: Dict[Tuple[int, str], float] = {}
+
+    for model, test_combos in ctx.fold_models():
+        for combo in test_combos:
+            for vf in ctx.spec.vf_table:
+                trace = ctx.trace(combo, vf)
+                est_chip: List[float] = []
+                meas_chip: List[float] = []
+                est_dyn: List[float] = []
+                meas_dyn: List[float] = []
+                for sample in trace:
+                    estimate = model.estimate_current(sample)
+                    idle = model.idle_model.predict(vf.voltage, sample.temperature)
+                    est_chip.append(estimate)
+                    meas_chip.append(sample.measured_power)
+                    est_dyn.append(estimate - idle)
+                    meas_dyn.append(sample.measured_power - idle)
+                key = (vf.index, combo.name)
+                per_combo_chip[key] = average_absolute_error(est_chip, meas_chip)
+                per_combo_dyn[key] = average_absolute_error(est_dyn, meas_dyn)
+
+    groups = ctx.combos_by_suite()
+    dynamic: Dict[Tuple[int, str], ErrorSummary] = {}
+    chip: Dict[Tuple[int, str], ErrorSummary] = {}
+    for vf in ctx.spec.vf_table:
+        for suite in _SUITE_ORDER:
+            names = groups[suite]
+            dyn_errors = [per_combo_dyn[(vf.index, n)] for n in names]
+            chip_errors = [per_combo_chip[(vf.index, n)] for n in names]
+            label = "{}@VF{}".format(suite, vf.index)
+            dynamic[(vf.index, suite)] = summarize_errors(label, dyn_errors)
+            chip[(vf.index, suite)] = summarize_errors(label, chip_errors)
+
+    worst_chip = max(per_combo_chip.items(), key=lambda kv: kv[1])
+    worst_dyn = max(per_combo_dyn.items(), key=lambda kv: kv[1])
+    return Fig2Result(
+        dynamic=dynamic,
+        chip=chip,
+        overall_dynamic=float(np.mean(list(per_combo_dyn.values()))),
+        overall_chip=float(np.mean(list(per_combo_chip.values()))),
+        worst_chip=("VF{} {}".format(*worst_chip[0]), worst_chip[1]),
+        worst_dynamic=("VF{} {}".format(*worst_dyn[0]), worst_dyn[1]),
+    )
+
+
+def _panel(summaries: Dict[Tuple[int, str], ErrorSummary], ctx, title: str) -> str:
+    headers = ["VF state"] + ["{} avg".format(s) for s in _SUITE_ORDER] + [
+        "{} sd".format(s) for s in _SUITE_ORDER
+    ]
+    rows = []
+    for vf in ctx.spec.vf_table:
+        row = ["VF{}".format(vf.index)]
+        row += [
+            format_percent(summaries[(vf.index, s)].average) for s in _SUITE_ORDER
+        ]
+        row += [
+            format_percent(summaries[(vf.index, s)].std_dev) for s in _SUITE_ORDER
+        ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_report(result: Fig2Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    parts = [
+        _panel(result.dynamic, ctx, "Figure 2(a): dynamic power model validation error"),
+        "Overall dynamic AAE: {}  (paper: 10.6%)".format(
+            format_percent(result.overall_dynamic)
+        ),
+        "Worst dynamic outlier: {} at {}  (paper: up to 49%)".format(
+            result.worst_dynamic[0], format_percent(result.worst_dynamic[1])
+        ),
+        "",
+        _panel(result.chip, ctx, "Figure 2(b): chip power model validation error"),
+        "Overall chip AAE: {}  (paper: 4.6%, SD 2.8%)".format(
+            format_percent(result.overall_chip)
+        ),
+        "Worst chip outlier: {} at {}".format(
+            result.worst_chip[0], format_percent(result.worst_chip[1])
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,149 @@
+"""Figure 3: power prediction error across all VF state pairs.
+
+For every ordered pair (VFi -> VFj) and every held-out combination:
+run at VFi, feed each interval through PPEP, and average the predicted
+power at VFj; compare against the *measured* average power of the same
+combination actually run at VFj.  The paper reports, per pair, the
+average and standard deviation of these per-combination errors.
+
+Paper reference values: dynamic power prediction error 5.5-13.7 % per
+pair, 8.3 % overall (SD 6.9 %); chip power 2.7-6.3 % per pair, 4.2 %
+overall (SD 3.6 %); errors grow with VF distance and are worst into
+VF1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Fig3Result", "run", "format_report"]
+
+
+@dataclass
+class Fig3Result:
+    """Per-(source, target) error summaries plus overall averages."""
+
+    #: (src index, tgt index) -> summary over combinations.
+    dynamic: Dict[Tuple[int, int], ErrorSummary]
+    chip: Dict[Tuple[int, int], ErrorSummary]
+    overall_dynamic: float
+    overall_chip: float
+
+
+def run(ctx: ExperimentContext) -> Fig3Result:
+    """Reproduce both panels of Figure 3."""
+    spec = ctx.spec
+    table = spec.vf_table
+    pair_dyn: Dict[Tuple[int, int], List[float]] = {
+        (s.index, t.index): [] for s in table for t in table
+    }
+    pair_chip: Dict[Tuple[int, int], List[float]] = {
+        (s.index, t.index): [] for s in table for t in table
+    }
+
+    for model, test_combos in ctx.fold_models():
+        for combo in test_combos:
+            # Measured reference averages at every target state.
+            measured_chip: Dict[int, float] = {}
+            measured_dyn: Dict[int, float] = {}
+            for vf in table:
+                trace = ctx.trace(combo, vf)
+                chip_vals = []
+                dyn_vals = []
+                for sample in trace:
+                    idle = model.idle_model.predict(vf.voltage, sample.temperature)
+                    chip_vals.append(sample.measured_power)
+                    dyn_vals.append(sample.measured_power - idle)
+                measured_chip[vf.index] = float(np.mean(chip_vals))
+                measured_dyn[vf.index] = float(np.mean(dyn_vals))
+
+            for src in table:
+                trace = ctx.trace(combo, src)
+                pred_chip = {t.index: [] for t in table}
+                pred_dyn = {t.index: [] for t in table}
+                for sample in trace:
+                    snapshot = model.analyze(sample)
+                    for tgt in table:
+                        p = snapshot.prediction(tgt)
+                        pred_chip[tgt.index].append(p.chip_power)
+                        pred_dyn[tgt.index].append(p.dynamic_power)
+                for tgt in table:
+                    pc = float(np.mean(pred_chip[tgt.index]))
+                    pd = float(np.mean(pred_dyn[tgt.index]))
+                    mc = measured_chip[tgt.index]
+                    md = measured_dyn[tgt.index]
+                    pair_chip[(src.index, tgt.index)].append(abs(pc - mc) / mc)
+                    if md > 0:
+                        pair_dyn[(src.index, tgt.index)].append(abs(pd - md) / md)
+
+    dynamic = {
+        pair: summarize_errors("VF{}->VF{}".format(*pair), errors)
+        for pair, errors in pair_dyn.items()
+        if errors
+    }
+    chip = {
+        pair: summarize_errors("VF{}->VF{}".format(*pair), errors)
+        for pair, errors in pair_chip.items()
+    }
+    return Fig3Result(
+        dynamic=dynamic,
+        chip=chip,
+        overall_dynamic=float(
+            np.mean([s.average for s in dynamic.values()])
+        ),
+        overall_chip=float(np.mean([s.average for s in chip.values()])),
+    )
+
+
+def _panel(
+    summaries: Dict[Tuple[int, int], ErrorSummary], ctx, title: str
+) -> str:
+    table = ctx.spec.vf_table
+    headers = ["src\\tgt"] + ["->VF{}".format(t.index) for t in table]
+    rows = []
+    for src in table:
+        row = ["VF{}".format(src.index)]
+        for tgt in table:
+            summary = summaries.get((src.index, tgt.index))
+            if summary is None:
+                row.append("-")
+            else:
+                row.append(
+                    "{} ({})".format(
+                        format_percent(summary.average),
+                        format_percent(summary.std_dev),
+                    )
+                )
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_report(result: Fig3Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    parts = [
+        _panel(
+            result.dynamic,
+            ctx,
+            "Figure 3(a): dynamic power prediction error across VF states (avg (sd))",
+        ),
+        "Overall dynamic prediction error: {}  (paper: 8.3%, SD 6.9%)".format(
+            format_percent(result.overall_dynamic)
+        ),
+        "",
+        _panel(
+            result.chip,
+            ctx,
+            "Figure 3(b): chip power prediction error across VF states (avg (sd))",
+        ),
+        "Overall chip prediction error: {}  (paper: 4.2%, SD 3.6%)".format(
+            format_percent(result.overall_chip)
+        ),
+    ]
+    return "\n".join(parts)

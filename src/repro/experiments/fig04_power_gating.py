@@ -1,0 +1,84 @@
+"""Figure 4: chip power vs. busy CUs with power gating on and off.
+
+Sweep 0..4 instances of the NB-quiet ``bench_A`` microbenchmark (one
+per CU) at each VF state, with power gating enabled and disabled, then
+derive the Section IV-D idle power decomposition from the bar gaps:
+
+- at k busy CUs (0 < k < 4) the PG gap is ``(4 - k) * P_idle(CU)``;
+- at 4 busy CUs the two bars coincide (nothing can be gated);
+- fully idle, the gap additionally includes the gated NB, and the PG-on
+  bar is the always-on base power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.core.power_gating import IdlePowerDecomposition, decompose_from_sweep
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Fig4Result", "run", "format_report"]
+
+
+@dataclass
+class Fig4Result:
+    """The sweep data and the derived decompositions."""
+
+    #: VF index -> (powers with PG off, powers with PG on), by busy CUs.
+    sweeps: Dict[int, Tuple[List[float], List[float]]]
+    #: VF index -> derived (P_idle(CU), P_idle(NB), P_idle(Base)).
+    decompositions: Dict[int, IdlePowerDecomposition]
+
+
+def run(ctx: ExperimentContext) -> Fig4Result:
+    """Run the Figure 4 busy-CU sweep at every VF state and derive
+    the Section IV-D idle power decomposition."""
+    sweeps: Dict[int, Tuple[List[float], List[float]]] = {}
+    decompositions: Dict[int, IdlePowerDecomposition] = {}
+    for vf in ctx.spec.vf_table:
+        pg_off, pg_on = ctx.trainer.collect_pg_sweep(vf)
+        sweeps[vf.index] = (pg_off, pg_on)
+        decompositions[vf.index] = decompose_from_sweep(
+            vf, pg_off, pg_on, ctx.spec.num_cus
+        )
+    return Fig4Result(sweeps=sweeps, decompositions=decompositions)
+
+
+def format_report(result: Fig4Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    num_cus = ctx.spec.num_cus
+    headers = (
+        ["VF state"]
+        + ["{}CU off/on (W)".format(k) for k in range(num_cus + 1)]
+    )
+    rows = []
+    for index in sorted(result.sweeps, reverse=True):
+        pg_off, pg_on = result.sweeps[index]
+        row = ["VF{}".format(index)]
+        row += [
+            "{:.1f}/{:.1f}".format(off, on) for off, on in zip(pg_off, pg_on)
+        ]
+        rows.append(row)
+    sweep_table = format_table(
+        headers, rows, title="Figure 4: chip power vs busy CUs (PG disabled/enabled)"
+    )
+
+    rows2 = []
+    for index in sorted(result.decompositions, reverse=True):
+        d = result.decompositions[index]
+        rows2.append(
+            [
+                "VF{}".format(index),
+                "{:.2f}".format(d.p_cu),
+                "{:.2f}".format(d.p_nb),
+                "{:.2f}".format(d.p_base),
+            ]
+        )
+    decomp_table = format_table(
+        ["VF state", "P_idle(CU)", "P_idle(NB)", "P_idle(Base)"],
+        rows2,
+        title="Derived idle power decomposition (Section IV-D)",
+    )
+    return "{}\n\n{}".format(sweep_table, decomp_table)

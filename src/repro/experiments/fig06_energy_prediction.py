@@ -1,0 +1,165 @@
+"""Figure 6: next-interval energy prediction error, PPEP vs Green
+Governors.
+
+Section V-A: the estimated chip energy of the current interval is used
+as the prediction for the next interval; the error combines model error
+with phase-change error.  PPEP's estimate comes from its counter-based
+chip power model; the Green Governors baseline prices aggregate IPC
+through a theoretical CV^2 f model with a static power table and no NB
+term.
+
+Paper reference values: PPEP 3.6 % average AAE at VF5 on the SPEC
+combinations (vs ~7 % for Green Governors); PPEP 3.3 / 3.7 / 4.0 /
+4.9 % at VF4..VF1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.core.ppep import PPEP, stable_seed
+from repro.dvfs.green_governors import (
+    GreenGovernorsModel,
+    aggregate_ipc,
+    fit_green_governors,
+)
+from repro.experiments.common import ExperimentContext
+from repro.hardware.platform import CoreAssignment, INTERVAL_S, Platform
+from repro.workloads.suites import BenchmarkCombination, Suite
+
+__all__ = ["Fig6Result", "run", "format_report"]
+
+
+@dataclass
+class Fig6Result:
+    """Per-combination AAEs for both predictors, plus per-VF averages."""
+
+    #: SPEC combination name -> PPEP next-interval energy AAE at VF5.
+    ppep_by_combo: Dict[str, float]
+    #: SPEC combination name -> Green Governors AAE at VF5.
+    gg_by_combo: Dict[str, float]
+    #: VF index -> PPEP average AAE (the VF4..VF1 text numbers).
+    ppep_by_vf: Dict[int, float]
+
+    @property
+    def ppep_average(self) -> float:
+        return float(np.mean(list(self.ppep_by_combo.values())))
+
+    @property
+    def gg_average(self) -> float:
+        return float(np.mean(list(self.gg_by_combo.values())))
+
+
+def _measure_static_table(ctx: ExperimentContext) -> Dict[int, float]:
+    """One idle power reading per VF state (Green Governors' table)."""
+    static: Dict[int, float] = {}
+    for vf in ctx.spec.vf_table:
+        platform = Platform(
+            ctx.spec,
+            seed=stable_seed(ctx.base_seed, "gg-static", vf.index),
+            power_gating=False,
+            initial_temperature=ctx.spec.ambient_temperature + 13.0,
+        )
+        platform.set_all_vf(vf)
+        platform.set_assignment(CoreAssignment.idle())
+        samples = platform.run(10)
+        static[vf.index] = float(np.mean([s.measured_power for s in samples[5:]]))
+    return static
+
+
+def _fit_gg_for_fold(
+    ctx: ExperimentContext,
+    static_table: Dict[int, float],
+    train: List[BenchmarkCombination],
+) -> GreenGovernorsModel:
+    vf5 = ctx.spec.vf_table.fastest
+    rows: List[Tuple[float, float, object]] = []
+    for combo in train:
+        for sample in ctx.trace(combo, vf5):
+            rows.append((aggregate_ipc(sample), sample.measured_power, vf5))
+    return fit_green_governors(static_table, rows)
+
+
+def _next_interval_errors(powers_est: List[float], energies_meas: List[float]) -> float:
+    """AAE of predicting interval i+1's energy from interval i's estimate."""
+    errors = []
+    for i in range(len(energies_meas) - 1):
+        predicted = powers_est[i] * INTERVAL_S
+        actual = energies_meas[i + 1]
+        errors.append(abs(predicted - actual) / actual)
+    return float(np.mean(errors))
+
+
+def run(ctx: ExperimentContext) -> Fig6Result:
+    """Reproduce Figure 6: next-interval energy prediction for PPEP
+    and the Green Governors baseline, per fold."""
+    static_table = _measure_static_table(ctx)
+    spec_combos = [c for c in ctx.roster if c.suite is Suite.SPEC]
+    vf5 = ctx.spec.vf_table.fastest
+
+    ppep_by_combo: Dict[str, float] = {}
+    gg_by_combo: Dict[str, float] = {}
+    per_vf: Dict[int, List[float]] = {vf.index: [] for vf in ctx.spec.vf_table}
+
+    for model, test_combos in ctx.fold_models():
+        test_names = {c.name for c in test_combos}
+        train = [c for c in ctx.roster if c.name not in test_names]
+        gg = _fit_gg_for_fold(ctx, static_table, train)
+        for combo in test_combos:
+            if combo.suite is not Suite.SPEC:
+                continue
+            for vf in ctx.spec.vf_table:
+                trace = ctx.trace(combo, vf)
+                est = [model.estimate_current(s) for s in trace]
+                meas = [s.measured_energy for s in trace]
+                aae = _next_interval_errors(est, meas)
+                per_vf[vf.index].append(aae)
+                if vf.index == vf5.index:
+                    ppep_by_combo[combo.name] = aae
+                    gg_est = [gg.estimate_from_sample(s) for s in trace]
+                    gg_by_combo[combo.name] = _next_interval_errors(gg_est, meas)
+
+    return Fig6Result(
+        ppep_by_combo=ppep_by_combo,
+        gg_by_combo=gg_by_combo,
+        ppep_by_vf={k: float(np.mean(v)) for k, v in per_vf.items() if v},
+    )
+
+
+def format_report(result: Fig6Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    rows = []
+    for name in sorted(result.ppep_by_combo):
+        rows.append(
+            [
+                name,
+                format_percent(result.ppep_by_combo[name]),
+                format_percent(result.gg_by_combo[name]),
+            ]
+        )
+    rows.append(
+        [
+            "AVG",
+            format_percent(result.ppep_average),
+            format_percent(result.gg_average),
+        ]
+    )
+    table = format_table(
+        ["SPEC combination", "PPEP", "Green Governors"],
+        rows,
+        title="Figure 6: next-interval energy prediction error at VF5",
+    )
+    vf_rows = " ".join(
+        "VF{}={}".format(i, format_percent(result.ppep_by_vf[i]))
+        for i in sorted(result.ppep_by_vf, reverse=True)
+    )
+    return (
+        "{}\n(paper: PPEP 3.6% vs Green Governors ~7%)\n"
+        "PPEP by VF state: {}\n(paper: 3.6/3.3/3.7/4.0/4.9% for VF5..VF1)".format(
+            table, vf_rows
+        )
+    )

@@ -1,0 +1,86 @@
+"""Figure 9: per-thread EDP vs. VF state and background instances.
+
+Paper observations: memory-bound programs have their best EDP running
+alone (NB contention hurts both E and D); CPU-bound programs improve
+EDP with more same-kind instances (static power sharing); and the
+EDP-optimal VF state shifts downward from VF5 as instances are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.formatting import format_table
+from repro.experiments.background_sweep import (
+    DEFAULT_COUNTS,
+    DEFAULT_PROGRAMS,
+    SweepData,
+    run_sweep,
+)
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Fig9Result", "run", "format_report"]
+
+
+@dataclass
+class Fig9Result:
+    """Normalised per-thread EDPs plus the best-EDP VF per column."""
+
+    normalized: Dict[Tuple[str, int, int], float]
+    best_vf: Dict[Tuple[str, int], int]
+    sweep: SweepData
+
+    def series(self, program: str, n: int) -> Dict[int, float]:
+        return {
+            vf: value
+            for (p, count, vf), value in self.normalized.items()
+            if p == program and count == n
+        }
+
+
+def run(ctx: ExperimentContext) -> Fig9Result:
+    """Reproduce Figure 9 from the shared background sweep."""
+    sweep = run_sweep(ctx)
+    normalized: Dict[Tuple[str, int, int], float] = {}
+    best_vf: Dict[Tuple[str, int], int] = {}
+    vf_top = ctx.spec.vf_table.fastest.index
+    for program in DEFAULT_PROGRAMS:
+        reference = sweep.cell(program, 1, vf_top).per_thread_edp
+        for n in DEFAULT_COUNTS:
+            edps = {}
+            for vf in ctx.spec.vf_table:
+                cell = sweep.cell(program, n, vf.index)
+                normalized[(program, n, vf.index)] = cell.per_thread_edp / reference
+                edps[vf.index] = cell.per_thread_edp
+            best_vf[(program, n)] = min(edps, key=edps.get)
+    return Fig9Result(normalized=normalized, best_vf=best_vf, sweep=sweep)
+
+
+def format_report(result: Fig9Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    parts = []
+    for program, label in (("433", "memory-bound 433.milc"), ("458", "CPU-bound 458.sjeng")):
+        headers = ["instances"] + [
+            "VF{}".format(vf.index) for vf in ctx.spec.vf_table
+        ] + ["best EDP"]
+        rows = []
+        for n in DEFAULT_COUNTS:
+            series = result.series(program, n)
+            rows.append(
+                ["x{}".format(n)]
+                + ["{:.2f}".format(series[vf.index]) for vf in ctx.spec.vf_table]
+                + ["VF{}".format(result.best_vf[(program, n)])]
+            )
+        parts.append(
+            format_table(
+                headers,
+                rows,
+                title="Figure 9: normalised per-thread EDP, {}".format(label),
+            )
+        )
+    parts.append(
+        "(paper: CPU-bound best EDP shifts from VF5 toward VF4 as "
+        "instances are added; memory-bound prefers running alone)"
+    )
+    return "\n\n".join(parts)

@@ -1,0 +1,80 @@
+"""Figure 10: north-bridge share of chip energy.
+
+PPEP's separate core and NB energy estimates, over the Figure 8 sweep.
+Paper reference values: the NB consumes ~60 % of total energy on
+average (minimum 45 %) for the memory-bound analog and ~25 % on average
+(minimum 10 %) for the CPU-bound one; the share grows when fewer CUs
+are busy and when the core VF state drops.
+
+The ratio excludes the always-on base power (``P_idle(Base)`` is
+neither core nor NB in the Section IV-D decomposition); DESIGN.md
+records this accounting choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.experiments.background_sweep import (
+    DEFAULT_COUNTS,
+    SweepData,
+    run_sweep,
+)
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Fig10Result", "run", "format_report"]
+
+
+@dataclass
+class Fig10Result:
+    """NB energy ratios keyed (program, instances, vf index)."""
+
+    ratios: Dict[Tuple[str, int, int], float]
+    sweep: SweepData
+
+    def stats(self, program: str) -> Tuple[float, float, float]:
+        """(average, minimum, maximum) NB ratio for one program."""
+        values = [v for (p, _n, _vf), v in self.ratios.items() if p == program]
+        return float(np.mean(values)), float(min(values)), float(max(values))
+
+
+def run(ctx: ExperimentContext) -> Fig10Result:
+    """Reproduce Figure 10 from the shared background sweep."""
+    sweep = run_sweep(ctx)
+    ratios = {
+        key: cell.nb_ratio for key, cell in sweep.cells.items()
+    }
+    return Fig10Result(ratios=ratios, sweep=sweep)
+
+
+def format_report(result: Fig10Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    parts = []
+    for program, label in (("433", "memory-bound 433.milc"), ("458", "CPU-bound 458.sjeng")):
+        headers = ["instances"] + ["VF{}".format(vf.index) for vf in ctx.spec.vf_table]
+        rows = []
+        for n in DEFAULT_COUNTS:
+            row = ["x{}".format(n)]
+            for vf in ctx.spec.vf_table:
+                row.append(format_percent(result.ratios[(program, n, vf.index)]))
+            rows.append(row)
+        avg, lo, hi = result.stats(program)
+        parts.append(
+            format_table(
+                headers,
+                rows,
+                title="Figure 10: NB energy share, {}".format(label),
+            )
+            + "\naverage {}  min {}  max {}".format(
+                format_percent(avg), format_percent(lo), format_percent(hi)
+            )
+        )
+    parts.append(
+        "(paper: memory-bound avg 60% / min 45%; CPU-bound avg 25% / min 10%; "
+        "share grows at low VF and with fewer busy CUs)"
+    )
+    return "\n\n".join(parts)

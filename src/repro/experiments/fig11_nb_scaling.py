@@ -1,0 +1,141 @@
+"""Figure 11: energy savings and speedup from a scalable north bridge.
+
+Applies the Section V-C2 what-if model (NB ``VF_lo``: idle -40 %,
+dynamic -36 %, leading-load cycles +50 %) to the Figure 8-10 sweep
+data, then validates one projected point against the simulator actually
+running its NB at ``VF_lo``.
+
+Paper reference values: energy savings 26/23/21/20 % for 433.milc
+x1..x4 and 25/19/16/14 % for 458.sjeng (average 20.4 %); iso-energy
+speedups 1.54/1.30/1.27/1.25 and 1.99/1.19/1.19/1.20 (average 1.37x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.dvfs.nb_scaling import NBScalingModel, NBScalingOutcome, PerVFRunData
+from repro.experiments.background_sweep import (
+    DEFAULT_COUNTS,
+    DEFAULT_PROGRAMS,
+    run_sweep,
+)
+from repro.experiments.common import ExperimentContext
+from repro.hardware.vfstates import NB_VF_LO
+from repro.workloads.suites import spec_program
+
+__all__ = ["Fig11Result", "run", "format_report"]
+
+
+@dataclass
+class Fig11Result:
+    """Per-(program, instances) outcomes plus the validation point."""
+
+    outcomes: Dict[Tuple[str, int], NBScalingOutcome]
+    #: (projected energy, simulated energy) for the validation run, or
+    #: ``None`` when validation was skipped.
+    validation: Optional[Tuple[float, float]]
+
+    @property
+    def average_saving(self) -> float:
+        return float(np.mean([o.energy_saving for o in self.outcomes.values()]))
+
+    @property
+    def average_speedup(self) -> float:
+        return float(np.mean([o.speedup for o in self.outcomes.values()]))
+
+
+def run(ctx: ExperimentContext, validate: bool = True) -> Fig11Result:
+    """Reproduce Figure 11 by applying the VF_lo what-if to the
+    background sweep, optionally validating one point against the
+    simulator genuinely running NB_lo."""
+    sweep = run_sweep(ctx)
+    model = NBScalingModel()
+    outcomes: Dict[Tuple[str, int], NBScalingOutcome] = {}
+
+    for program in DEFAULT_PROGRAMS:
+        for n in DEFAULT_COUNTS:
+            runs = []
+            for vf in ctx.spec.vf_table:
+                cell = sweep.cell(program, n, vf.index)
+                time_s = cell.run.time_s
+                runs.append(
+                    PerVFRunData(
+                        vf_index=vf.index,
+                        time_s=time_s,
+                        core_power=(cell.core_energy + cell.base_energy) / time_s,
+                        nb_idle_power=cell.nb_idle_energy / time_s,
+                        nb_dynamic_energy=cell.nb_dynamic_energy,
+                        memory_share=cell.memory_share,
+                    )
+                )
+            outcomes[(program, n)] = model.evaluate(runs)
+
+    validation = None
+    if validate:
+        # Project (433 x1, core VF1, NB_lo) and compare against the
+        # simulator genuinely running its NB at VF_lo.
+        cell = sweep.cell("433", 1, ctx.spec.vf_table.slowest.index)
+        projected = model.project(
+            PerVFRunData(
+                vf_index=cell.vf_index,
+                time_s=cell.run.time_s,
+                core_power=(cell.core_energy + cell.base_energy) / cell.run.time_s,
+                nb_idle_power=cell.nb_idle_energy / cell.run.time_s,
+                nb_dynamic_energy=cell.nb_dynamic_energy,
+                memory_share=cell.memory_share,
+            ),
+            nb_low=True,
+        )
+        actual = ctx.run_fixed_work(
+            spec_program("433"),
+            1,
+            ctx.spec.vf_table.slowest,
+            power_gating=True,
+            nb_vf=NB_VF_LO,
+        )
+        validation = (projected.energy, actual.chip_energy)
+
+    return Fig11Result(outcomes=outcomes, validation=validation)
+
+
+def format_report(result: Fig11Result, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    headers = ["run mode", "energy saving", "speedup"]
+    rows = []
+    for program in DEFAULT_PROGRAMS:
+        for n in DEFAULT_COUNTS:
+            outcome = result.outcomes.get((program, n))
+            if outcome is None:
+                continue
+            rows.append(
+                [
+                    "{}x{}".format(program, n),
+                    format_percent(outcome.energy_saving),
+                    "{:.2f}x".format(outcome.speedup),
+                ]
+            )
+    rows.append(
+        [
+            "AVERAGE",
+            format_percent(result.average_saving),
+            "{:.2f}x".format(result.average_speedup),
+        ]
+    )
+    table = format_table(
+        headers, rows, title="Figure 11: NB VF scaling, energy saving and iso-energy speedup"
+    )
+    lines = [table, "(paper: average 20.4% saving, 1.37x speedup)"]
+    if result.validation is not None:
+        projected, actual = result.validation
+        lines.append(
+            "Validation vs simulated NB_lo (433x1 @ core VF1): projected "
+            "{:.0f} J, simulated {:.0f} J ({:+.1%})".format(
+                projected, actual, (projected - actual) / actual
+            )
+        )
+    return "\n".join(lines)

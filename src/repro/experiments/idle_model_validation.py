@@ -1,0 +1,62 @@
+"""Section IV-A: idle power model accuracy per VF state.
+
+The Eq. 2 model is fitted on one set of cool-down traces and validated
+on an *independent* set (different measurement noise, different thermal
+trajectory).  Paper reference values on the FX-8320: AAE of 2 / 3 / 4 /
+3 / 3 % for VF5 down to VF1 (and 2-3 % on the Phenom II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.formatting import format_percent, format_table
+from repro.core.idle_power import validate_idle_model
+from repro.core.ppep import PPEPTrainer
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["IdleValidationResult", "run", "format_report"]
+
+
+@dataclass
+class IdleValidationResult:
+    """Per-VF-state AAE of the idle model on held-out cool-downs."""
+
+    aae_by_vf: Dict[int, float]
+
+    @property
+    def average(self) -> float:
+        return sum(self.aae_by_vf.values()) / len(self.aae_by_vf)
+
+
+def run(ctx: ExperimentContext) -> IdleValidationResult:
+    """Validate the idle model on independently collected cool-downs."""
+    model = ctx.idle_model  # fitted on the trainer's own cooling traces
+    # Validation traces come from a trainer with a different base seed:
+    # same procedure, independent noise and trajectory.
+    val_trainer = PPEPTrainer(
+        ctx.spec,
+        base_seed=ctx.base_seed + 7777,
+        cool_intervals=ctx.trainer.COOL_INTERVALS,
+    )
+    aae: Dict[int, float] = {}
+    for vf in ctx.spec.vf_table:
+        temperatures, powers = val_trainer.collect_cooling(vf)
+        aae[vf.index] = validate_idle_model(model, vf.voltage, temperatures, powers)
+    return IdleValidationResult(aae_by_vf=aae)
+
+
+def format_report(result: IdleValidationResult, ctx: ExperimentContext) -> str:
+    """Render the result as the rows/series the paper reports."""
+    rows = [
+        ["VF{}".format(index), format_percent(result.aae_by_vf[index])]
+        for index in sorted(result.aae_by_vf, reverse=True)
+    ]
+    rows.append(["average", format_percent(result.average)])
+    table = format_table(
+        ["VF state", "idle model AAE"],
+        rows,
+        title="Section IV-A: chip idle power model validation",
+    )
+    return "{}\n(paper: 2/3/4/3/3% for VF5..VF1)".format(table)

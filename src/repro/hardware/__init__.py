@@ -1,0 +1,73 @@
+"""Simulated AMD-FX-8320-class hardware platform.
+
+This subpackage is the *substrate* of the reproduction: the paper measured
+real AMD processors through a Hall-effect current sensor, a socket thermal
+diode, and time-multiplexed performance counters.  None of that hardware is
+available here, so :mod:`repro.hardware` provides an interval-level
+simulation of the same measurement surface:
+
+- :mod:`repro.hardware.events` -- the twelve hardware events of Table I;
+- :mod:`repro.hardware.vfstates` -- voltage/frequency state tables;
+- :mod:`repro.hardware.microarch` -- chip topology and ground-truth
+  physical parameters (:class:`~repro.hardware.microarch.ChipSpec`);
+- :mod:`repro.hardware.northbridge` -- shared north-bridge model with
+  bandwidth contention;
+- :mod:`repro.hardware.core_model` -- per-core execution of workload
+  phases at a given VF state;
+- :mod:`repro.hardware.power` -- the ground-truth power model (leakage,
+  active idle, per-event dynamic energy, NB power, power gating);
+- :mod:`repro.hardware.thermal` -- lumped RC thermal model;
+- :mod:`repro.hardware.sensor` -- the noisy 20 ms power measurement
+  channel;
+- :mod:`repro.hardware.counters` -- six-counter multiplexing over the
+  twelve events;
+- :mod:`repro.hardware.platform` -- the top-level stepping simulator that
+  produces 200 ms interval samples, exactly what PPEP consumes.
+
+The ground truth is deliberately *richer* than the models PPEP fits
+(exponential leakage, unmodelled activity, measurement noise, bandwidth-
+dependent counter distortion) so that the reproduction exhibits realistic,
+non-zero model errors with the same structure the paper reports.
+"""
+
+from repro.hardware.events import (
+    Event,
+    EventVector,
+    DYNAMIC_POWER_EVENTS,
+    PERFORMANCE_EVENTS,
+    CORE_PRIVATE_EVENTS,
+    VOLTAGE_SCALED_EVENTS,
+    NB_PROXY_EVENTS,
+)
+from repro.hardware.vfstates import (
+    VFState,
+    VFTable,
+    FX8320_VF_TABLE,
+    PHENOM_II_VF_TABLE,
+    NB_VF_HI,
+    NB_VF_LO,
+)
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC, PHENOM_II_SPEC
+from repro.hardware.platform import Platform, CoreAssignment, IntervalSample
+
+__all__ = [
+    "Event",
+    "EventVector",
+    "DYNAMIC_POWER_EVENTS",
+    "PERFORMANCE_EVENTS",
+    "CORE_PRIVATE_EVENTS",
+    "VOLTAGE_SCALED_EVENTS",
+    "NB_PROXY_EVENTS",
+    "VFState",
+    "VFTable",
+    "FX8320_VF_TABLE",
+    "PHENOM_II_VF_TABLE",
+    "NB_VF_HI",
+    "NB_VF_LO",
+    "ChipSpec",
+    "FX8320_SPEC",
+    "PHENOM_II_SPEC",
+    "Platform",
+    "CoreAssignment",
+    "IntervalSample",
+]

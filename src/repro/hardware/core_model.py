@@ -1,0 +1,328 @@
+"""Per-core execution of workload phases.
+
+:class:`CoreRuntime` advances one core's workload through simulated time
+at a given VF state, producing ground-truth event counts and activity
+rates per 20 ms sub-slice.  The performance model is the leading-loads
+decomposition the paper builds on (Section III):
+
+    CPI(f) = ccpi + mem_ns_eff * f
+
+where ``mem_ns_eff`` is the phase's exposed memory time per instruction,
+stretched by the north bridge's frequency multiplier and the shared
+contention multiplier for this sub-slice.
+
+Ground truth deliberately deviates from PPEP's idealisations in measured,
+paper-calibrated ways:
+
+- per-instruction event rates (E1-E8) carry a small deterministic
+  VF-dependent deviation, so Observation 1 holds only approximately
+  (the paper measures 0.6-5 % deltas between VF5 and VF2);
+- the Observation 2 gap ``CPI - DispatchStalls/inst`` carries its own
+  small VF-dependent deviation (paper: 1.7 %);
+- the MAB-wait counter over-reports under bandwidth pressure (the
+  leading-load approximation error the paper cites from Miftakhutdinov
+  et al.).
+
+The deviations are *deterministic* functions of (workload, phase, event,
+VF index) -- they model microarchitectural physics, not sampling noise,
+so repeated runs at the same VF state reproduce identical rates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.events import Event, EventVector, NUM_EVENTS
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.northbridge import NorthBridge
+from repro.hardware.power import CoreActivity
+from repro.hardware.vfstates import VFState
+from repro.workloads.phases import Workload, WorkloadPhase
+
+__all__ = ["CoreRuntime", "SliceResult", "deterministic_unit"]
+
+
+def deterministic_unit(key: str) -> float:
+    """A reproducible pseudo-random value in [-1, 1) derived from ``key``.
+
+    Used for the VF-dependent physical deviations: the same (workload,
+    phase, event, VF) always maps to the same deviation, across runs and
+    processes (the hash is content-based, not ``hash()``-based).
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    (value,) = struct.unpack("<Q", digest)
+    return (value / 2 ** 64) * 2.0 - 1.0
+
+
+@dataclass
+class SliceResult:
+    """Ground truth produced by one core over one 20 ms sub-slice."""
+
+    events: EventVector
+    activity: CoreActivity
+    instructions: float
+    busy: bool
+
+
+# Events whose rates deviate more strongly across VF states: cache-side
+# behaviour is more sensitive to timing than retirement-side counts (the
+# paper's largest Observation 1 delta, 5.0 %, is a cache event).
+_HIGH_JITTER_EVENTS = frozenset(
+    {Event.DC_ACCESSES, Event.L2_REQUESTS, Event.L2_MISSES}
+)
+
+# Dense indices used in the hot loop.
+_DISPATCH_STALLS = int(Event.DISPATCH_STALLS)
+_CLOCKS = int(Event.CPU_CLOCKS_NOT_HALTED)
+_INSTRUCTIONS = int(Event.RETIRED_INSTRUCTIONS)
+_MAB_WAIT = int(Event.MAB_WAIT_CYCLES)
+
+_OBS1_EVENT_RATES: Tuple[Tuple[Event, str], ...] = (
+    (Event.RETIRED_UOPS, "uops_per_inst"),
+    (Event.FPU_PIPE_ASSIGNMENT, "fpu_per_inst"),
+    (Event.IC_FETCHES, "ic_fetch_per_inst"),
+    (Event.DC_ACCESSES, "dc_access_per_inst"),
+    (Event.L2_REQUESTS, "l2_request_per_inst"),
+    (Event.RETIRED_BRANCHES, "branch_per_inst"),
+    (Event.RETIRED_MISP_BRANCHES, "mispredict_per_inst"),
+    (Event.L2_MISSES, "l2_miss_per_inst"),
+)
+
+
+class CoreRuntime:
+    """Execution state of one core."""
+
+    def __init__(self, spec: ChipSpec, core_id: int) -> None:
+        self.spec = spec
+        self.core_id = core_id
+        self.workload: Optional[Workload] = None
+        self.instructions_done = 0.0
+        self.finished = False
+        self.completion_time: Optional[float] = None
+        # Phase position is tracked explicitly (index + instructions into
+        # the phase) rather than derived from instructions_done: at ~1e10
+        # retired instructions the float epsilon exceeds small phase
+        # remainders and a modulo-based position would stop advancing.
+        self._phase_index = 0
+        self._inst_into_phase = 0.0
+        self._phase_rate_cache: Dict[Tuple[int, int, int], float] = {}
+
+    # -- workload management -------------------------------------------------
+
+    def assign(self, workload: Optional[Workload]) -> None:
+        """Pin ``workload`` to this core (``None`` leaves the core idle)."""
+        self.workload = workload
+        self.instructions_done = 0.0
+        self.finished = False
+        self.completion_time = None
+        self._phase_index = 0
+        self._inst_into_phase = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.workload is not None and not self.finished
+
+    def export_state(self):
+        """Snapshot of the execution state, for thread migration."""
+        return (
+            self.workload,
+            self.instructions_done,
+            self.finished,
+            self.completion_time,
+            self._phase_index,
+            self._inst_into_phase,
+        )
+
+    def import_state(self, state) -> None:
+        """Adopt another core's execution state (thread migration).
+
+        The per-(phase, VF) parameter cache is intentionally *not*
+        carried over: its deterministic deviations are keyed by workload
+        and phase, so the destination core regenerates identical values.
+        """
+        (
+            self.workload,
+            self.instructions_done,
+            self.finished,
+            self.completion_time,
+            self._phase_index,
+            self._inst_into_phase,
+        ) = state
+
+    def current_phase(self) -> Optional[WorkloadPhase]:
+        if not self.busy:
+            return None
+        return self.workload.phases[self._phase_index]
+
+    def _advance_past_exhausted_phases(self) -> WorkloadPhase:
+        """Move to the next phase when the current one is (numerically)
+        exhausted, wrapping around the phase list."""
+        phases = self.workload.phases
+        phase = phases[self._phase_index]
+        # Relative epsilon: remainders smaller than this are consumed by
+        # float cancellation anyway and must not stall progress.
+        while phase.instructions - self._inst_into_phase <= 1e-6 * phase.instructions:
+            self._phase_index = (self._phase_index + 1) % len(phases)
+            self._inst_into_phase = 0.0
+            phase = phases[self._phase_index]
+        return phase
+
+    # -- VF-dependent physical deviations -------------------------------------
+
+    def _phase_params(self, phase: WorkloadPhase, vf: VFState):
+        """Cached per-(phase, VF) ground-truth parameters.
+
+        Returns ``(rates8, gap)``: the eight Observation 1 event rates
+        per instruction (with their deterministic VF-dependent
+        deviations applied) and the Observation 2 gap (Eq. 6 with its
+        own deviation).
+        """
+        key = (id(phase), vf.index)
+        cached = self._phase_rate_cache.get(key)
+        if cached is not None:
+            return cached
+        wl_name = self.workload.name if self.workload is not None else "?"
+        rates8 = []
+        for event, attr in _OBS1_EVENT_RATES:
+            sigma = self.spec.event_rate_jitter
+            if event in _HIGH_JITTER_EVENTS:
+                sigma *= 2.0
+            deviation = deterministic_unit(
+                "{}|{}|{}|vf{}".format(wl_name, phase.name, event.paper_id, vf.index)
+            )
+            rates8.append(max(getattr(phase, attr) * (1.0 + sigma * deviation), 0.0))
+        gap_base = (
+            phase.retire_cpi
+            + self.spec.mispredict_penalty * phase.mispredict_per_inst
+        )
+        gap_dev = deterministic_unit(
+            "{}|{}|obs2|vf{}".format(wl_name, phase.name, vf.index)
+        )
+        gap = gap_base * (1.0 + self.spec.obs2_jitter * gap_dev)
+        params = (tuple(rates8), gap)
+        self._phase_rate_cache[key] = params
+        return params
+
+    # -- bandwidth demand (for the contention fixed point) ----------------------
+
+    def bandwidth_demand(
+        self, vf: VFState, nb: NorthBridge, contention: float
+    ) -> float:
+        """DRAM bytes/s this core would consume at the given contention."""
+        phase = self.current_phase()
+        if phase is None:
+            return 0.0
+        mem_ns = phase.mem_ns * nb.memory_time_multiplier()
+        cpi = phase.ccpi + mem_ns * contention * vf.frequency_ghz
+        inst_per_s = vf.frequency_ghz * 1e9 / cpi
+        return inst_per_s * phase.bytes_per_inst(self.spec.line_size)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_slice(
+        self,
+        dt: float,
+        vf: VFState,
+        nb: NorthBridge,
+        contention: float,
+        utilisation: float,
+        now: float,
+    ) -> SliceResult:
+        """Execute ``dt`` seconds of wall-clock time on this core.
+
+        ``contention`` is the resolved NB latency multiplier for this
+        sub-slice, ``utilisation`` the resolved bandwidth utilisation
+        (used only to distort the MAB-wait counter), and ``now`` the
+        simulation clock at the *start* of the slice (used to record
+        completion times).
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if not self.busy:
+            return SliceResult(
+                events=EventVector.zeros(),
+                activity=CoreActivity(),
+                instructions=0.0,
+                busy=False,
+            )
+
+        counts = [0.0] * NUM_EVENTS
+        total_inst = 0.0
+        budget = dt
+        nb_mult = nb.memory_time_multiplier()
+        mab_distortion = nb.mab_distortion(utilisation)
+        f = vf.frequency_ghz
+        cycles_per_s = f * 1e9
+
+        while budget > 1e-9 * dt and self.busy:
+            phase = self._advance_past_exhausted_phases()
+            mem_ns_eff = phase.mem_ns * nb_mult * contention
+            cpi = phase.ccpi + mem_ns_eff * f
+            inst_possible = cycles_per_s * budget / cpi
+
+            remaining_in_phase = phase.instructions - self._inst_into_phase
+            remaining_total = self._instructions_left_total()
+            inst = min(inst_possible, remaining_in_phase, remaining_total)
+            time_used = inst * cpi / cycles_per_s
+
+            if inst > 0.0:
+                rates8, gap = self._phase_params(phase, vf)
+                for i in range(8):
+                    counts[i] += rates8[i] * inst
+                counts[_DISPATCH_STALLS] += max(cpi - gap, 0.0) * inst
+                counts[_CLOCKS] += cpi * inst
+                counts[_INSTRUCTIONS] += inst
+                counts[_MAB_WAIT] += mem_ns_eff * f * inst * mab_distortion
+
+            total_inst += inst
+            self.instructions_done += inst
+            self._inst_into_phase += inst
+            budget -= time_used
+
+            if self.workload.is_finished(self.instructions_done):
+                self.finished = True
+                self.completion_time = now + (dt - budget)
+
+        events = EventVector(counts)
+        activity = self._activity_from_events(events, dt, vf)
+        return SliceResult(
+            events=events, activity=activity, instructions=total_inst, busy=True
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _instructions_left_total(self) -> float:
+        if self.workload.total_instructions is None:
+            return float("inf")
+        return max(self.workload.total_instructions - self.instructions_done, 0.0)
+
+    def _activity_from_events(
+        self, events: EventVector, dt: float, vf: VFState
+    ) -> CoreActivity:
+        """Ground-truth per-second activity rates for the power model."""
+        phase = (
+            self.workload.phases[self._phase_index]
+            if self.workload is not None
+            else None
+        )
+        l3 = events[Event.L2_MISSES]
+        l3_miss_ratio = phase.l3_miss_ratio if phase is not None else 0.5
+        hidden_rate = phase.hidden_per_inst if phase is not None else 0.0
+        inst = events[Event.RETIRED_INSTRUCTIONS]
+        return CoreActivity(
+            busy=True,
+            uops=events[Event.RETIRED_UOPS] / dt,
+            fpu_ops=events[Event.FPU_PIPE_ASSIGNMENT] / dt,
+            ic_fetches=events[Event.IC_FETCHES] / dt,
+            dc_accesses=events[Event.DC_ACCESSES] / dt,
+            l2_requests=events[Event.L2_REQUESTS] / dt,
+            branches=events[Event.RETIRED_BRANCHES] / dt,
+            mispredicts=events[Event.RETIRED_MISP_BRANCHES] / dt,
+            l3_accesses=l3 / dt,
+            dram_accesses=l3 * l3_miss_ratio / dt,
+            hidden=hidden_rate * inst / dt,
+            toggle=phase.toggle_factor if phase is not None else 1.0,
+        )

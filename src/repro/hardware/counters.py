@@ -1,0 +1,118 @@
+"""Performance-counter multiplexing.
+
+The FX-8320 exposes six programmable counters per core but PPEP needs
+twelve events (Table I), so the paper time-multiplexes them.  The paper
+explicitly attributes part of its validation error to this multiplexing
+("these benchmarks have rapid phase changes, which may cause errors
+because of our performance counter multiplexing"), so the mechanism must
+be reproduced rather than idealised away.
+
+We model the natural scheme: the twelve events are split into two groups
+of six; within each 200 ms interval the ten 20 ms sub-slices alternate
+between the groups (A, B, A, B, ...), and each group's count is
+extrapolated to the full interval by the fraction of time it was
+scheduled.  When the program is stationary within the interval the
+extrapolation is exact (up to nothing -- there is no counting noise);
+when a phase boundary falls inside the interval, each group sees a
+different mix of phases and the extrapolated counts disagree with the
+true counts -- exactly the rapid-phase error mode the paper describes.
+
+The group split keeps each *ratio* PPEP computes within one group where
+possible: the CPI inputs E10/E11/E12 share group B, so CPI and MCPI are
+internally consistent even when extrapolation is off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hardware.events import Event, EventVector, NUM_EVENTS
+
+__all__ = ["CounterUnit", "GROUP_A", "GROUP_B"]
+
+#: Group A: six of the nine power-model events.
+GROUP_A: Sequence[Event] = (
+    Event.RETIRED_UOPS,
+    Event.FPU_PIPE_ASSIGNMENT,
+    Event.IC_FETCHES,
+    Event.DC_ACCESSES,
+    Event.L2_REQUESTS,
+    Event.RETIRED_BRANCHES,
+)
+
+#: Group B: the remaining power events plus the CPI-predictor events.
+GROUP_B: Sequence[Event] = (
+    Event.RETIRED_MISP_BRANCHES,
+    Event.L2_MISSES,
+    Event.DISPATCH_STALLS,
+    Event.CPU_CLOCKS_NOT_HALTED,
+    Event.RETIRED_INSTRUCTIONS,
+    Event.MAB_WAIT_CYCLES,
+)
+
+
+class CounterUnit:
+    """Per-core counter multiplexer accumulating one 200 ms interval."""
+
+    NUM_HARDWARE_COUNTERS = 6
+
+    def __init__(self) -> None:
+        if len(GROUP_A) > self.NUM_HARDWARE_COUNTERS:
+            raise ValueError("group A exceeds the hardware counter budget")
+        if len(GROUP_B) > self.NUM_HARDWARE_COUNTERS:
+            raise ValueError("group B exceeds the hardware counter budget")
+        self._group_counts: List[List[float]] = [
+            [0.0] * NUM_EVENTS,
+            [0.0] * NUM_EVENTS,
+        ]
+        self._group_slices = [0, 0]
+        self._slice_index = 0
+
+    @staticmethod
+    def group_of_slice(slice_index: int) -> int:
+        """Which event group is scheduled during sub-slice ``slice_index``."""
+        return slice_index % 2
+
+    def observe_slice(self, true_counts: EventVector) -> None:
+        """Feed the true event counts of one 20 ms sub-slice.
+
+        Only the currently scheduled group's events are recorded; the
+        other six events are invisible during this slice, as on real
+        hardware.
+        """
+        group = self.group_of_slice(self._slice_index)
+        events = GROUP_A if group == 0 else GROUP_B
+        bucket = self._group_counts[group]
+        for event in events:
+            bucket[int(event)] += true_counts[event]
+        self._group_slices[group] += 1
+        self._slice_index += 1
+
+    def read_interval(self, total_slices: int = None) -> EventVector:
+        """Extrapolated full-interval counts, then reset for the next one.
+
+        Each group's accumulated counts are scaled by
+        ``total_slices / slices_scheduled`` -- the extrapolation the
+        kernel's multiplexing logic performs.
+        """
+        if total_slices is None:
+            total_slices = self._slice_index
+        if total_slices <= 0:
+            raise ValueError("cannot read an empty interval")
+        estimate = EventVector.zeros()
+        for group, events in ((0, GROUP_A), (1, GROUP_B)):
+            scheduled = self._group_slices[group]
+            if scheduled == 0:
+                continue  # group never ran; its events read zero
+            scale = total_slices / scheduled
+            bucket = self._group_counts[group]
+            for event in events:
+                estimate[event] = bucket[int(event)] * scale
+        self.reset()
+        return estimate
+
+    def reset(self) -> None:
+        """Clear accumulated state (start of a new interval)."""
+        self._group_counts = [[0.0] * NUM_EVENTS, [0.0] * NUM_EVENTS]
+        self._group_slices = [0, 0]
+        self._slice_index = 0

@@ -1,0 +1,279 @@
+"""Hardware performance events (Table I of the paper).
+
+The paper selects twelve events on the AMD FX-8320: nine (E1-E9) feed the
+dynamic power model of Eq. 3, three (E10-E12) feed the LL-MAB CPI
+predictor of Eq. 1.  This module defines those events, the roles the paper
+assigns them, and a small fixed-size container (:class:`EventVector`) used
+throughout the simulator and the PPEP models.
+
+Event roles, following Sections III and IV:
+
+- *voltage scaled* (E1-E7): core events whose regression weights are
+  scaled by ``(Vn/V5)**alpha`` when evaluating Eq. 3 at a VF state other
+  than the training state;
+- *NB proxies* (E8 ``L2 Cache Misses`` and E9 ``Dispatch Stalls``): stand
+  in for north-bridge activity attributable to a core; their weights are
+  **not** voltage scaled because the NB voltage is held constant;
+- *core private* (E1-E8): events whose per-instruction counts are
+  VF-invariant (Observation 1);
+- E9 is predicted across VF states through Observation 2
+  (``CPI - DispatchStalls/inst`` is VF-invariant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+__all__ = [
+    "Event",
+    "EventInfo",
+    "EventVector",
+    "EVENT_TABLE",
+    "NUM_EVENTS",
+    "DYNAMIC_POWER_EVENTS",
+    "PERFORMANCE_EVENTS",
+    "CORE_PRIVATE_EVENTS",
+    "VOLTAGE_SCALED_EVENTS",
+    "NB_PROXY_EVENTS",
+]
+
+
+class Event(enum.IntEnum):
+    """The twelve hardware events of Table I.
+
+    The integer value of each member is a dense index (0-11) used to
+    address :class:`EventVector` storage; the paper's E-number is
+    ``index + 1``.
+    """
+
+    RETIRED_UOPS = 0
+    FPU_PIPE_ASSIGNMENT = 1
+    IC_FETCHES = 2
+    DC_ACCESSES = 3
+    L2_REQUESTS = 4
+    RETIRED_BRANCHES = 5
+    RETIRED_MISP_BRANCHES = 6
+    L2_MISSES = 7
+    DISPATCH_STALLS = 8
+    CPU_CLOCKS_NOT_HALTED = 9
+    RETIRED_INSTRUCTIONS = 10
+    MAB_WAIT_CYCLES = 11
+
+    @property
+    def paper_id(self) -> str:
+        """The paper's event identifier, ``"E1"`` through ``"E12"``."""
+        return "E{}".format(int(self) + 1)
+
+    @property
+    def info(self) -> "EventInfo":
+        """Static metadata (PMC code and human-readable name)."""
+        return EVENT_TABLE[int(self)]
+
+
+@dataclass(frozen=True)
+class EventInfo:
+    """Static description of one Table I row."""
+
+    event: "Event"
+    pmc_code: str
+    name: str
+
+    @property
+    def paper_id(self) -> str:
+        return self.event.paper_id
+
+
+EVENT_TABLE: Sequence[EventInfo] = (
+    EventInfo(Event.RETIRED_UOPS, "PMCx0c1", "Retired UOP"),
+    EventInfo(Event.FPU_PIPE_ASSIGNMENT, "PMCx000", "FPU Pipe Assignment"),
+    EventInfo(Event.IC_FETCHES, "PMCx080", "Instruction Cache Fetches"),
+    EventInfo(Event.DC_ACCESSES, "PMCx040", "Data Cache Accesses"),
+    EventInfo(Event.L2_REQUESTS, "PMCx07d", "Request To L2 Cache"),
+    EventInfo(Event.RETIRED_BRANCHES, "PMCx0c2", "Retired Branch Instructions"),
+    EventInfo(
+        Event.RETIRED_MISP_BRANCHES,
+        "PMCx0c3",
+        "Retired Mispredicted Branch Instructions",
+    ),
+    EventInfo(Event.L2_MISSES, "PMCx07e", "L2 Cache Misses"),
+    EventInfo(Event.DISPATCH_STALLS, "PMCx0d1", "Dispatch Stalls"),
+    EventInfo(Event.CPU_CLOCKS_NOT_HALTED, "PMCx076", "CPU Clocks not Halted"),
+    EventInfo(Event.RETIRED_INSTRUCTIONS, "PMCx0c0", "Retired Instructions"),
+    EventInfo(Event.MAB_WAIT_CYCLES, "PMCx069", "MAB Wait Cycles"),
+)
+
+NUM_EVENTS: int = len(EVENT_TABLE)
+
+#: Events E1-E9: inputs of the dynamic power model (Eq. 3).
+DYNAMIC_POWER_EVENTS: Sequence[Event] = tuple(Event(i) for i in range(9))
+
+#: Events E10-E12: inputs of the CPI predictor (Eq. 1).
+PERFORMANCE_EVENTS: Sequence[Event] = (
+    Event.CPU_CLOCKS_NOT_HALTED,
+    Event.RETIRED_INSTRUCTIONS,
+    Event.MAB_WAIT_CYCLES,
+)
+
+#: Events E1-E8: per-instruction counts are VF-invariant (Observation 1).
+CORE_PRIVATE_EVENTS: Sequence[Event] = tuple(Event(i) for i in range(8))
+
+#: Events E1-E7: regression weights scaled by (Vn/V5)^alpha in Eq. 3.
+VOLTAGE_SCALED_EVENTS: Sequence[Event] = tuple(Event(i) for i in range(7))
+
+#: Events E8-E9: per-core proxies for shared north-bridge activity.
+NB_PROXY_EVENTS: Sequence[Event] = (Event.L2_MISSES, Event.DISPATCH_STALLS)
+
+
+class EventVector:
+    """A dense vector of per-event counts (or rates).
+
+    A thin, fixed-size container indexed by :class:`Event`.  It supports
+    the handful of arithmetic operations the models need (addition,
+    scaling, per-instruction normalisation) without pulling numpy into the
+    hot simulation loop, where plain Python floats are faster at this
+    size.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        vals = list(values)
+        if not vals:
+            vals = [0.0] * NUM_EVENTS
+        if len(vals) != NUM_EVENTS:
+            raise ValueError(
+                "EventVector needs {} values, got {}".format(NUM_EVENTS, len(vals))
+            )
+        self._values: List[float] = [float(v) for v in vals]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def zeros(cls) -> "EventVector":
+        """A vector of twelve zeros."""
+        return cls()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Event, float]) -> "EventVector":
+        """Build a vector from a partial ``{Event: value}`` mapping."""
+        vec = cls()
+        for event, value in mapping.items():
+            vec[event] = value
+        return vec
+
+    def copy(self) -> "EventVector":
+        return EventVector(self._values)
+
+    # -- element access --------------------------------------------------
+
+    def __getitem__(self, event: Event) -> float:
+        return self._values[int(event)]
+
+    def __setitem__(self, event: Event, value: float) -> None:
+        self._values[int(event)] = float(value)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return NUM_EVENTS
+
+    def as_list(self) -> List[float]:
+        """The raw values in :class:`Event` index order (a copy)."""
+        return list(self._values)
+
+    def as_dict(self) -> Dict[Event, float]:
+        """The values keyed by :class:`Event`."""
+        return {Event(i): v for i, v in enumerate(self._values)}
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __add__(self, other: "EventVector") -> "EventVector":
+        return EventVector(a + b for a, b in zip(self._values, other._values))
+
+    def __iadd__(self, other: "EventVector") -> "EventVector":
+        for i, b in enumerate(other._values):
+            self._values[i] += b
+        return self
+
+    def __sub__(self, other: "EventVector") -> "EventVector":
+        return EventVector(a - b for a, b in zip(self._values, other._values))
+
+    def __mul__(self, scalar: float) -> "EventVector":
+        s = float(scalar)
+        return EventVector(v * s for v in self._values)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "EventVector":
+        s = float(scalar)
+        return EventVector(v / s for v in self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventVector):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "{}={:.4g}".format(Event(i).paper_id, v)
+            for i, v in enumerate(self._values)
+            if v
+        )
+        return "EventVector({})".format(parts or "all zero")
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def instructions(self) -> float:
+        """Retired instructions (E11)."""
+        return self._values[int(Event.RETIRED_INSTRUCTIONS)]
+
+    @property
+    def cycles(self) -> float:
+        """Unhalted clock cycles (E10)."""
+        return self._values[int(Event.CPU_CLOCKS_NOT_HALTED)]
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (E10 / E11); zero when no instructions."""
+        inst = self.instructions
+        return self.cycles / inst if inst > 0 else 0.0
+
+    @property
+    def mcpi(self) -> float:
+        """Memory CPI (E12 / E11); zero when no instructions."""
+        inst = self.instructions
+        if inst <= 0:
+            return 0.0
+        return self._values[int(Event.MAB_WAIT_CYCLES)] / inst
+
+    def per_instruction(self) -> "EventVector":
+        """All counts divided by retired instructions.
+
+        Returns a zero vector when no instructions retired, which is the
+        convention PPEP uses for idle cores.
+        """
+        inst = self.instructions
+        if inst <= 0:
+            return EventVector.zeros()
+        return self / inst
+
+    def rates(self, interval_s: float) -> "EventVector":
+        """All counts converted to per-second rates over ``interval_s``."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        return self / interval_s
+
+
+def format_event_table() -> str:
+    """Render Table I as fixed-width text (used by the Table I bench)."""
+    header = "{:<4} {:<10} {}".format("NO.", "Event Code", "Event Name")
+    rows = [header, "-" * len(header)]
+    for info in EVENT_TABLE:
+        rows.append(
+            "{:<4} {:<10} {}".format(info.paper_id, info.pmc_code, info.name)
+        )
+    return "\n".join(rows)

@@ -1,0 +1,135 @@
+"""Shared north-bridge (NB) model.
+
+On the FX-8320 the north bridge holds the shared L3 cache and the memory
+controller; all eight cores contend for it.  The NB has its own voltage
+and frequency domain (stock 1.175 V / 2.2 GHz), which Section V-C2
+explores scaling.
+
+The model does three jobs:
+
+1. **Contention** -- converts aggregate DRAM traffic demand into a latency
+   multiplier applied to every core's exposed memory time.  We use a
+   queueing-flavoured shape ``1 + g * rho / (1 - rho)`` (capped), with
+   utilisation ``rho`` measured against peak bandwidth.  This produces the
+   paper's observed behaviours: multi-programmed memory-bound workloads
+   slow each other down (Section V-C1 observation 2) and leading-load
+   style predictors degrade when bandwidth-bound (the Miftakhutdinov
+   caveat cited in Section III).
+
+2. **NB frequency scaling** -- a fraction :attr:`ChipSpec.nb_latency_share`
+   of each load's memory time is spent in the NB clock domain, so
+   dropping NB frequency from ``f_hi`` to ``f_lo`` stretches that share
+   by ``f_hi / f_lo``.  At the paper's half-frequency ``VF_lo`` with a
+   0.5 share this reproduces their assumption of +50 % leading-load
+   cycles.
+
+3. **NB power** -- ground-truth dynamic NB power driven by actual L3 and
+   DRAM access counts at the NB voltage, plus NB leakage and active-idle
+   terms (evaluated by :mod:`repro.hardware.power`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.vfstates import VFState, NB_VF_HI
+
+__all__ = ["NorthBridge", "ContentionPoint"]
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Resolved NB operating point for one simulation sub-slice."""
+
+    #: Aggregate DRAM bandwidth demand that was requested, bytes/s.
+    demanded_bandwidth: float
+    #: Utilisation of peak bandwidth actually reached, in [0, 1).
+    utilisation: float
+    #: Latency multiplier applied to every core's memory time (>= 1).
+    latency_multiplier: float
+
+
+class NorthBridge:
+    """Shared north-bridge: contention, frequency scaling, activity."""
+
+    def __init__(self, spec: ChipSpec, vf: VFState = None) -> None:
+        self.spec = spec
+        self.vf = vf if vf is not None else spec.nb_vf
+
+    # -- frequency scaling -------------------------------------------------
+
+    def memory_time_multiplier(self) -> float:
+        """Stretch factor on per-instruction memory time due to the NB
+        running below its stock frequency.
+
+        At the stock NB state this is 1.  Only the NB-domain share of the
+        latency stretches; DRAM device time is unaffected.
+        """
+        share = self.spec.nb_latency_share
+        ratio = NB_VF_HI.frequency_ghz / self.vf.frequency_ghz
+        return (1.0 - share) + share * ratio
+
+    # -- contention ---------------------------------------------------------
+
+    def resolve_contention(self, demanded_bandwidth: float) -> ContentionPoint:
+        """Latency multiplier for an aggregate DRAM demand.
+
+        ``demanded_bandwidth`` is the bytes/s the cores *would* consume if
+        memory latency did not stretch.  Because stretching latency lowers
+        the achieved instruction rate (and hence the achieved bandwidth),
+        callers iterate this to a fixed point; the function itself is a
+        pure map from demand to multiplier.
+        """
+        if demanded_bandwidth < 0:
+            raise ValueError("bandwidth demand cannot be negative")
+        peak = self.effective_bandwidth()
+        rho = min(demanded_bandwidth / peak, 0.985)
+        gain = self.spec.contention_gain
+        multiplier = 1.0 + gain * rho / (1.0 - rho)
+        multiplier = min(multiplier, self.spec.contention_cap)
+        return ContentionPoint(
+            demanded_bandwidth=demanded_bandwidth,
+            utilisation=rho,
+            latency_multiplier=multiplier,
+        )
+
+    def effective_bandwidth(self) -> float:
+        """Peak bandwidth at the current NB state, bytes/s.
+
+        The memory controller runs in the NB domain; lowering NB frequency
+        cuts sustainable bandwidth proportionally to the NB-domain share.
+        """
+        share = self.spec.nb_latency_share
+        ratio = self.vf.frequency_ghz / NB_VF_HI.frequency_ghz
+        return self.spec.memory_bandwidth * ((1.0 - share) + share * ratio)
+
+    # -- counter distortion ---------------------------------------------------
+
+    def mab_distortion(self, utilisation: float) -> float:
+        """Over-reporting factor of the MAB-wait counter.
+
+        The MAB-occupancy approximation of leading loads degrades under
+        bandwidth pressure; we model a quadratic-in-utilisation
+        over-report, bounded and smooth.
+        """
+        return 1.0 + self.spec.mab_pressure_gain * utilisation * utilisation
+
+    # -- activity-driven dynamic power ------------------------------------------
+
+    def dynamic_power(
+        self, l3_accesses_per_s: float, dram_accesses_per_s: float
+    ) -> float:
+        """Ground-truth NB dynamic power from actual access streams, W."""
+        if l3_accesses_per_s < 0 or dram_accesses_per_s < 0:
+            raise ValueError("access rates cannot be negative")
+        v_sq = self.vf.voltage * self.vf.voltage
+        joules_per_s = (
+            l3_accesses_per_s * self.spec.nb_energy_l3_access
+            + dram_accesses_per_s * self.spec.nb_energy_mem_access
+        ) * 1e-9
+        return joules_per_s * v_sq
+
+    def with_vf(self, vf: VFState) -> "NorthBridge":
+        """A copy of this NB running at ``vf``."""
+        return NorthBridge(self.spec, vf)

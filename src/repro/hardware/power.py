@@ -1,0 +1,268 @@
+"""Ground-truth power model.
+
+This is the *physics* the PPEP models are fitted against.  It is richer
+than any form PPEP assumes:
+
+- **Leakage** is exponential in both voltage and temperature
+  (``P = P_ref * (V/V_ref) * exp(kv (V - V_ref)) * exp(kt (T - T_ref))``),
+  where PPEP fits a linear-in-temperature model per voltage (Eq. 2).
+- **Active idle** power (clock distribution while not halted, OS
+  housekeeping) scales as ``f * V^2``.
+- **Core dynamic** power is a sum over per-event energies at ``V^2``
+  scaling, *plus* a busy-core clock-tree term and an unmodelled-activity
+  term that no Table I event captures directly.
+- **NB power** is driven by the chip's actual L3/DRAM access streams at
+  the NB voltage -- PPEP can only approximate it through the per-core
+  E8/E9 proxies.
+- **Power gating** removes an idle CU's leakage and active-idle power,
+  and the NB's when the whole chip idles, per the Figure 4 semantics.
+
+All methods are pure functions of their inputs; stochastic process noise
+is applied by the platform, not here, so the model stays unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.vfstates import VFState
+
+__all__ = ["GroundTruthPower", "CoreActivity", "PowerBreakdown"]
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """Per-second ground-truth activity of one core in one sub-slice.
+
+    Rates are events per second of wall-clock time.  A fully idle core
+    has all rates zero and ``busy = False``.
+    """
+
+    busy: bool = False
+    uops: float = 0.0
+    fpu_ops: float = 0.0
+    ic_fetches: float = 0.0
+    dc_accesses: float = 0.0
+    l2_requests: float = 0.0
+    branches: float = 0.0
+    mispredicts: float = 0.0
+    l3_accesses: float = 0.0
+    dram_accesses: float = 0.0
+    hidden: float = 0.0
+    #: Data-dependent switching-activity factor (workload property).
+    toggle: float = 1.0
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Chip power decomposed the way the Section V analyses need it."""
+
+    base: float
+    cu_leakage: float
+    cu_active_idle: float
+    core_clock: float
+    core_dynamic: float
+    nb_leakage: float
+    nb_active_idle: float
+    nb_dynamic: float
+    housekeeping: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.base
+            + self.cu_leakage
+            + self.cu_active_idle
+            + self.core_clock
+            + self.core_dynamic
+            + self.nb_leakage
+            + self.nb_active_idle
+            + self.nb_dynamic
+            + self.housekeeping
+        )
+
+    @property
+    def nb_total(self) -> float:
+        """Power attributable to the north bridge."""
+        return self.nb_leakage + self.nb_active_idle + self.nb_dynamic
+
+    @property
+    def core_total(self) -> float:
+        """Power attributable to cores/CUs (everything but NB and base)."""
+        return (
+            self.cu_leakage
+            + self.cu_active_idle
+            + self.core_clock
+            + self.core_dynamic
+            + self.housekeeping
+        )
+
+    @property
+    def idle_component(self) -> float:
+        """The part that exists with zero workload activity."""
+        return self.base + self.cu_leakage + self.cu_active_idle + (
+            self.nb_leakage + self.nb_active_idle
+        )
+
+
+class GroundTruthPower:
+    """Evaluates the ground-truth power of a :class:`ChipSpec`."""
+
+    def __init__(self, spec: ChipSpec) -> None:
+        self.spec = spec
+
+    # -- leakage -----------------------------------------------------------
+
+    def cu_leakage(self, voltage: float, temperature: float) -> float:
+        """Leakage of one (non-gated) compute unit, watts."""
+        s = self.spec
+        return (
+            s.cu_leakage_ref
+            * (voltage / s.leak_ref_voltage)
+            * math.exp(s.leak_voltage_exp * (voltage - s.leak_ref_voltage))
+            * math.exp(s.leak_temperature_exp * (temperature - s.leak_ref_temperature))
+        )
+
+    def nb_leakage(self, nb_voltage: float, temperature: float) -> float:
+        """Leakage of the (non-gated) north bridge, watts."""
+        s = self.spec
+        ref_v = 1.175  # stock NB voltage is the NB leakage reference
+        return (
+            s.nb_leakage_ref
+            * (nb_voltage / ref_v)
+            * math.exp(s.leak_voltage_exp * (nb_voltage - ref_v))
+            * math.exp(s.leak_temperature_exp * (temperature - s.leak_ref_temperature))
+        )
+
+    # -- active idle ---------------------------------------------------------
+
+    def cu_active_idle(self, vf: VFState) -> float:
+        """Clock/housekeeping power of one awake-but-idle CU, watts."""
+        return self.spec.cu_active_idle_coeff * vf.frequency_ghz * vf.voltage ** 2
+
+    def nb_active_idle(self, nb_vf: VFState) -> float:
+        """Clock power of the awake north bridge, watts."""
+        return self.spec.nb_active_idle_coeff * nb_vf.frequency_ghz * nb_vf.voltage ** 2
+
+    def core_clock(self, vf: VFState) -> float:
+        """Extra clock-tree power of one *busy* core, watts."""
+        return self.spec.core_clock_coeff * vf.frequency_ghz * vf.voltage ** 2
+
+    # -- core dynamic ------------------------------------------------------------
+
+    def core_dynamic(self, activity: CoreActivity, voltage: float) -> float:
+        """Event-driven dynamic power of one core, watts (excludes clock)."""
+        s = self.spec
+        v_sq = voltage * voltage
+        joules_per_s = (
+            activity.uops * s.energy_uop
+            + activity.fpu_ops * s.energy_fpu
+            + activity.ic_fetches * s.energy_ic_fetch
+            + activity.dc_accesses * s.energy_dc_access
+            + activity.l2_requests * s.energy_l2_request
+            + activity.branches * s.energy_branch
+            + activity.mispredicts * s.energy_mispredict
+            + activity.hidden * s.energy_hidden
+        ) * 1e-9
+        return joules_per_s * v_sq * activity.toggle
+
+    # -- whole chip ------------------------------------------------------------
+
+    def chip_power(
+        self,
+        cu_vfs: Sequence[VFState],
+        nb_vf: VFState,
+        temperature: float,
+        activities: Sequence[CoreActivity],
+        nb_dynamic: float,
+        power_gating: bool,
+    ) -> PowerBreakdown:
+        """Ground-truth chip power for one sub-slice.
+
+        ``cu_vfs`` has one VF state per CU; ``activities`` one entry per
+        core.  ``nb_dynamic`` is the NB's activity-driven power (computed
+        by :class:`~repro.hardware.northbridge.NorthBridge` from the same
+        access streams).  With ``power_gating`` the Figure 4 semantics
+        apply: a CU with no busy core is gated; the NB is gated only when
+        every CU is.
+        """
+        spec = self.spec
+        if len(cu_vfs) != spec.num_cus:
+            raise ValueError("need one VF state per CU")
+        if len(activities) != spec.num_cores:
+            raise ValueError("need one activity per core")
+
+        cu_leak = 0.0
+        cu_act_idle = 0.0
+        clock = 0.0
+        dynamic = 0.0
+        housekeeping = 0.0
+        any_cu_awake = False
+
+        for cu in range(spec.num_cus):
+            vf = cu_vfs[cu]
+            cores = spec.cores_of_cu(cu)
+            cu_busy = any(activities[c].busy for c in cores)
+            gated = power_gating and spec.supports_power_gating and not cu_busy
+            if gated:
+                continue
+            any_cu_awake = True
+            cu_leak += self.cu_leakage(vf.voltage, temperature)
+            cu_act_idle += self.cu_active_idle(vf)
+            for c in cores:
+                act = activities[c]
+                if act.busy:
+                    clock += self.core_clock(vf)
+                    dynamic += self.core_dynamic(act, vf.voltage)
+            housekeeping += spec.housekeeping_power / spec.num_cus
+
+        nb_gated = (
+            power_gating and spec.supports_power_gating and not any_cu_awake
+        )
+        if nb_gated:
+            nb_leak = 0.0
+            nb_act_idle = 0.0
+            nb_dyn = 0.0
+        else:
+            nb_leak = self.nb_leakage(nb_vf.voltage, temperature)
+            nb_act_idle = self.nb_active_idle(nb_vf)
+            nb_dyn = nb_dynamic
+
+        return PowerBreakdown(
+            base=spec.base_power,
+            cu_leakage=cu_leak,
+            cu_active_idle=cu_act_idle,
+            core_clock=clock,
+            core_dynamic=dynamic,
+            nb_leakage=nb_leak,
+            nb_active_idle=nb_act_idle,
+            nb_dynamic=nb_dyn,
+            housekeeping=housekeeping,
+        )
+
+    def idle_chip_power(
+        self,
+        vf: VFState,
+        nb_vf: VFState,
+        temperature: float,
+        power_gating: bool = False,
+    ) -> float:
+        """Chip power with every core idle, watts.
+
+        With power gating enabled this collapses to the base power (the
+        Figure 4 ``idle`` bars); without it, all CUs and the NB burn
+        leakage and active-idle power.
+        """
+        activities = [CoreActivity() for _ in range(self.spec.num_cores)]
+        breakdown = self.chip_power(
+            cu_vfs=[vf] * self.spec.num_cus,
+            nb_vf=nb_vf,
+            temperature=temperature,
+            activities=activities,
+            nb_dynamic=0.0,
+            power_gating=power_gating,
+        )
+        return breakdown.total

@@ -1,0 +1,77 @@
+"""Power measurement channel.
+
+Section II: a Pololu ACS711 Hall-effect current sensor clamped on the
++12 V CPU power line, sampled every 20 ms by an Arduino, ten samples per
+200 ms DVFS decision interval.  PPEP trains on these *measured* values,
+so the measurement channel's imperfections flow into the fitted models.
+
+The simulated channel applies, in order:
+
+1. a per-session multiplicative gain error (sensor + shunt calibration),
+   drawn once at construction;
+2. a small constant offset (amplifier bias);
+3. additive Gaussian noise per 20 ms sample (switching ripple, ADC
+   noise);
+4. ADC quantization.
+
+All randomness comes from an injected :class:`numpy.random.Generator`, so
+experiments are reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hardware.microarch import ChipSpec
+
+__all__ = ["PowerSensor"]
+
+
+class PowerSensor:
+    """The noisy 20 ms power sampling channel."""
+
+    #: Sample period of the Arduino loop, seconds.
+    SAMPLE_PERIOD_S = 0.020
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        rng: np.random.Generator,
+        offset_w: float = 0.15,
+    ) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._gain = float(1.0 + rng.normal(0.0, spec.sensor_gain_sigma))
+        self._offset = float(offset_w)
+
+    @property
+    def gain(self) -> float:
+        """This session's multiplicative calibration error."""
+        return self._gain
+
+    def sample(self, true_power: float) -> float:
+        """One 20 ms power reading of ``true_power`` watts."""
+        if true_power < 0:
+            raise ValueError("true power cannot be negative")
+        noisy = (
+            true_power * self._gain
+            + self._offset
+            + self._rng.normal(0.0, self.spec.sensor_noise_w)
+        )
+        q = self.spec.sensor_quantum
+        quantized = round(noisy / q) * q
+        return max(quantized, 0.0)
+
+    def sample_many(self, true_powers: Sequence[float]) -> List[float]:
+        """Readings for a sequence of consecutive 20 ms true powers."""
+        return [self.sample(p) for p in true_powers]
+
+    @staticmethod
+    def interval_average(samples: Sequence[float]) -> float:
+        """The per-interval power the paper uses: the mean of the ten
+        20 ms readings inside one 200 ms interval."""
+        if not samples:
+            raise ValueError("need at least one sample")
+        return sum(samples) / len(samples)

@@ -1,0 +1,82 @@
+"""Lumped RC thermal model.
+
+The paper reads the socket thermal diode (via hwmon) and exploits the
+leakage/temperature relationship when fitting the idle power model
+(Figure 1: heat the chip under load, then watch power decay with
+temperature while idle).  Reproducing that experiment needs a temperature
+state variable with realistic first-order dynamics:
+
+    C dT/dt = P - (T - T_ambient) / R
+
+with thermal resistance ``R`` (K/W) and capacitance ``C`` (J/K) from the
+chip spec.  The time constant ``R*C`` is ~36 s for the FX-8320 preset, so
+a cool-down is clearly visible over the ~280 s window Figure 1 plots.
+
+The diode reading is quantized (hwmon exposes 0.125 degree steps), which
+the idle-model fitting sees as measurement noise.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ThermalModel"]
+
+from repro.hardware.microarch import ChipSpec
+
+
+class ThermalModel:
+    """First-order thermal state of the chip."""
+
+    def __init__(self, spec: ChipSpec, initial_temperature: float = None) -> None:
+        self.spec = spec
+        self._temperature = (
+            initial_temperature
+            if initial_temperature is not None
+            else spec.ambient_temperature
+        )
+        if self._temperature <= 0:
+            raise ValueError("temperature must be positive kelvin")
+
+    @property
+    def temperature(self) -> float:
+        """Current junction temperature, kelvin (exact, unquantized)."""
+        return self._temperature
+
+    def diode_reading(self) -> float:
+        """The quantized thermal-diode value software actually sees."""
+        q = self.spec.diode_quantum
+        return round(self._temperature / q) * q
+
+    def steady_state(self, power: float) -> float:
+        """Equilibrium temperature under constant ``power`` watts."""
+        return self.spec.ambient_temperature + power * self.spec.thermal_resistance
+
+    def time_constant(self) -> float:
+        """The RC time constant, seconds."""
+        return self.spec.thermal_resistance * self.spec.thermal_capacitance
+
+    def step(self, power: float, dt: float) -> float:
+        """Advance the thermal state by ``dt`` seconds under ``power``.
+
+        Uses the exact solution of the linear ODE over the step (the
+        power is held constant within a step), so the integration is
+        unconditionally stable for any ``dt``.
+
+        Returns the new exact temperature.
+        """
+        if dt < 0:
+            raise ValueError("dt cannot be negative")
+        if power < 0:
+            raise ValueError("power cannot be negative")
+        t_inf = self.steady_state(power)
+        tau = self.time_constant()
+        import math
+
+        decay = math.exp(-dt / tau)
+        self._temperature = t_inf + (self._temperature - t_inf) * decay
+        return self._temperature
+
+    def reset(self, temperature: float = None) -> None:
+        """Reset to ``temperature`` (default: ambient)."""
+        self._temperature = (
+            temperature if temperature is not None else self.spec.ambient_temperature
+        )

@@ -1,0 +1,167 @@
+"""Voltage-frequency (VF) state tables.
+
+Section II of the paper lists the five software-visible VF states of the
+AMD FX-8320 (VF5 = 1.320 V / 3.5 GHz down to VF1 = 0.888 V / 1.4 GHz) and
+notes that the AMD Phenom II X6 1090T exposes four states.  Section V-C2
+introduces two north-bridge states: the stock ``VF_hi`` (1.175 V,
+2.2 GHz) and a hypothetical ``VF_lo`` (0.940 V, 1.1 GHz).
+
+Everything downstream -- the simulator, the models, and the DVFS policies
+-- addresses VF states through :class:`VFState` and :class:`VFTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+__all__ = [
+    "VFState",
+    "VFTable",
+    "FX8320_VF_TABLE",
+    "PHENOM_II_VF_TABLE",
+    "NB_VF_HI",
+    "NB_VF_LO",
+    "NB_VF_TABLE",
+]
+
+
+@dataclass(frozen=True, order=True)
+class VFState:
+    """One voltage-frequency operating point.
+
+    Ordering follows ``index``: a *higher* index means a higher VF state
+    (the paper's VF5 is the fastest).  ``index`` is 1-based to match the
+    paper's naming.
+    """
+
+    index: int
+    voltage: float
+    frequency_ghz: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("VF index is 1-based; got {}".format(self.index))
+        if self.voltage <= 0 or self.frequency_ghz <= 0:
+            raise ValueError("voltage and frequency must be positive")
+        if not self.name:
+            object.__setattr__(self, "name", "VF{}".format(self.index))
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "{} ({:.3f}V, {:.1f}GHz)".format(
+            self.name, self.voltage, self.frequency_ghz
+        )
+
+
+class VFTable:
+    """An ordered set of VF states for one voltage domain.
+
+    States are stored fastest-first (VF5, VF4, ... VF1) to match how the
+    paper enumerates them, and are addressable by 1-based index.
+    """
+
+    def __init__(self, states: Sequence[VFState]) -> None:
+        if not states:
+            raise ValueError("a VF table needs at least one state")
+        ordered = sorted(states, key=lambda s: s.index, reverse=True)
+        indices = [s.index for s in ordered]
+        expected = list(range(len(ordered), 0, -1))
+        if indices != expected:
+            raise ValueError(
+                "VF indices must be contiguous from 1; got {}".format(indices)
+            )
+        self._states: Tuple[VFState, ...] = tuple(ordered)
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[VFState]:
+        """Iterate fastest-first (VFmax ... VF1)."""
+        return iter(self._states)
+
+    def __contains__(self, state: VFState) -> bool:
+        return state in self._states
+
+    def by_index(self, index: int) -> VFState:
+        """The state with 1-based ``index`` (paper naming: VF<index>)."""
+        for state in self._states:
+            if state.index == index:
+                return state
+        raise KeyError("no VF state with index {}".format(index))
+
+    @property
+    def fastest(self) -> VFState:
+        return self._states[0]
+
+    @property
+    def slowest(self) -> VFState:
+        return self._states[-1]
+
+    def ascending(self) -> Tuple[VFState, ...]:
+        """States slowest-first (VF1 ... VFmax)."""
+        return tuple(reversed(self._states))
+
+    def descending(self) -> Tuple[VFState, ...]:
+        """States fastest-first (VFmax ... VF1)."""
+        return self._states
+
+    # -- neighbours (used by the iterative DVFS baseline) ----------------
+
+    def step_down(self, state: VFState) -> VFState:
+        """The next slower state, or ``state`` itself at the floor."""
+        if state not in self._states:
+            raise KeyError("{} not in table".format(state))
+        if state.index == self.slowest.index:
+            return state
+        return self.by_index(state.index - 1)
+
+    def step_up(self, state: VFState) -> VFState:
+        """The next faster state, or ``state`` itself at the ceiling."""
+        if state not in self._states:
+            raise KeyError("{} not in table".format(state))
+        if state.index == self.fastest.index:
+            return state
+        return self.by_index(state.index + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "VFTable([{}])".format(", ".join(str(s) for s in self._states))
+
+
+#: The five software-visible VF states of the AMD FX-8320 (Section II).
+FX8320_VF_TABLE = VFTable(
+    [
+        VFState(5, 1.320, 3.5),
+        VFState(4, 1.242, 2.9),
+        VFState(3, 1.128, 2.3),
+        VFState(2, 1.008, 1.7),
+        VFState(1, 0.888, 1.4),
+    ]
+)
+
+#: The four VF states of the AMD Phenom II X6 1090T.  The paper does not
+#: list the exact operating points, so we use the processor's public
+#: P-state table (3.2 GHz ... 0.8 GHz).
+PHENOM_II_VF_TABLE = VFTable(
+    [
+        VFState(4, 1.475, 3.2),
+        VFState(3, 1.375, 2.5),
+        VFState(2, 1.250, 2.1),
+        VFState(1, 1.075, 0.8),
+    ]
+)
+
+#: Stock north-bridge operating point (Section V-C2).
+NB_VF_HI = VFState(2, 1.175, 2.2, name="NB_hi")
+
+#: Hypothetical low NB state: 20 % voltage drop, 50 % frequency drop.
+NB_VF_LO = VFState(1, 0.940, 1.1, name="NB_lo")
+
+#: Table of the two NB states used by the Section V-C2 exploration.
+NB_VF_TABLE = VFTable([NB_VF_HI, NB_VF_LO])

@@ -1,0 +1,46 @@
+"""Synthetic benchmark suites.
+
+The paper evaluates on 152 benchmark combinations from SPEC CPU2006,
+PARSEC, and the NAS Parallel Benchmarks.  Those suites (and the real
+machine to run them) are unavailable here, so this subpackage provides
+phase-structured synthetic workloads spanning the same behavioural axes:
+CPU-bound to memory-bound, steady to rapidly phase-changing, scalar to
+FP-heavy.
+
+- :mod:`repro.workloads.phases` -- the phase/workload data model;
+- :mod:`repro.workloads.synthetic` -- parameterised generators;
+- :mod:`repro.workloads.suites` -- the 152-combination roster mirroring
+  the paper's structure (61 SPEC multi-programmed combos, 51 PARSEC runs,
+  40 NPB runs);
+- :mod:`repro.workloads.microbench` -- ``bench_A``, the L1-resident
+  microbenchmark used for the power-gating study (Figure 4).
+"""
+
+from repro.workloads.phases import WorkloadPhase, Workload
+from repro.workloads.synthetic import (
+    make_cpu_bound,
+    make_memory_bound,
+    make_mixed,
+    make_phased,
+)
+from repro.workloads.microbench import bench_a
+from repro.workloads.suites import (
+    Suite,
+    BenchmarkCombination,
+    build_roster,
+    single_threaded_programs,
+)
+
+__all__ = [
+    "WorkloadPhase",
+    "Workload",
+    "make_cpu_bound",
+    "make_memory_bound",
+    "make_mixed",
+    "make_phased",
+    "bench_a",
+    "Suite",
+    "BenchmarkCombination",
+    "build_roster",
+    "single_threaded_programs",
+]

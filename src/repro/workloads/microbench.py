@@ -1,0 +1,45 @@
+"""The ``bench_A`` microbenchmark (Section IV-D).
+
+To isolate per-CU idle power from NB idle power, the paper wrote a
+microbenchmark with three properties: an L1-resident data set (so it
+never touches the north bridge), a perfectly steady phase (so its power
+is constant), and identical per-instance behaviour when replicated
+across CUs.  Sweeping the number of busy CUs with power gating on and
+off (Figure 4) then exposes ``P_idle(CU)``, ``P_idle(NB)`` and
+``P_idle(Base)`` as bar gaps.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.phases import Workload, WorkloadPhase
+
+__all__ = ["bench_a"]
+
+
+def bench_a(total_instructions: float = None) -> Workload:
+    """The L1-resident, NB-quiet, single-phase microbenchmark.
+
+    ``mem_ns`` and ``l2_miss_per_inst`` are exactly zero: the working set
+    fits in L1, so the NB sees no dynamic traffic from this workload and
+    its CPI does not depend on memory at all.
+    """
+    phase = WorkloadPhase(
+        name="bench_A",
+        instructions=1.0e9,
+        ccpi=0.9,
+        mem_ns=0.0,
+        uops_per_inst=1.25,
+        fpu_per_inst=0.10,
+        ic_fetch_per_inst=0.25,
+        dc_access_per_inst=0.40,
+        l2_request_per_inst=0.0,
+        branch_per_inst=0.10,
+        mispredict_per_inst=0.001,
+        l2_miss_per_inst=0.0,
+        l3_miss_ratio=0.0,
+        retire_cpi=0.30,
+        hidden_per_inst=0.01,
+    )
+    return Workload(
+        "bench_A", [phase], total_instructions=total_instructions, suite="micro"
+    )

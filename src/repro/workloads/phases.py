@@ -1,0 +1,208 @@
+"""Workload phase model.
+
+A workload is a sequence of *phases*.  Within a phase the program's
+per-instruction behaviour is stationary: the rates of the Table I core
+events per retired instruction, the core CPI component, the memory time
+per instruction, and the misprediction rate are all constants.  Phase
+boundaries are expressed in retired instructions, so phase positions are
+frequency-independent -- the same program point is reached after the same
+instruction count at any VF state, which is exactly the property the
+paper's Observations 1 and 2 rely on.
+
+The split between ``ccpi`` (core cycles per instruction, VF-invariant in
+cycles) and ``mem_ns`` (memory time per instruction, VF-invariant in
+wall-clock time) implements the leading-loads decomposition of Section
+III: at core frequency ``f`` (GHz),
+
+    CPI(f) = ccpi + mem_ns * f        (before NB contention)
+
+so memory CPI scales proportionally with frequency while core CPI stays
+fixed, matching Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["WorkloadPhase", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """Stationary per-instruction behaviour of a program region.
+
+    Event rates are *per retired instruction*; ``mem_ns`` is nanoseconds
+    of leading-load (exposed) memory time per instruction at an
+    uncontended north bridge running at its stock frequency.
+    """
+
+    name: str
+    #: Retired instructions in this phase.
+    instructions: float
+    #: Core cycles per instruction (frequency-invariant).
+    ccpi: float
+    #: Exposed memory time per instruction, nanoseconds (uncontended).
+    mem_ns: float
+    #: Retired micro-ops per instruction (E1 rate).
+    uops_per_inst: float = 1.3
+    #: FPU pipe assignments per instruction (E2 rate).
+    fpu_per_inst: float = 0.1
+    #: Instruction-cache fetches per instruction (E3 rate).
+    ic_fetch_per_inst: float = 0.28
+    #: Data-cache accesses per instruction (E4 rate).
+    dc_access_per_inst: float = 0.45
+    #: L2 requests per instruction (E5 rate).
+    l2_request_per_inst: float = 0.03
+    #: Retired branches per instruction (E6 rate).
+    branch_per_inst: float = 0.16
+    #: Mispredicted branches per instruction (E7 rate).
+    mispredict_per_inst: float = 0.004
+    #: L2 misses (= L3 accesses) per instruction (E8 rate).
+    l2_miss_per_inst: float = 0.002
+    #: Fraction of L2 misses that also miss L3 and go to DRAM.
+    l3_miss_ratio: float = 0.5
+    #: Reciprocal effective retire width, cycles per instruction spent
+    #: retiring.  Program-dependent (the paper notes real programs do not
+    #: retire a full issue width every retiring cycle).
+    retire_cpi: float = 0.30
+    #: Unmodelled activity events per instruction (prefetch, TLB, ...).
+    hidden_per_inst: float = 0.08
+    #: Data-dependent switching-activity factor on per-event energy.
+    #: Real circuits burn more or less energy per event depending on
+    #: operand toggle rates, which no performance counter observes; a
+    #: fitted per-event weight can only capture the average.
+    toggle_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("phase must retire a positive instruction count")
+        if self.ccpi <= 0:
+            raise ValueError("ccpi must be positive")
+        if self.mem_ns < 0:
+            raise ValueError("mem_ns cannot be negative")
+        if self.retire_cpi <= 0:
+            raise ValueError("retire_cpi must be positive")
+        if not 0.0 <= self.l3_miss_ratio <= 1.0:
+            raise ValueError("l3_miss_ratio must lie in [0, 1]")
+        if self.mispredict_per_inst > self.branch_per_inst:
+            raise ValueError("cannot mispredict more branches than retired")
+        if self.toggle_factor <= 0:
+            raise ValueError("toggle_factor must be positive")
+
+    # -- derived behaviour -------------------------------------------------
+
+    def cpi_at(self, frequency_ghz: float, contention: float = 1.0) -> float:
+        """Ground-truth CPI at ``frequency_ghz`` with a north-bridge
+        latency multiplier ``contention`` (>= 1)."""
+        return self.ccpi + self.mem_ns * contention * frequency_ghz
+
+    def dram_accesses_per_inst(self) -> float:
+        """DRAM (L3-miss) accesses per instruction."""
+        return self.l2_miss_per_inst * self.l3_miss_ratio
+
+    def bytes_per_inst(self, line_size: int = 64) -> float:
+        """DRAM traffic per instruction, bytes."""
+        return self.dram_accesses_per_inst() * line_size
+
+    def memory_boundness(self, frequency_ghz: float) -> float:
+        """Fraction of execution time exposed to memory at ``frequency_ghz``.
+
+        0 for a purely CPU-bound phase, approaching 1 when memory time
+        dominates.  A convenient scalar for classifying workloads.
+        """
+        cpi = self.cpi_at(frequency_ghz)
+        return (self.mem_ns * frequency_ghz) / cpi if cpi > 0 else 0.0
+
+    def scaled(self, instruction_factor: float) -> "WorkloadPhase":
+        """A copy with the instruction budget scaled by ``factor``."""
+        if instruction_factor <= 0:
+            raise ValueError("instruction_factor must be positive")
+        return replace(self, instructions=self.instructions * instruction_factor)
+
+
+class Workload:
+    """A named sequence of phases, optionally looped.
+
+    ``total_instructions`` bounds the run; when the phase list is shorter
+    it loops.  When ``total_instructions`` is ``None`` the workload runs
+    forever (useful for steady-state experiments such as Figure 4).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[WorkloadPhase],
+        total_instructions: float = None,
+        suite: str = "synthetic",
+    ) -> None:
+        if not phases:
+            raise ValueError("a workload needs at least one phase")
+        self.name = name
+        self.suite = suite
+        self.phases: Tuple[WorkloadPhase, ...] = tuple(phases)
+        if total_instructions is not None and total_instructions <= 0:
+            raise ValueError("total_instructions must be positive")
+        self.total_instructions = total_instructions
+
+    @property
+    def loop_instructions(self) -> float:
+        """Instructions in one pass over the phase list."""
+        return sum(p.instructions for p in self.phases)
+
+    def phase_at(self, instructions_done: float) -> WorkloadPhase:
+        """The phase active after ``instructions_done`` retired
+        instructions (looping past the end of the phase list)."""
+        if instructions_done < 0:
+            raise ValueError("instructions_done cannot be negative")
+        offset = instructions_done % self.loop_instructions
+        for phase in self.phases:
+            if offset < phase.instructions:
+                return phase
+            offset -= phase.instructions
+        return self.phases[-1]
+
+    def iter_phases(self) -> Iterator[WorkloadPhase]:
+        """Iterate phases once, in order."""
+        return iter(self.phases)
+
+    def is_finished(self, instructions_done: float) -> bool:
+        """Whether the workload's instruction budget is exhausted."""
+        if self.total_instructions is None:
+            return False
+        return instructions_done >= self.total_instructions
+
+    def average_mem_ns(self) -> float:
+        """Instruction-weighted mean memory time per instruction."""
+        total = self.loop_instructions
+        return sum(p.mem_ns * p.instructions for p in self.phases) / total
+
+    def average_ccpi(self) -> float:
+        """Instruction-weighted mean core CPI."""
+        total = self.loop_instructions
+        return sum(p.ccpi * p.instructions for p in self.phases) / total
+
+    def memory_boundness(self, frequency_ghz: float) -> float:
+        """Instruction-weighted memory-boundness at ``frequency_ghz``."""
+        total = self.loop_instructions
+        return (
+            sum(
+                p.memory_boundness(frequency_ghz) * p.instructions
+                for p in self.phases
+            )
+            / total
+        )
+
+    def with_budget(self, total_instructions: float) -> "Workload":
+        """A copy with a different total instruction budget."""
+        return Workload(self.name, self.phases, total_instructions, self.suite)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        budget = (
+            "inf"
+            if self.total_instructions is None
+            else "{:.3g}".format(self.total_instructions)
+        )
+        return "Workload({!r}, {} phases, budget={})".format(
+            self.name, len(self.phases), budget
+        )

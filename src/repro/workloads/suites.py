@@ -1,0 +1,321 @@
+"""The 152-benchmark-combination roster.
+
+Section II/IV-B: the paper evaluates on 152 combinations -- 61 SPEC
+CPU2006 multi-programmed combos (29 single, 15 double, 10 triple, 7
+quad), 51 PARSEC multi-threaded runs, and 40 NPB multi-threaded runs.
+This module reproduces that structure exactly, with each named program
+replaced by its synthetic analog (see :mod:`repro.workloads.synthetic`).
+
+The SPEC combination lists are transcribed from the x-axis of the
+paper's Figure 6.  PARSEC covers 13 programs at 1/2/4/8 threads (52,
+minus one run to match the paper's 51); NPB covers 10 kernels at
+1/2/4/8 threads (40).  Programs known for rapid phase changes -- dedup,
+NPB-DC, NPB-IS -- get high phase volatility, reproducing the paper's
+counter-multiplexing outliers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.phases import Workload
+from repro.workloads.synthetic import ProgramProfile, make_program
+
+__all__ = [
+    "Suite",
+    "BenchmarkCombination",
+    "spec_program",
+    "parsec_program",
+    "npb_program",
+    "spec_combinations",
+    "parsec_runs",
+    "npb_runs",
+    "build_roster",
+    "single_threaded_programs",
+    "SPEC_PROGRAMS",
+    "PARSEC_PROGRAMS",
+    "NPB_PROGRAMS",
+]
+
+
+class Suite(enum.Enum):
+    """Benchmark suite, with the paper's three-letter figure labels."""
+
+    SPEC = "SPE"
+    PARSEC = "PAR"
+    NPB = "NPB"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+# name -> (memory_intensity, fp_intensity, branchiness, ilp, volatility)
+_SPEC_AXES: Dict[str, Tuple[float, float, float, float, float]] = {
+    "400.perlbench": (0.15, 0.05, 0.80, 0.50, 0.30),
+    "401.bzip2": (0.35, 0.05, 0.65, 0.50, 0.40),
+    "403.gcc": (0.45, 0.05, 0.75, 0.45, 0.50),
+    "429.mcf": (0.95, 0.05, 0.50, 0.30, 0.30),
+    "445.gobmk": (0.10, 0.05, 0.85, 0.45, 0.30),
+    "456.hmmer": (0.08, 0.10, 0.30, 0.70, 0.10),
+    "458.sjeng": (0.08, 0.05, 0.80, 0.50, 0.15),
+    "462.libquantum": (0.90, 0.20, 0.25, 0.60, 0.10),
+    "464.h264ref": (0.15, 0.25, 0.50, 0.60, 0.30),
+    "471.omnetpp": (0.75, 0.05, 0.65, 0.35, 0.30),
+    "473.astar": (0.60, 0.05, 0.60, 0.40, 0.30),
+    "483.xalancbmk": (0.55, 0.05, 0.70, 0.40, 0.40),
+    "410.bwaves": (0.70, 0.75, 0.10, 0.60, 0.10),
+    "416.gamess": (0.05, 0.80, 0.25, 0.60, 0.15),
+    "433.milc": (0.85, 0.50, 0.15, 0.50, 0.15),
+    "434.zeusmp": (0.55, 0.70, 0.15, 0.55, 0.20),
+    "435.gromacs": (0.15, 0.75, 0.20, 0.60, 0.10),
+    "436.cactusADM": (0.65, 0.80, 0.08, 0.55, 0.10),
+    "437.leslie3d": (0.75, 0.70, 0.10, 0.55, 0.10),
+    "444.namd": (0.08, 0.85, 0.15, 0.70, 0.08),
+    "447.dealII": (0.35, 0.60, 0.40, 0.55, 0.25),
+    "450.soplex": (0.70, 0.45, 0.45, 0.40, 0.30),
+    "453.povray": (0.05, 0.60, 0.55, 0.60, 0.20),
+    "454.calculix": (0.20, 0.75, 0.25, 0.60, 0.20),
+    "459.GemsFDTD": (0.80, 0.65, 0.10, 0.50, 0.15),
+    "465.tonto": (0.30, 0.70, 0.35, 0.55, 0.30),
+    "470.lbm": (0.90, 0.60, 0.05, 0.60, 0.05),
+    "481.wrf": (0.45, 0.65, 0.30, 0.55, 0.35),
+    "482.sphinx3": (0.50, 0.55, 0.35, 0.50, 0.30),
+}
+
+_PARSEC_AXES: Dict[str, Tuple[float, float, float, float, float]] = {
+    "blackscholes": (0.08, 0.70, 0.15, 0.65, 0.08),
+    "bodytrack": (0.30, 0.45, 0.45, 0.55, 0.35),
+    "canneal": (0.85, 0.10, 0.55, 0.35, 0.25),
+    "dedup": (0.55, 0.05, 0.60, 0.45, 0.95),
+    "facesim": (0.45, 0.70, 0.20, 0.55, 0.25),
+    "ferret": (0.40, 0.40, 0.45, 0.50, 0.40),
+    "fluidanimate": (0.50, 0.65, 0.20, 0.55, 0.20),
+    "freqmine": (0.45, 0.10, 0.60, 0.45, 0.35),
+    "raytrace": (0.25, 0.60, 0.40, 0.55, 0.20),
+    "streamcluster": (0.80, 0.40, 0.15, 0.55, 0.15),
+    "swaptions": (0.05, 0.65, 0.30, 0.65, 0.10),
+    "vips": (0.35, 0.45, 0.40, 0.55, 0.35),
+    "x264": (0.20, 0.30, 0.55, 0.55, 0.40),
+}
+
+_NPB_AXES: Dict[str, Tuple[float, float, float, float, float]] = {
+    "BT": (0.45, 0.75, 0.10, 0.60, 0.15),
+    "CG": (0.85, 0.45, 0.15, 0.45, 0.15),
+    "DC": (0.70, 0.05, 0.55, 0.40, 0.95),
+    "EP": (0.03, 0.70, 0.25, 0.70, 0.05),
+    "FT": (0.70, 0.60, 0.10, 0.60, 0.20),
+    "IS": (0.75, 0.05, 0.40, 0.50, 0.95),
+    "LU": (0.50, 0.70, 0.12, 0.58, 0.15),
+    "MG": (0.75, 0.55, 0.10, 0.55, 0.20),
+    "SP": (0.55, 0.70, 0.10, 0.58, 0.15),
+    "UA": (0.45, 0.55, 0.30, 0.50, 0.40),
+}
+
+SPEC_PROGRAMS: Sequence[str] = tuple(_SPEC_AXES)
+PARSEC_PROGRAMS: Sequence[str] = tuple(_PARSEC_AXES)
+NPB_PROGRAMS: Sequence[str] = tuple(_NPB_AXES)
+
+# SPEC combination lists transcribed from the x-axis of Figure 6 (the
+# numeric prefixes identify the programs).
+_SPEC_DOUBLES = [
+    ("400", "401"), ("403", "429"), ("445", "456"), ("458", "462"),
+    ("464", "471"), ("473", "483"), ("410", "416"), ("433", "434"),
+    ("435", "436"), ("437", "444"), ("447", "450"), ("453", "454"),
+    ("459", "465"), ("470", "481"), ("482", "429"),
+]
+_SPEC_TRIPLES = [
+    ("400", "401", "403"), ("429", "445", "456"), ("458", "462", "464"),
+    ("471", "473", "483"), ("410", "416", "433"), ("434", "435", "436"),
+    ("437", "444", "447"), ("450", "453", "454"), ("459", "465", "470"),
+    ("481", "482", "429"),
+]
+_SPEC_QUADS = [
+    ("400", "401", "403", "429"), ("445", "456", "458", "462"),
+    ("464", "471", "473", "483"), ("410", "416", "433", "434"),
+    ("435", "436", "437", "444"), ("447", "450", "453", "454"),
+    ("459", "465", "470", "481"),
+]
+
+
+def _axes_to_profile(
+    name: str, axes: Tuple[float, float, float, float, float]
+) -> ProgramProfile:
+    mem, fp, br, ilp, vol = axes
+    num_phases = 10 if vol > 0.8 else (8 if vol > 0.3 else 5)
+    return ProgramProfile(
+        name=name,
+        memory_intensity=mem,
+        fp_intensity=fp,
+        branchiness=br,
+        ilp=ilp,
+        phase_volatility=vol,
+        num_phases=num_phases,
+    )
+
+
+def spec_program(name: str) -> Workload:
+    """The synthetic analog of a SPEC CPU2006 program, by full name
+    (``"433.milc"``) or numeric prefix (``"433"``).
+
+    Both spellings return the same cached object.
+    """
+    return _spec_program_cached(_resolve_spec_name(name))
+
+
+@lru_cache(maxsize=None)
+def _spec_program_cached(full: str) -> Workload:
+    return make_program(_axes_to_profile(full, _SPEC_AXES[full]), suite="SPEC")
+
+
+@lru_cache(maxsize=None)
+def parsec_program(name: str) -> Workload:
+    """The synthetic analog of a PARSEC program."""
+    if name not in _PARSEC_AXES:
+        raise KeyError("unknown PARSEC program {!r}".format(name))
+    return make_program(_axes_to_profile(name, _PARSEC_AXES[name]), suite="PARSEC")
+
+
+@lru_cache(maxsize=None)
+def npb_program(name: str) -> Workload:
+    """The synthetic analog of an NPB kernel."""
+    if name not in _NPB_AXES:
+        raise KeyError("unknown NPB kernel {!r}".format(name))
+    return make_program(_axes_to_profile(name, _NPB_AXES[name]), suite="NPB")
+
+
+def _resolve_spec_name(name: str) -> str:
+    if name in _SPEC_AXES:
+        return name
+    for full in _SPEC_AXES:
+        if full.split(".")[0] == name:
+            return full
+    raise KeyError("unknown SPEC program {!r}".format(name))
+
+
+@dataclass(frozen=True)
+class BenchmarkCombination:
+    """One of the 152 benchmark combinations.
+
+    ``kind`` distinguishes multi-programmed combos (distinct programs,
+    one per compute unit, the SPEC style) from multi-threaded runs
+    (one program on several cores, the PARSEC/NPB style).
+    """
+
+    name: str
+    suite: Suite
+    workloads: Tuple[Workload, ...]
+    kind: str  # "multiprogram" | "multithread"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("multiprogram", "multithread"):
+            raise ValueError("unknown combination kind {!r}".format(self.kind))
+        if not self.workloads:
+            raise ValueError("a combination needs at least one workload")
+
+    @property
+    def num_contexts(self) -> int:
+        """How many cores the combination occupies."""
+        return len(self.workloads)
+
+    def assignment(self, spec) -> "CoreAssignment":
+        """Pin this combination onto ``spec`` the way the paper does:
+        multi-programmed combos spread one program per CU; multi-threaded
+        runs pack threads onto consecutive cores."""
+        from repro.hardware.platform import CoreAssignment
+
+        if self.kind == "multiprogram":
+            if self.num_contexts <= spec.num_cus:
+                return CoreAssignment.one_per_cu(spec, self.workloads)
+            return CoreAssignment.packed(self.workloads)
+        return CoreAssignment.packed(self.workloads)
+
+
+def spec_combinations() -> List[BenchmarkCombination]:
+    """The 61 SPEC multi-programmed combinations (29 + 15 + 10 + 7)."""
+    combos: List[BenchmarkCombination] = []
+    for full in SPEC_PROGRAMS:
+        prefix = full.split(".")[0]
+        combos.append(
+            BenchmarkCombination(
+                name=prefix,
+                suite=Suite.SPEC,
+                workloads=(spec_program(full),),
+                kind="multiprogram",
+            )
+        )
+    for group in (_SPEC_DOUBLES, _SPEC_TRIPLES, _SPEC_QUADS):
+        for prefixes in group:
+            combos.append(
+                BenchmarkCombination(
+                    name="+".join(prefixes),
+                    suite=Suite.SPEC,
+                    workloads=tuple(spec_program(p) for p in prefixes),
+                    kind="multiprogram",
+                )
+            )
+    return combos
+
+
+_THREAD_COUNTS = (1, 2, 4, 8)
+
+
+def parsec_runs() -> List[BenchmarkCombination]:
+    """The 51 PARSEC multi-threaded runs (13 programs x 4 thread counts,
+    minus the 8-thread facesim run to match the paper's count)."""
+    runs: List[BenchmarkCombination] = []
+    for name in PARSEC_PROGRAMS:
+        for threads in _THREAD_COUNTS:
+            if name == "facesim" and threads == 8:
+                continue
+            program = parsec_program(name)
+            runs.append(
+                BenchmarkCombination(
+                    name="{}-{}t".format(name, threads),
+                    suite=Suite.PARSEC,
+                    workloads=(program,) * threads,
+                    kind="multithread",
+                )
+            )
+    return runs
+
+
+def npb_runs() -> List[BenchmarkCombination]:
+    """The 40 NPB multi-threaded runs (10 kernels x 4 thread counts)."""
+    runs: List[BenchmarkCombination] = []
+    for name in NPB_PROGRAMS:
+        for threads in _THREAD_COUNTS:
+            program = npb_program(name)
+            runs.append(
+                BenchmarkCombination(
+                    name="{}-{}t".format(name, threads),
+                    suite=Suite.NPB,
+                    workloads=(program,) * threads,
+                    kind="multithread",
+                )
+            )
+    return runs
+
+
+def build_roster() -> List[BenchmarkCombination]:
+    """All 152 benchmark combinations, SPEC then PARSEC then NPB."""
+    roster = spec_combinations() + parsec_runs() + npb_runs()
+    if len(roster) != 152:
+        raise AssertionError(
+            "roster size drifted: {} (expected 152)".format(len(roster))
+        )
+    return roster
+
+
+def single_threaded_programs() -> List[Workload]:
+    """The 52 single-threaded programs (29 SPEC + 13 PARSEC + 10 NPB)
+    used for the Section III CPI validation and the Observation checks."""
+    programs = [spec_program(name) for name in SPEC_PROGRAMS]
+    programs += [parsec_program(name) for name in PARSEC_PROGRAMS]
+    programs += [npb_program(name) for name in NPB_PROGRAMS]
+    if len(programs) != 52:
+        raise AssertionError("expected 52 single-threaded programs")
+    return programs

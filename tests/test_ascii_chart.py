@@ -1,0 +1,58 @@
+"""Tests for the ASCII time-series renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_series
+
+
+class TestRenderSeries:
+    def test_basic_shape(self):
+        chart = render_series([1.0, 2.0, 3.0], width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 6  # height rows + axis
+        assert lines[-1].rstrip().endswith("-" * 20)
+
+    def test_y_axis_annotations(self):
+        chart = render_series([10.0, 20.0], width=10, height=5)
+        assert "20.0" in chart
+        assert "10.0" in chart
+        assert "15.0" in chart  # midpoint
+
+    def test_monotone_series_descends_visually(self):
+        chart = render_series(list(range(100)), width=40, height=8)
+        lines = chart.splitlines()[:-1]
+        first_row_cols = [i for i, c in enumerate(lines[0][10:]) if c == "*"]
+        last_row_cols = [i for i, c in enumerate(lines[-1][10:]) if c == "*"]
+        # The max value is plotted at the right, the min at the left.
+        assert max(first_row_cols) > max(last_row_cols)
+
+    def test_downsampling_preserves_width(self):
+        chart = render_series(list(range(10000)), width=30, height=5)
+        for line in chart.splitlines()[:-1]:
+            body = line.split("|", 1)[1]
+            assert len(body) == 30
+
+    def test_short_series_not_stretched(self):
+        chart = render_series([1.0, 2.0], width=30, height=5)
+        body_chars = sum(line.count("*") for line in chart.splitlines())
+        assert body_chars == 2
+
+    def test_reference_layer_uses_its_label(self):
+        chart = render_series(
+            [5.0] * 10, reference=[10.0] * 10, labels=("*", "o", "-")
+        )
+        assert "-" * 5 in chart.replace("+", "").split("|", 1)[1] or "-" in chart
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = render_series([7.0] * 20)
+        assert "*" in chart
+
+    def test_two_series(self):
+        chart = render_series([1.0] * 10, second=[2.0] * 10)
+        assert "*" in chart and "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series([])
+        with pytest.raises(ValueError):
+            render_series([1.0], width=2, height=2)

@@ -1,0 +1,79 @@
+"""Tests for the PPEP-driven boost controller extension."""
+
+import pytest
+
+from repro.analysis.trace import TraceLibrary
+from repro.core.ppep import PPEPTrainer
+from repro.dvfs.boost import BoostController, boosted_fx8320_spec
+from repro.dvfs.governor import run_controlled
+from repro.hardware.platform import CoreAssignment, Platform
+from repro.workloads.suites import spec_combinations
+
+
+@pytest.fixture(scope="module")
+def boost_setup():
+    spec = boosted_fx8320_spec()
+    trainer = PPEPTrainer(spec, bench_intervals=8, cool_intervals=100)
+    ppep = trainer.train(spec_combinations()[:4], TraceLibrary())
+    return spec, ppep
+
+
+class TestBoostedSpec:
+    def test_seven_states_with_boost_on_top(self):
+        spec = boosted_fx8320_spec()
+        assert len(spec.vf_table) == 7
+        assert spec.vf_table.fastest.frequency_ghz == pytest.approx(4.0)
+        assert spec.vf_table.by_index(5).frequency_ghz == pytest.approx(3.5)
+
+    def test_topology_unchanged(self):
+        spec = boosted_fx8320_spec()
+        assert spec.num_cores == 8
+        assert spec.supports_power_gating
+
+
+class TestBoostController:
+    def make_platform(self, spec, n_busy=1, temperature=320.0):
+        platform = Platform(spec, seed=77, power_gating=True,
+                            initial_temperature=temperature)
+        combo = spec_combinations()[6]
+        platform.set_assignment(
+            CoreAssignment.one_per_cu(spec, list(combo.workloads[:1]) * n_busy)
+        )
+        return platform
+
+    def test_boosts_light_load_under_big_budget(self, boost_setup):
+        spec, ppep = boost_setup
+        controller = BoostController(ppep, power_budget=120.0)
+        platform = self.make_platform(spec, n_busy=1)
+        run = run_controlled(platform, controller, 4,
+                             initial_vf=spec.vf_table.by_index(5))
+        assert controller.is_boosting(run.decisions[-1])
+
+    def test_respects_tight_budget(self, boost_setup):
+        spec, ppep = boost_setup
+        controller = BoostController(ppep, power_budget=30.0)
+        platform = self.make_platform(spec, n_busy=4)
+        run = run_controlled(platform, controller, 6,
+                             initial_vf=spec.vf_table.by_index(5))
+        # After the first decision takes effect, power stays under budget.
+        for power in run.measured_powers[2:]:
+            assert power < 30.0 * 1.15
+
+    def test_thermal_ceiling_blocks_boost(self, boost_setup):
+        spec, ppep = boost_setup
+        controller = BoostController(
+            ppep, power_budget=150.0, temperature_ceiling=300.0  # always hot
+        )
+        platform = self.make_platform(spec, n_busy=1, temperature=330.0)
+        run = run_controlled(platform, controller, 3,
+                             initial_vf=spec.vf_table.by_index(5))
+        for decision in run.decisions:
+            assert not controller.is_boosting(decision)
+            assert max(vf.index for vf in decision) <= 5
+
+    def test_parameter_validation(self, boost_setup):
+        _spec, ppep = boost_setup
+        with pytest.raises(ValueError):
+            BoostController(ppep, power_budget=0.0)
+        with pytest.raises(ValueError):
+            BoostController(ppep, power_budget=50.0, margin=1.5)

@@ -1,0 +1,54 @@
+"""Smoke tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_registry_contract(self):
+        # Every registered experiment module exposes the uniform API.
+        for name, (module, description) in EXPERIMENTS.items():
+            assert callable(module.run), name
+            assert callable(module.format_report), name
+            assert description
+
+    def test_run_table1_quick(self, capsys):
+        assert main(["run", "table1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PMCx0c1" in out
+        assert "finished in" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportCommand:
+    def test_assembles_reports(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig99.txt").write_text("made-up table\n")
+        out = tmp_path / "summary.txt"
+        assert main(["report", "--results-dir", str(results),
+                     "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "fig99" in text and "made-up table" in text
+
+    def test_missing_directory_fails_cleanly(self, tmp_path):
+        assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1
+
+    def test_empty_directory_fails_cleanly(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert main(["report", "--results-dir", str(empty)]) == 1

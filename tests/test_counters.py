@@ -1,0 +1,93 @@
+"""Unit tests for performance-counter multiplexing."""
+
+import pytest
+
+from repro.hardware.counters import GROUP_A, GROUP_B, CounterUnit
+from repro.hardware.events import Event, EventVector, NUM_EVENTS
+
+
+def uniform_slice(value: float = 100.0) -> EventVector:
+    return EventVector([value] * NUM_EVENTS)
+
+
+class TestGrouping:
+    def test_groups_partition_all_events(self):
+        assert len(set(GROUP_A) | set(GROUP_B)) == NUM_EVENTS
+        assert set(GROUP_A).isdisjoint(GROUP_B)
+
+    def test_groups_fit_hardware_budget(self):
+        assert len(GROUP_A) <= CounterUnit.NUM_HARDWARE_COUNTERS
+        assert len(GROUP_B) <= CounterUnit.NUM_HARDWARE_COUNTERS
+
+    def test_cpi_inputs_share_a_group(self):
+        # E10/E11/E12 must be internally consistent, so they are
+        # scheduled together.
+        cpi_events = {
+            Event.CPU_CLOCKS_NOT_HALTED,
+            Event.RETIRED_INSTRUCTIONS,
+            Event.MAB_WAIT_CYCLES,
+        }
+        assert cpi_events <= set(GROUP_B)
+
+    def test_slices_alternate_groups(self):
+        assert CounterUnit.group_of_slice(0) == 0
+        assert CounterUnit.group_of_slice(1) == 1
+        assert CounterUnit.group_of_slice(8) == 0
+
+
+class TestExtrapolation:
+    def test_stationary_program_extrapolates_exactly(self):
+        unit = CounterUnit()
+        for _ in range(10):
+            unit.observe_slice(uniform_slice(100.0))
+        estimate = unit.read_interval(10)
+        for event in Event:
+            assert estimate[event] == pytest.approx(1000.0)
+
+    def test_phase_change_causes_group_skew(self):
+        # Phase doubles its rates halfway through the interval, aligned
+        # so group A sees more of the hot phase than group B would be
+        # entitled to: extrapolated counts split away from the truth.
+        unit = CounterUnit()
+        truth = EventVector.zeros()
+        for i in range(10):
+            value = 100.0 if i != 9 else 2000.0  # burst in a group-B slice
+            s = uniform_slice(value)
+            truth += s
+            unit.observe_slice(s)
+        estimate = unit.read_interval(10)
+        a_event = GROUP_A[0]
+        b_event = GROUP_B[0]
+        assert estimate[a_event] < truth[a_event]
+        assert estimate[b_event] > truth[b_event]
+
+    def test_read_resets_state(self):
+        unit = CounterUnit()
+        unit.observe_slice(uniform_slice(50.0))
+        unit.read_interval(1)
+        unit.observe_slice(uniform_slice(10.0))
+        estimate = unit.read_interval(1)
+        assert estimate[GROUP_A[0]] == pytest.approx(10.0)
+
+    def test_never_scheduled_group_reads_zero(self):
+        unit = CounterUnit()
+        unit.observe_slice(uniform_slice(100.0))  # only group A ran
+        estimate = unit.read_interval(1)
+        assert estimate[GROUP_A[0]] == pytest.approx(100.0)
+        assert estimate[GROUP_B[0]] == 0.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CounterUnit().read_interval(0)
+
+    def test_extrapolation_preserves_within_group_ratios(self):
+        # Ratios of two same-group events survive multiplexing exactly.
+        unit = CounterUnit()
+        for i in range(10):
+            s = EventVector.zeros()
+            scale = 1.0 + i  # wildly non-stationary
+            s[Event.CPU_CLOCKS_NOT_HALTED] = 200.0 * scale
+            s[Event.RETIRED_INSTRUCTIONS] = 100.0 * scale
+            unit.observe_slice(s)
+        estimate = unit.read_interval(10)
+        assert estimate.cpi == pytest.approx(2.0)

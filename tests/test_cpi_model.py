@@ -1,0 +1,125 @@
+"""Unit tests for the LL-MAB CPI predictor (Eq. 1) and the segment
+methodology of Section III."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpi_model import (
+    CPIModel,
+    CPISample,
+    segment_cycles,
+    segment_prediction_errors,
+)
+from repro.hardware.events import Event, EventVector
+
+
+def sample(cpi=2.0, mcpi=0.5, f=3.5):
+    return CPISample(cpi=cpi, mcpi=mcpi, frequency_ghz=f)
+
+
+class TestCPISample:
+    def test_ccpi(self):
+        assert sample(cpi=2.0, mcpi=0.5).ccpi == pytest.approx(1.5)
+
+    def test_ccpi_clamped_nonnegative(self):
+        assert sample(cpi=0.4, mcpi=0.5).ccpi == 0.0
+
+    def test_from_events(self):
+        events = EventVector.from_mapping(
+            {
+                Event.CPU_CLOCKS_NOT_HALTED: 400.0,
+                Event.RETIRED_INSTRUCTIONS: 100.0,
+                Event.MAB_WAIT_CYCLES: 100.0,
+            }
+        )
+        s = CPISample.from_events(events, 2.0)
+        assert s.cpi == pytest.approx(4.0)
+        assert s.mcpi == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPISample(cpi=-1.0, mcpi=0.0, frequency_ghz=1.0)
+        with pytest.raises(ValueError):
+            CPISample(cpi=1.0, mcpi=0.0, frequency_ghz=0.0)
+
+
+class TestEquationOne:
+    def test_identity_at_same_frequency(self):
+        s = sample()
+        assert CPIModel.predict_cpi(s, s.frequency_ghz) == pytest.approx(s.cpi)
+
+    def test_memory_cpi_scales_with_frequency(self):
+        s = sample(cpi=2.0, mcpi=1.0, f=2.0)
+        # CPI(4GHz) = 1.0 + 1.0 * 4/2 = 3.0
+        assert CPIModel.predict_cpi(s, 4.0) == pytest.approx(3.0)
+        assert CPIModel.predict_mcpi(s, 4.0) == pytest.approx(2.0)
+
+    def test_cpu_bound_cpi_is_frequency_invariant(self):
+        s = sample(cpi=1.5, mcpi=0.0, f=3.5)
+        for f in (1.4, 2.3, 3.5):
+            assert CPIModel.predict_cpi(s, f) == pytest.approx(1.5)
+
+    def test_time_per_instruction(self):
+        s = sample(cpi=2.0, mcpi=0.0, f=2.0)
+        # 2 cycles at 2 GHz = 1 ns; at 4 GHz = 0.5 ns.
+        assert CPIModel.predict_time_per_instruction_ns(s, 4.0) == pytest.approx(0.5)
+
+    def test_speedup_bounds(self):
+        cpu = sample(cpi=1.0, mcpi=0.0, f=1.4)
+        mem = sample(cpi=5.0, mcpi=4.9, f=1.4)
+        cpu_speedup = CPIModel.speedup(cpu, 3.5)
+        mem_speedup = CPIModel.speedup(mem, 3.5)
+        assert cpu_speedup == pytest.approx(2.5)
+        assert 1.0 < mem_speedup < 1.1
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            CPIModel.predict_cpi(sample(), 0.0)
+
+
+class TestSegmentation:
+    def test_uniform_trace_splits_evenly(self):
+        inst = [100.0] * 10
+        cycles = [200.0] * 10
+        segments = segment_cycles(inst, cycles, [500.0, 1000.0])
+        assert segments == pytest.approx([1000.0, 1000.0])
+
+    def test_interpolates_within_interval(self):
+        inst = [100.0, 100.0]
+        cycles = [100.0, 300.0]
+        segments = segment_cycles(inst, cycles, [150.0])
+        # First 150 instructions: all of interval 0 (100 cycles) plus
+        # half of interval 1 (150 cycles).
+        assert segments == pytest.approx([250.0])
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            segment_cycles([10.0], [10.0], [5.0, 5.0])
+
+    def test_boundaries_cannot_exceed_trace(self):
+        with pytest.raises(ValueError):
+            segment_cycles([10.0], [10.0], [20.0])
+
+    def test_prediction_errors_zero_for_perfect_model(self):
+        src_inst = [100.0] * 10
+        src_pred = [250.0] * 10
+        tgt_inst = [125.0] * 8
+        tgt_cycles = [312.5] * 8  # same cycles-per-instruction
+        errors = segment_prediction_errors(
+            src_inst, src_pred, tgt_inst, tgt_cycles, 200.0
+        )
+        assert np.allclose(errors, 0.0)
+
+    def test_prediction_errors_detect_bias(self):
+        src_inst = [100.0] * 10
+        src_pred = [220.0] * 10  # predicts 2.2 cycles/inst
+        tgt_inst = [100.0] * 10
+        tgt_cycles = [200.0] * 10  # measured 2.0 cycles/inst
+        errors = segment_prediction_errors(
+            src_inst, src_pred, tgt_inst, tgt_cycles, 250.0
+        )
+        assert np.allclose(errors, 0.1)
+
+    def test_too_short_for_segment(self):
+        with pytest.raises(ValueError):
+            segment_prediction_errors([1.0], [1.0], [1.0], [1.0], 100.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the 4-fold cross-validation harness."""
+
+import pytest
+
+from repro.core.crossval import cross_validate, kfold_split
+
+
+class TestKFold:
+    def test_every_item_tested_exactly_once(self):
+        items = list(range(20))
+        splits = kfold_split(items, k=4, seed=1)
+        tested = [item for _train, test in splits for item in test]
+        assert sorted(tested) == items
+
+    def test_train_and_test_disjoint(self):
+        for train, test in kfold_split(list(range(17)), k=4):
+            assert set(train).isdisjoint(test)
+            assert len(train) + len(test) == 17
+
+    def test_fold_sizes_near_equal(self):
+        splits = kfold_split(list(range(152)), k=4)
+        sizes = [len(test) for _train, test in splits]
+        assert all(size == 38 for size in sizes)
+
+    def test_deterministic_given_seed(self):
+        a = kfold_split(list(range(30)), k=4, seed=9)
+        b = kfold_split(list(range(30)), k=4, seed=9)
+        assert a == b
+
+    def test_seed_changes_split(self):
+        a = kfold_split(list(range(30)), k=4, seed=1)
+        b = kfold_split(list(range(30)), k=4, seed=2)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_split([1, 2, 3], k=1)
+        with pytest.raises(ValueError):
+            kfold_split([1, 2], k=4)
+
+
+class TestCrossValidate:
+    def test_drives_train_and_test(self):
+        items = list(range(8))
+        trained_on = []
+
+        def train_fn(train):
+            trained_on.append(tuple(sorted(train)))
+            return set(train)
+
+        def test_fn(model, item):
+            return {"item": item, "leaked": item in model}
+
+        results = cross_validate(items, train_fn, test_fn, k=4, seed=3)
+        assert len(results) == 8
+        assert len(trained_on) == 4
+        # No test item was ever inside its own training set.
+        assert not any(r["leaked"] for r in results)
+        assert all("fold" in r for r in results)

@@ -1,0 +1,78 @@
+"""Documentation quality gates.
+
+A reproduction is only useful if the next reader can navigate it; these
+tests enforce the documentation floor mechanically: every module and
+every public class/function in the library carries a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _library_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+MODULES = _library_modules()
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_module_has_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_public_classes_documented(self, module):
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue  # re-export; documented at home
+            assert obj.__doc__ and obj.__doc__.strip(), "{}.{}".format(
+                module.__name__, name
+            )
+
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_public_functions_documented(self, module):
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isfunction(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue
+            assert obj.__doc__ and obj.__doc__.strip(), "{}.{}".format(
+                module.__name__, name
+            )
+
+
+class TestRepositoryDocs:
+    def test_design_doc_lists_every_experiment_bench(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        design = open(os.path.join(root, "DESIGN.md")).read()
+        benches = [
+            n for n in os.listdir(os.path.join(root, "benchmarks"))
+            if n.startswith("bench_")
+        ]
+        # Every paper figure/table bench is indexed in DESIGN.md.
+        for name in benches:
+            if name in ("bench_nb_frontier.py", "bench_thread_packing.py"):
+                continue  # extensions are indexed by module name instead
+            assert name in design, name
+
+    def test_experiments_ledger_covers_all_figures(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        ledger = open(os.path.join(root, "EXPERIMENTS.md")).read()
+        for figure in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 6",
+                       "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11"):
+            assert figure in ledger, figure

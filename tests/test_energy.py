@@ -1,0 +1,80 @@
+"""Unit tests for energy/EDP prediction records and selection."""
+
+import pytest
+
+from repro.core.energy import EnergyPredictor, VFPrediction
+from repro.hardware.platform import INTERVAL_S
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+VF5 = FX8320_VF_TABLE.by_index(5)
+VF1 = FX8320_VF_TABLE.by_index(1)
+
+
+def prediction(vf=VF5, ips=1e9, dynamic=30.0, idle=20.0, nb=8.0):
+    return VFPrediction(
+        vf=vf,
+        core_cpis=(1.5,),
+        instructions_per_second=ips,
+        dynamic_power=dynamic,
+        idle_power=idle,
+        nb_power=nb,
+    )
+
+
+class TestVFPrediction:
+    def test_chip_power(self):
+        assert prediction().chip_power == pytest.approx(50.0)
+
+    def test_core_power_complements_nb(self):
+        p = prediction()
+        assert p.core_power == pytest.approx(p.chip_power - p.nb_power)
+
+    def test_energy_per_interval(self):
+        assert prediction().energy_per_interval == pytest.approx(50.0 * INTERVAL_S)
+
+    def test_energy_per_instruction(self):
+        p = prediction(ips=1e9, dynamic=30.0, idle=20.0)
+        assert p.energy_per_instruction == pytest.approx(50.0 / 1e9)
+
+    def test_edp_per_instruction(self):
+        p = prediction(ips=1e9)
+        assert p.edp_per_instruction == pytest.approx(50.0 / 1e18)
+
+    def test_idle_chip_has_infinite_energy_per_instruction(self):
+        p = prediction(ips=0.0)
+        assert p.energy_per_instruction == float("inf")
+        assert p.edp_per_instruction == float("inf")
+
+
+class TestSelection:
+    def test_best_energy(self):
+        fast = prediction(vf=VF5, ips=2e9, dynamic=60.0, idle=30.0)  # 45 nJ/inst
+        slow = prediction(vf=VF1, ips=1e9, dynamic=10.0, idle=15.0)  # 25 nJ/inst
+        assert EnergyPredictor.best_energy([fast, slow]) is slow
+
+    def test_best_edp_prefers_speed(self):
+        fast = prediction(vf=VF5, ips=2e9, dynamic=60.0, idle=30.0)
+        slow = prediction(vf=VF1, ips=1e9, dynamic=10.0, idle=15.0)
+        # EDP: fast 90/4e18 = 22.5e-18, slow 25/1e18 = 25e-18.
+        assert EnergyPredictor.best_edp([fast, slow]) is fast
+
+    def test_cap_selection_picks_fastest_eligible(self):
+        a = prediction(vf=VF5, ips=2e9, dynamic=70.0, idle=30.0)  # 100 W
+        b = prediction(vf=VF1, ips=1.5e9, dynamic=40.0, idle=20.0)  # 60 W
+        c = prediction(vf=VF1, ips=1e9, dynamic=20.0, idle=15.0)  # 35 W
+        chosen = EnergyPredictor.best_performance_under_cap([a, b, c], 65.0)
+        assert chosen is b
+
+    def test_cap_selection_none_when_impossible(self):
+        a = prediction(dynamic=70.0, idle=30.0)
+        assert EnergyPredictor.best_performance_under_cap([a], 10.0) is None
+
+    def test_empty_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyPredictor.best_energy([])
+        with pytest.raises(ValueError):
+            EnergyPredictor.best_edp([])
+
+    def test_next_interval_energy(self):
+        p = prediction()
+        assert EnergyPredictor.next_interval_energy(p) == p.energy_per_interval

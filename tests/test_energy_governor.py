@@ -1,0 +1,79 @@
+"""Unit tests for the energy/EDP governors."""
+
+import pytest
+
+from repro.core.energy import VFPrediction
+from repro.dvfs.energy_governor import EnergyGovernor, PolicyObjective, StaticGovernor
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+
+class FakePPEP:
+    """A PPEP stand-in emitting pre-baked predictions."""
+
+    def __init__(self, predictions):
+        self.spec = FX8320_SPEC
+        self._predictions = {p.vf.index: p for p in predictions}
+
+    def analyze(self, sample):
+        from repro.core.ppep import PPEPSnapshot
+
+        return PPEPSnapshot(
+            time=0.0,
+            temperature=320.0,
+            measured_power=50.0,
+            states=[],
+            predictions=self._predictions,
+            current_estimate=50.0,
+        )
+
+
+def prediction(vf_index, ips, power):
+    vf = FX8320_VF_TABLE.by_index(vf_index)
+    return VFPrediction(
+        vf=vf,
+        core_cpis=(),
+        instructions_per_second=ips,
+        dynamic_power=power * 0.6,
+        idle_power=power * 0.4,
+        nb_power=power * 0.2,
+    )
+
+
+class TestEnergyGovernor:
+    def test_energy_objective_picks_min_energy_per_inst(self):
+        preds = [
+            prediction(5, ips=2e9, power=100.0),  # 50 nJ/inst
+            prediction(1, ips=1e9, power=30.0),  # 30 nJ/inst
+        ]
+        governor = EnergyGovernor(FakePPEP(preds), PolicyObjective.ENERGY)
+        decision = governor.decide(sample=None)
+        assert all(vf.index == 1 for vf in decision)
+
+    def test_edp_objective_can_prefer_speed(self):
+        preds = [
+            prediction(5, ips=2e9, power=100.0),  # EDP 25e-18
+            prediction(1, ips=1e9, power=30.0),  # EDP 30e-18
+        ]
+        governor = EnergyGovernor(FakePPEP(preds), PolicyObjective.EDP)
+        decision = governor.decide(sample=None)
+        assert all(vf.index == 5 for vf in decision)
+
+    def test_idle_chip_parks_at_slowest(self):
+        preds = [prediction(5, ips=0.0, power=40.0), prediction(1, ips=0.0, power=12.0)]
+        governor = EnergyGovernor(FakePPEP(preds), PolicyObjective.ENERGY)
+        decision = governor.decide(sample=None)
+        assert all(vf.index == 1 for vf in decision)
+
+    def test_objective_coerced_from_string(self):
+        governor = EnergyGovernor(FakePPEP([prediction(1, 1e9, 10.0)]), "edp")
+        assert governor.objective is PolicyObjective.EDP
+
+
+class TestStaticGovernor:
+    def test_always_returns_fixed_vf(self):
+        vf3 = FX8320_VF_TABLE.by_index(3)
+        governor = StaticGovernor(vf3, num_cus=4)
+        decision = governor.decide(sample=None)
+        assert len(decision) == 4
+        assert all(vf is vf3 for vf in decision)

@@ -1,0 +1,142 @@
+"""Unit tests for the cross-VF hardware event predictor."""
+
+import pytest
+
+from repro.core.event_predictor import CoreEventState, EventPredictor
+from repro.hardware.events import CORE_PRIVATE_EVENTS, Event, EventVector
+from repro.hardware.platform import INTERVAL_S
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+VF5 = FX8320_VF_TABLE.by_index(5)
+VF2 = FX8320_VF_TABLE.by_index(2)
+VF1 = FX8320_VF_TABLE.by_index(1)
+
+
+def interval_events(
+    inst=1e8,
+    cpi=2.0,
+    mcpi=0.7,
+    ds_per_inst=0.9,
+    uops_per_inst=1.3,
+    duty=1.0,
+    vf=VF5,
+):
+    """Synthesize a consistent interval event vector."""
+    cycles = inst * cpi
+    available = vf.frequency_ghz * 1e9 * INTERVAL_S
+    scale = duty * available / cycles
+    inst *= scale
+    return EventVector.from_mapping(
+        {
+            Event.RETIRED_INSTRUCTIONS: inst,
+            Event.CPU_CLOCKS_NOT_HALTED: inst * cpi,
+            Event.MAB_WAIT_CYCLES: inst * mcpi,
+            Event.DISPATCH_STALLS: inst * ds_per_inst,
+            Event.RETIRED_UOPS: inst * uops_per_inst,
+            Event.DC_ACCESSES: inst * 0.4,
+            Event.L2_MISSES: inst * 0.01,
+        }
+    )
+
+
+def state(vf=VF5, **kw):
+    return CoreEventState(interval_events(vf=vf, **kw), vf, INTERVAL_S)
+
+
+class TestCoreEventState:
+    def test_idle_state_inactive(self):
+        s = CoreEventState(EventVector.zeros(), VF5, INTERVAL_S)
+        assert not s.active
+        assert s.duty == 0.0
+
+    def test_duty_cycle(self):
+        s = state(duty=0.5)
+        assert s.duty == pytest.approx(0.5, rel=1e-6)
+
+    def test_obs2_gap(self):
+        s = state(cpi=2.0, ds_per_inst=0.9)
+        assert s.obs2_gap == pytest.approx(1.1)
+
+    def test_instruction_rate_cpu_bound_scales_with_f(self):
+        s = state(cpi=1.5, mcpi=0.0)
+        r5 = s.instructions_per_second_at(VF5)
+        r1 = s.instructions_per_second_at(VF1)
+        assert r5 / r1 == pytest.approx(VF5.frequency_ghz / VF1.frequency_ghz)
+
+    def test_instruction_rate_memory_bound_barely_scales(self):
+        s = state(cpi=3.0, mcpi=2.9)
+        r5 = s.instructions_per_second_at(VF5)
+        r1 = s.instructions_per_second_at(VF1)
+        assert r5 / r1 < 1.1
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            CoreEventState(EventVector.zeros(), VF5, 0.0)
+
+
+class TestEventPredictor:
+    predictor = EventPredictor()
+
+    def test_idle_core_predicts_zero(self):
+        s = CoreEventState(EventVector.zeros(), VF5, INTERVAL_S)
+        predicted = self.predictor.predict(s, VF1)
+        assert predicted.instructions_per_second == 0.0
+        assert predicted.rates == EventVector.zeros()
+
+    def test_self_prediction_reproduces_rates(self):
+        s = state()
+        predicted = self.predictor.predict(s, VF5)
+        for event in CORE_PRIVATE_EVENTS:
+            original_rate = s.per_inst[event] * s.instructions / INTERVAL_S
+            assert predicted.rates[event] == pytest.approx(
+                original_rate, rel=1e-6
+            )
+        assert predicted.cpi == pytest.approx(s.cpi_sample.cpi)
+
+    def test_observation1_preserved(self):
+        s = state()
+        predicted = self.predictor.predict(s, VF2)
+        inst_rate = predicted.rates[Event.RETIRED_INSTRUCTIONS]
+        for event in CORE_PRIVATE_EVENTS:
+            if s.per_inst[event] > 0:
+                assert predicted.rates[event] / inst_rate == pytest.approx(
+                    s.per_inst[event], rel=1e-9
+                )
+
+    def test_observation2_preserved(self):
+        s = state(cpi=2.0, mcpi=0.7, ds_per_inst=0.9)
+        predicted = self.predictor.predict(s, VF2)
+        inst_rate = predicted.rates[Event.RETIRED_INSTRUCTIONS]
+        ds_per_inst = predicted.rates[Event.DISPATCH_STALLS] / inst_rate
+        assert predicted.cpi - ds_per_inst == pytest.approx(
+            s.obs2_gap, rel=1e-9
+        )
+
+    def test_stall_rate_clamped_at_zero(self):
+        # A core with no stalls and big memory CPI predicted down in
+        # frequency: CPI(f') < gap would give negative stalls.
+        s = state(cpi=2.0, mcpi=1.9, ds_per_inst=0.0)
+        predicted = self.predictor.predict(s, VF1)
+        assert predicted.rates[Event.DISPATCH_STALLS] >= 0.0
+
+    def test_clock_rate_prediction(self):
+        s = state(duty=1.0)
+        predicted = self.predictor.predict(s, VF1)
+        assert predicted.rates[Event.CPU_CLOCKS_NOT_HALTED] == pytest.approx(
+            VF1.frequency_ghz * 1e9, rel=1e-6
+        )
+
+    def test_duty_carries_over(self):
+        full = self.predictor.predict(state(duty=1.0), VF2)
+        half = self.predictor.predict(state(duty=0.5), VF2)
+        assert half.instructions_per_second == pytest.approx(
+            full.instructions_per_second / 2, rel=1e-6
+        )
+
+    def test_chip_rates_sum_cores(self):
+        states = [state(), state(), CoreEventState(EventVector.zeros(), VF5, INTERVAL_S)]
+        chip = self.predictor.predict_chip_rates(states, VF2)
+        single = self.predictor.predict(states[0], VF2).rates
+        assert chip[Event.RETIRED_INSTRUCTIONS] == pytest.approx(
+            2 * single[Event.RETIRED_INSTRUCTIONS], rel=1e-6
+        )

@@ -1,0 +1,167 @@
+"""Unit tests for the Table I event definitions and EventVector."""
+
+import pytest
+
+from repro.hardware.events import (
+    CORE_PRIVATE_EVENTS,
+    DYNAMIC_POWER_EVENTS,
+    EVENT_TABLE,
+    Event,
+    EventVector,
+    NB_PROXY_EVENTS,
+    NUM_EVENTS,
+    PERFORMANCE_EVENTS,
+    VOLTAGE_SCALED_EVENTS,
+    format_event_table,
+)
+
+
+class TestEventDefinitions:
+    def test_twelve_events(self):
+        assert NUM_EVENTS == 12
+        assert len(EVENT_TABLE) == 12
+
+    def test_paper_ids_are_one_based(self):
+        assert Event.RETIRED_UOPS.paper_id == "E1"
+        assert Event.MAB_WAIT_CYCLES.paper_id == "E12"
+
+    def test_dynamic_power_events_are_e1_to_e9(self):
+        assert [e.paper_id for e in DYNAMIC_POWER_EVENTS] == [
+            "E{}".format(i) for i in range(1, 10)
+        ]
+
+    def test_performance_events_are_e10_to_e12(self):
+        assert [e.paper_id for e in PERFORMANCE_EVENTS] == ["E10", "E11", "E12"]
+
+    def test_voltage_scaled_events_exclude_nb_proxies(self):
+        assert set(VOLTAGE_SCALED_EVENTS).isdisjoint(NB_PROXY_EVENTS)
+        assert len(VOLTAGE_SCALED_EVENTS) == 7
+
+    def test_nb_proxies_are_l2_miss_and_dispatch_stalls(self):
+        assert Event.L2_MISSES in NB_PROXY_EVENTS
+        assert Event.DISPATCH_STALLS in NB_PROXY_EVENTS
+
+    def test_core_private_events_are_e1_to_e8(self):
+        assert len(CORE_PRIVATE_EVENTS) == 8
+        assert Event.DISPATCH_STALLS not in CORE_PRIVATE_EVENTS
+
+    def test_pmc_codes_match_paper(self):
+        codes = {info.event: info.pmc_code for info in EVENT_TABLE}
+        assert codes[Event.RETIRED_INSTRUCTIONS] == "PMCx0c0"
+        assert codes[Event.MAB_WAIT_CYCLES] == "PMCx069"
+        assert codes[Event.DISPATCH_STALLS] == "PMCx0d1"
+
+    def test_info_roundtrip(self):
+        for event in Event:
+            assert event.info.event is event
+
+    def test_format_event_table_mentions_all_rows(self):
+        text = format_event_table()
+        for info in EVENT_TABLE:
+            assert info.pmc_code in text
+            assert info.paper_id in text
+
+
+class TestEventVector:
+    def test_zeros_by_default(self):
+        vec = EventVector()
+        assert all(v == 0.0 for v in vec)
+        assert len(vec) == NUM_EVENTS
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            EventVector([1.0, 2.0])
+
+    def test_item_access(self):
+        vec = EventVector.zeros()
+        vec[Event.RETIRED_UOPS] = 5.0
+        assert vec[Event.RETIRED_UOPS] == 5.0
+
+    def test_from_mapping_partial(self):
+        vec = EventVector.from_mapping({Event.L2_MISSES: 3.0})
+        assert vec[Event.L2_MISSES] == 3.0
+        assert vec[Event.RETIRED_UOPS] == 0.0
+
+    def test_addition(self):
+        a = EventVector.from_mapping({Event.RETIRED_UOPS: 1.0})
+        b = EventVector.from_mapping({Event.RETIRED_UOPS: 2.0})
+        assert (a + b)[Event.RETIRED_UOPS] == 3.0
+
+    def test_inplace_addition(self):
+        a = EventVector.from_mapping({Event.IC_FETCHES: 1.0})
+        a += EventVector.from_mapping({Event.IC_FETCHES: 4.0})
+        assert a[Event.IC_FETCHES] == 5.0
+
+    def test_subtraction(self):
+        a = EventVector.from_mapping({Event.DC_ACCESSES: 5.0})
+        b = EventVector.from_mapping({Event.DC_ACCESSES: 2.0})
+        assert (a - b)[Event.DC_ACCESSES] == 3.0
+
+    def test_scalar_multiplication_commutes(self):
+        a = EventVector.from_mapping({Event.RETIRED_BRANCHES: 2.0})
+        assert (a * 3)[Event.RETIRED_BRANCHES] == 6.0
+        assert (3 * a)[Event.RETIRED_BRANCHES] == 6.0
+
+    def test_division(self):
+        a = EventVector.from_mapping({Event.RETIRED_UOPS: 6.0})
+        assert (a / 2)[Event.RETIRED_UOPS] == 3.0
+
+    def test_copy_is_independent(self):
+        a = EventVector.from_mapping({Event.RETIRED_UOPS: 1.0})
+        b = a.copy()
+        b[Event.RETIRED_UOPS] = 9.0
+        assert a[Event.RETIRED_UOPS] == 1.0
+
+    def test_equality(self):
+        a = EventVector.from_mapping({Event.RETIRED_UOPS: 1.0})
+        b = EventVector.from_mapping({Event.RETIRED_UOPS: 1.0})
+        assert a == b
+        b[Event.L2_MISSES] = 1.0
+        assert a != b
+
+    def test_cpi_property(self):
+        vec = EventVector.from_mapping(
+            {
+                Event.CPU_CLOCKS_NOT_HALTED: 200.0,
+                Event.RETIRED_INSTRUCTIONS: 100.0,
+            }
+        )
+        assert vec.cpi == 2.0
+
+    def test_cpi_zero_when_idle(self):
+        assert EventVector.zeros().cpi == 0.0
+
+    def test_mcpi_property(self):
+        vec = EventVector.from_mapping(
+            {
+                Event.MAB_WAIT_CYCLES: 50.0,
+                Event.RETIRED_INSTRUCTIONS: 100.0,
+            }
+        )
+        assert vec.mcpi == 0.5
+
+    def test_per_instruction_normalisation(self):
+        vec = EventVector.from_mapping(
+            {
+                Event.RETIRED_UOPS: 130.0,
+                Event.RETIRED_INSTRUCTIONS: 100.0,
+            }
+        )
+        per_inst = vec.per_instruction()
+        assert per_inst[Event.RETIRED_UOPS] == pytest.approx(1.3)
+        assert per_inst[Event.RETIRED_INSTRUCTIONS] == pytest.approx(1.0)
+
+    def test_per_instruction_of_idle_core_is_zero(self):
+        assert EventVector.zeros().per_instruction() == EventVector.zeros()
+
+    def test_rates(self):
+        vec = EventVector.from_mapping({Event.RETIRED_UOPS: 10.0})
+        assert vec.rates(0.2)[Event.RETIRED_UOPS] == pytest.approx(50.0)
+
+    def test_rates_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            EventVector.zeros().rates(0.0)
+
+    def test_as_dict_covers_all_events(self):
+        d = EventVector.zeros().as_dict()
+        assert set(d) == set(Event)

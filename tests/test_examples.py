@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; they must not rot.  Each
+is executed in a subprocess (its own interpreter, like a user would)
+with a generous timeout; a non-zero exit or traceback fails the test.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+class TestExamples:
+    def test_all_examples_discovered(self):
+        assert len(EXAMPLES) >= 5  # quickstart + at least four scenarios
+        assert "quickstart.py" in EXAMPLES
+
+    @pytest.mark.parametrize("script", EXAMPLES)
+    def test_example_runs(self, script):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Traceback" not in result.stderr
+        assert result.stdout.strip()  # examples narrate what they do

@@ -1,0 +1,59 @@
+"""Unit tests for the fixed-width result renderers."""
+
+import pytest
+
+from repro.analysis.formatting import (
+    format_percent,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatPercent:
+    def test_default_digits(self):
+        assert format_percent(0.046) == "4.6%"
+
+    def test_custom_digits(self):
+        assert format_percent(0.04567, digits=2) == "4.57%"
+
+    def test_large_values(self):
+        assert format_percent(1.5) == "150.0%"
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        text = format_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "22" in lines[-1]
+
+    def test_title_gets_rule(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_columns_align(self):
+        text = format_table(["col"], [["a"], ["bbbb"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_plain(self):
+        text = format_series("s", {"x": 1.0, "y": 2.5})
+        assert text.startswith("s: ")
+        assert "x=1.00" in text and "y=2.50" in text
+
+    def test_percent_mode(self):
+        text = format_series("s", {"x": 0.25}, percent=True)
+        assert "x=25.0%" in text

@@ -1,0 +1,73 @@
+"""Unit tests for the DVFS controller loop."""
+
+import pytest
+
+from repro.dvfs.governor import ControlledRun, DVFSController, run_controlled
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.platform import CoreAssignment, INTERVAL_S, Platform
+from repro.workloads.synthetic import make_cpu_bound
+
+
+class RecordingController(DVFSController):
+    """Applies a fixed VF and records what it observed."""
+
+    def __init__(self, vf, num_cus):
+        self.vf = vf
+        self.num_cus = num_cus
+        self.observed = []
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+    def decide(self, sample):
+        self.observed.append(sample.measured_power)
+        return [self.vf] * self.num_cus
+
+
+class BadController(DVFSController):
+    def decide(self, sample):
+        return [FX8320_SPEC.vf_table.fastest]  # wrong width
+
+
+@pytest.fixture
+def loaded_platform():
+    p = Platform(FX8320_SPEC, seed=11, initial_temperature=318.0)
+    p.set_assignment(CoreAssignment.packed([make_cpu_bound("gov")]))
+    return p
+
+
+class TestRunControlled:
+    def test_collects_samples_and_decisions(self, loaded_platform):
+        ctrl = RecordingController(FX8320_SPEC.vf_table.slowest, 4)
+        run = run_controlled(loaded_platform, ctrl, 5)
+        assert len(run.samples) == 5
+        assert len(run.decisions) == 5
+        assert ctrl.resets == 1
+
+    def test_decision_applies_next_interval(self, loaded_platform):
+        # Controller demands VF1; the first interval still runs at the
+        # initial VF5, later intervals at VF1.
+        ctrl = RecordingController(FX8320_SPEC.vf_table.slowest, 4)
+        run = run_controlled(
+            loaded_platform, ctrl, 4, initial_vf=FX8320_SPEC.vf_table.fastest
+        )
+        assert run.samples[0].cu_vfs[0].index == 5
+        assert run.samples[2].cu_vfs[0].index == 1
+
+    def test_wrong_decision_width_rejected(self, loaded_platform):
+        with pytest.raises(ValueError):
+            run_controlled(loaded_platform, BadController(), 2)
+
+    def test_nonpositive_intervals_rejected(self, loaded_platform):
+        ctrl = RecordingController(FX8320_SPEC.vf_table.slowest, 4)
+        with pytest.raises(ValueError):
+            run_controlled(loaded_platform, ctrl, 0)
+
+    def test_run_accounting(self, loaded_platform):
+        ctrl = RecordingController(FX8320_SPEC.vf_table.fastest, 4)
+        run = run_controlled(loaded_platform, ctrl, 3)
+        assert run.total_energy() == pytest.approx(
+            sum(run.measured_powers) * INTERVAL_S
+        )
+        assert run.total_instructions() > 0

@@ -1,0 +1,77 @@
+"""Unit tests for the Green Governors baseline model."""
+
+import pytest
+
+from repro.dvfs.green_governors import (
+    GreenGovernorsModel,
+    fit_green_governors,
+)
+from repro.hardware.platform import INTERVAL_S
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+VF5 = FX8320_VF_TABLE.by_index(5)
+VF1 = FX8320_VF_TABLE.by_index(1)
+
+STATIC = {5: 40.0, 4: 30.0, 3: 22.0, 2: 17.0, 1: 13.0}
+
+
+def training_rows(k0=1.0, k1=8.0):
+    rows = []
+    for ipc in (0.5, 1.0, 2.0, 4.0):
+        ceff = k0 + k1 * ipc
+        power = STATIC[5] + ceff * VF5.voltage ** 2 * VF5.frequency_ghz
+        rows.append((ipc, power, VF5))
+    return rows
+
+
+class TestFit:
+    def test_recovers_ceff_line(self):
+        model = fit_green_governors(STATIC, training_rows(k0=1.5, k1=7.0))
+        assert model.k0 == pytest.approx(1.5, abs=1e-9)
+        assert model.k1 == pytest.approx(7.0, abs=1e-9)
+
+    def test_needs_rows(self):
+        with pytest.raises(ValueError):
+            fit_green_governors(STATIC, training_rows()[:1])
+
+    def test_needs_static_table(self):
+        with pytest.raises(ValueError):
+            fit_green_governors({}, training_rows())
+
+
+class TestEstimate:
+    @pytest.fixture
+    def model(self):
+        return fit_green_governors(STATIC, training_rows())
+
+    def test_reproduces_training_points(self, model):
+        for ipc, power, vf in training_rows():
+            assert model.estimate_power(ipc, vf) == pytest.approx(power)
+
+    def test_cv2f_scaling_across_states(self, model):
+        # Same activity priced at VF1: static from the table, dynamic
+        # scaled by V^2 f.
+        ipc = 2.0
+        ceff = model.effective_capacitance(ipc)
+        expected = STATIC[1] + ceff * VF1.voltage ** 2 * VF1.frequency_ghz
+        assert model.estimate_power(ipc, VF1) == pytest.approx(expected)
+
+    def test_ceff_clamped_nonnegative(self, model):
+        assert model.effective_capacitance(-100.0) == 0.0
+
+    def test_energy_is_power_times_interval(self, model):
+        assert model.estimate_energy(1.0, VF5) == pytest.approx(
+            model.estimate_power(1.0, VF5) * INTERVAL_S
+        )
+
+    def test_unknown_vf_rejected(self, model):
+        from repro.hardware.vfstates import VFState
+
+        with pytest.raises(KeyError):
+            model.estimate_power(1.0, VFState(9, 1.0, 1.0))
+
+    def test_no_temperature_term(self):
+        # The GG model is temperature-blind by design: estimates depend
+        # only on (IPC, VF), an accuracy limitation vs PPEP.
+        model = fit_green_governors(STATIC, training_rows())
+        assert model.estimate_power(1.0, VF5) == model.estimate_power(1.0, VF5)

@@ -1,0 +1,88 @@
+"""Unit tests for the Eq. 2 idle power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.idle_power import (
+    IdlePowerModel,
+    fit_cooling_trace,
+    fit_idle_power_model,
+    validate_idle_model,
+)
+
+
+def synthetic_traces(noise=0.0, seed=0):
+    """Cooling traces from a known linear ground truth:
+    P(V, T) = (0.1 + 0.2 V) * T + (5 V^2 - 3)."""
+    rng = np.random.default_rng(seed)
+    traces = {}
+    for voltage in (0.9, 1.0, 1.1, 1.25, 1.32):
+        temps = np.linspace(310.0, 340.0, 40)
+        powers = (0.1 + 0.2 * voltage) * temps + (5 * voltage ** 2 - 3)
+        powers = powers + rng.normal(0.0, noise, temps.size)
+        traces[voltage] = (list(temps), list(powers))
+    return traces
+
+
+class TestFitting:
+    def test_cooling_trace_linear_fit(self):
+        slope, intercept = fit_cooling_trace([300.0, 320.0], [30.0, 34.0])
+        assert slope == pytest.approx(0.2)
+        assert intercept == pytest.approx(-30.0)
+
+    def test_recovers_known_model(self):
+        model = fit_idle_power_model(synthetic_traces())
+        for voltage in (0.95, 1.1, 1.3):
+            for temp in (315.0, 330.0):
+                expected = (0.1 + 0.2 * voltage) * temp + (5 * voltage ** 2 - 3)
+                assert model.predict(voltage, temp) == pytest.approx(
+                    expected, rel=0.01
+                )
+
+    def test_robust_to_measurement_noise(self):
+        model = fit_idle_power_model(synthetic_traces(noise=0.5, seed=3))
+        expected = (0.1 + 0.2 * 1.1) * 325.0 + (5 * 1.1 ** 2 - 3)
+        assert model.predict(1.1, 325.0) == pytest.approx(expected, rel=0.03)
+
+    def test_degree_shrinks_with_few_voltages(self):
+        traces = synthetic_traces()
+        two = {v: traces[v] for v in list(traces)[:2]}
+        model = fit_idle_power_model(two)
+        assert model.w_idle1.degree == 1
+
+    def test_needs_two_voltages(self):
+        traces = synthetic_traces()
+        one = {1.0: traces[1.0]}
+        with pytest.raises(ValueError):
+            fit_idle_power_model(one)
+
+
+class TestPrediction:
+    @pytest.fixture
+    def model(self):
+        return fit_idle_power_model(synthetic_traces())
+
+    def test_temperature_slope(self, model):
+        assert model.temperature_slope(1.0) == pytest.approx(0.3, rel=0.02)
+
+    def test_power_increases_with_temperature(self, model):
+        assert model.predict(1.1, 340.0) > model.predict(1.1, 310.0)
+
+    def test_power_increases_with_voltage(self, model):
+        assert model.predict(1.32, 325.0) > model.predict(0.9, 325.0)
+
+    def test_validation_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.predict(0.0, 300.0)
+        with pytest.raises(ValueError):
+            model.predict(1.0, -1.0)
+
+    def test_validate_idle_model_zero_on_truth(self, model):
+        temps = [312.0, 320.0, 335.0]
+        powers = [(0.1 + 0.2 * 1.0) * t + 2.0 for t in temps]
+        aae = validate_idle_model(model, 1.0, temps, powers)
+        assert aae < 0.01
+
+    def test_validate_alignment_checked(self, model):
+        with pytest.raises(ValueError):
+            validate_idle_model(model, 1.0, [300.0], [1.0, 2.0])

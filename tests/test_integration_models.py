@@ -1,0 +1,113 @@
+"""Integration tests: trained PPEP against the simulator, quick scale.
+
+These tests exercise the full train-then-validate path on the shared
+quick-scale context and assert the *shapes* the paper reports, with
+generous tolerances (the quick roster is small).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import average_absolute_error
+
+
+@pytest.fixture(scope="module")
+def fold_setup(quick_ctx):
+    models = quick_ctx.fold_models()
+    return quick_ctx, models
+
+
+class TestChipPowerValidation:
+    def test_heldout_chip_error_in_band(self, fold_setup):
+        ctx, models = fold_setup
+        vf5 = ctx.spec.vf_table.fastest
+        estimates, measured = [], []
+        for model, test_combos in models:
+            for combo in test_combos[:3]:
+                for sample in ctx.trace(combo, vf5):
+                    estimates.append(model.estimate_current(sample))
+                    measured.append(sample.measured_power)
+        aae = average_absolute_error(estimates, measured)
+        assert aae < 0.08  # paper: 4.6% average
+
+    def test_error_grows_toward_vf1(self, fold_setup):
+        ctx, models = fold_setup
+        model, test_combos = models[0]
+        aae_by_vf = {}
+        for vf in ctx.spec.vf_table:
+            est, meas = [], []
+            for combo in test_combos[:4]:
+                for sample in ctx.trace(combo, vf):
+                    est.append(model.estimate_current(sample))
+                    meas.append(sample.measured_power)
+            aae_by_vf[vf.index] = average_absolute_error(est, meas)
+        assert aae_by_vf[1] > aae_by_vf[5]
+
+
+class TestCrossVFPrediction:
+    def test_vf5_to_vf1_average_power(self, fold_setup):
+        ctx, models = fold_setup
+        vf5 = ctx.spec.vf_table.fastest
+        vf1 = ctx.spec.vf_table.slowest
+        errors = []
+        for model, test_combos in models:
+            for combo in test_combos[:3]:
+                src = ctx.trace(combo, vf5)
+                tgt = ctx.trace(combo, vf1)
+                predicted = np.mean(
+                    [model.analyze(s).prediction(vf1).chip_power for s in src]
+                )
+                actual = tgt.average_measured_power()
+                errors.append(abs(predicted - actual) / actual)
+        assert np.mean(errors) < 0.15  # paper: ~6% for this pair
+
+    def test_prediction_tracks_workload_differences(self, fold_setup):
+        """Cross-VF predictions must rank workloads by power, not just
+        output a per-VF constant."""
+        ctx, models = fold_setup
+        model, test_combos = models[0]
+        if len(test_combos) < 3:
+            pytest.skip("fold too small")
+        vf5 = ctx.spec.vf_table.fastest
+        vf2 = ctx.spec.vf_table.by_index(2)
+        predicted, actual = [], []
+        for combo in test_combos[:5]:
+            src = ctx.trace(combo, vf5)
+            tgt = ctx.trace(combo, vf2)
+            predicted.append(
+                np.mean([model.analyze(s).prediction(vf2).chip_power for s in src])
+            )
+            actual.append(tgt.average_measured_power())
+        order_pred = np.argsort(predicted)
+        order_act = np.argsort(actual)
+        # Rank correlation: at least the extremes agree.
+        assert order_pred[0] == order_act[0] or order_pred[-1] == order_act[-1]
+
+
+class TestIdleModelIntegration:
+    def test_idle_model_tracks_ground_truth(self, quick_ctx):
+        from repro.hardware.power import GroundTruthPower
+
+        gt = GroundTruthPower(quick_ctx.spec)
+        model = quick_ctx.idle_model
+        for vf in quick_ctx.spec.vf_table:
+            for temp in (315.0, 330.0):
+                true = gt.idle_chip_power(vf, quick_ctx.spec.nb_vf, temp)
+                est = model.predict(vf.voltage, temp)
+                assert est == pytest.approx(true, rel=0.12)
+
+    def test_alpha_close_to_physical_exponent(self, quick_ctx):
+        assert 1.6 < quick_ctx.alpha < 2.8
+
+    def test_pg_decomposition_matches_ground_truth_scale(self, quick_ctx):
+        from repro.hardware.power import GroundTruthPower
+
+        gt = GroundTruthPower(quick_ctx.spec)
+        vf5 = quick_ctx.spec.vf_table.fastest
+        d = quick_ctx.pg_model.decomposition(vf5)
+        # P_idle(Base) should approximate the spec's base power.
+        assert d.p_base == pytest.approx(quick_ctx.spec.base_power, rel=0.25)
+        # P_idle(CU) should approximate leakage + active idle at the
+        # sweep's operating temperature (within thermal slack).
+        approx_cu = gt.cu_leakage(vf5.voltage, 320.0) + gt.cu_active_idle(vf5)
+        assert d.p_cu == pytest.approx(approx_cu, rel=0.35)

@@ -1,0 +1,68 @@
+"""Unit tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    absolute_percentage_error,
+    average_absolute_error,
+    group_summaries,
+    summarize_errors,
+)
+
+
+class TestAbsolutePercentageError:
+    def test_basic(self):
+        errors = absolute_percentage_error([11.0, 9.0], [10.0, 10.0])
+        assert errors == pytest.approx([0.1, 0.1])
+
+    def test_sign_insensitive(self):
+        errors = absolute_percentage_error([8.0], [10.0])
+        assert errors[0] == pytest.approx(0.2)
+
+    def test_nonpositive_actuals_excluded(self):
+        errors = absolute_percentage_error([1.0, 5.0], [0.0, 10.0])
+        assert errors.shape == (1,)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            absolute_percentage_error([1.0], [1.0, 2.0])
+
+
+class TestAAE:
+    def test_mean_of_errors(self):
+        aae = average_absolute_error([11.0, 12.0], [10.0, 10.0])
+        assert aae == pytest.approx(0.15)
+
+    def test_perfect_prediction(self):
+        assert average_absolute_error([5.0], [5.0]) == 0.0
+
+    def test_all_invalid_raises(self):
+        with pytest.raises(ValueError):
+            average_absolute_error([1.0], [0.0])
+
+
+class TestSummaries:
+    def test_summarize(self):
+        s = summarize_errors("suite", [0.1, 0.2, 0.3])
+        assert s.average == pytest.approx(0.2)
+        assert s.std_dev == pytest.approx(np.std([0.1, 0.2, 0.3]))
+        assert s.count == 3
+        assert s.maximum == pytest.approx(0.3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors("x", [])
+
+    def test_as_percent_renders(self):
+        text = summarize_errors("x", [0.05]).as_percent()
+        assert "5.0%" in text
+
+    def test_group_summaries(self):
+        per_bench = {"a": 0.1, "b": 0.2, "c": 0.4}
+        groups = {"AB": ["a", "b"], "C": ["c"], "MISSING": ["zzz"]}
+        summaries = group_summaries(per_bench, groups)
+        labels = [s.label for s in summaries]
+        assert labels == ["AB", "C"]  # empty group dropped
+        assert summaries[0].average == pytest.approx(0.15)

@@ -1,0 +1,76 @@
+"""Unit tests for ChipSpec topology and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC, PHENOM_II_SPEC
+from repro.hardware.vfstates import FX8320_VF_TABLE, NB_VF_LO
+
+
+class TestTopology:
+    def test_fx8320_is_4x2(self):
+        assert FX8320_SPEC.num_cus == 4
+        assert FX8320_SPEC.cores_per_cu == 2
+        assert FX8320_SPEC.num_cores == 8
+
+    def test_phenom_is_6x1_without_pg(self):
+        assert PHENOM_II_SPEC.num_cores == 6
+        assert not PHENOM_II_SPEC.supports_power_gating
+
+    def test_cu_of_core(self):
+        assert FX8320_SPEC.cu_of_core(0) == 0
+        assert FX8320_SPEC.cu_of_core(1) == 0
+        assert FX8320_SPEC.cu_of_core(2) == 1
+        assert FX8320_SPEC.cu_of_core(7) == 3
+
+    def test_cu_of_core_out_of_range(self):
+        with pytest.raises(ValueError):
+            FX8320_SPEC.cu_of_core(8)
+
+    def test_cores_of_cu(self):
+        assert FX8320_SPEC.cores_of_cu(0) == (0, 1)
+        assert FX8320_SPEC.cores_of_cu(3) == (6, 7)
+
+    def test_cores_of_cu_out_of_range(self):
+        with pytest.raises(ValueError):
+            FX8320_SPEC.cores_of_cu(4)
+
+    def test_cu_core_partition_is_exact(self):
+        seen = []
+        for cu in range(FX8320_SPEC.num_cus):
+            seen.extend(FX8320_SPEC.cores_of_cu(cu))
+        assert sorted(seen) == list(range(FX8320_SPEC.num_cores))
+
+
+class TestValidation:
+    def test_rejects_zero_cus(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(FX8320_SPEC, num_cus=0)
+
+    def test_rejects_bad_nb_share(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(FX8320_SPEC, nb_latency_share=1.5)
+
+    def test_rejects_zero_issue_width(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(FX8320_SPEC, issue_width=0)
+
+
+class TestDerived:
+    def test_with_nb_vf_returns_new_spec(self):
+        low = FX8320_SPEC.with_nb_vf(NB_VF_LO)
+        assert low.nb_vf == NB_VF_LO
+        assert FX8320_SPEC.nb_vf != NB_VF_LO  # original untouched
+        assert low.num_cores == FX8320_SPEC.num_cores
+
+    def test_vf_table_is_paper_table(self):
+        assert FX8320_SPEC.vf_table is FX8320_VF_TABLE
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FX8320_SPEC.num_cus = 2
+
+    def test_issue_width_matches_families(self):
+        assert FX8320_SPEC.issue_width == 4  # Bulldozer
+        assert PHENOM_II_SPEC.issue_width == 3  # K10

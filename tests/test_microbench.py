@@ -1,0 +1,28 @@
+"""Unit tests for the bench_A microbenchmark."""
+
+import pytest
+
+from repro.workloads.microbench import bench_a
+
+
+class TestBenchA:
+    def test_is_nb_quiet(self):
+        wl = bench_a()
+        for phase in wl.phases:
+            assert phase.mem_ns == 0.0
+            assert phase.l2_miss_per_inst == 0.0
+            assert phase.l2_request_per_inst == 0.0
+            assert phase.dram_accesses_per_inst() == 0.0
+
+    def test_single_steady_phase(self):
+        assert len(bench_a().phases) == 1
+
+    def test_cpi_is_frequency_invariant(self):
+        phase = bench_a().phases[0]
+        assert phase.cpi_at(1.4) == phase.cpi_at(3.5)
+
+    def test_unbounded_by_default(self):
+        assert bench_a().total_instructions is None
+
+    def test_budget_parameter(self):
+        assert bench_a(1e9).total_instructions == 1e9

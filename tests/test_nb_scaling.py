@@ -1,0 +1,120 @@
+"""Unit tests for the Section V-C2 NB scaling what-if model."""
+
+import pytest
+
+from repro.dvfs.nb_scaling import NBScalingModel, PerVFRunData
+
+
+def run_data(
+    vf_index=1,
+    time_s=10.0,
+    core_power=8.0,
+    nb_idle_power=4.0,
+    nb_dynamic_energy=20.0,
+    memory_share=0.3,
+):
+    return PerVFRunData(
+        vf_index=vf_index,
+        time_s=time_s,
+        core_power=core_power,
+        nb_idle_power=nb_idle_power,
+        nb_dynamic_energy=nb_dynamic_energy,
+        memory_share=memory_share,
+    )
+
+
+class TestPerVFRunData:
+    def test_energy_accounting(self):
+        r = run_data()
+        assert r.energy == pytest.approx((8.0 + 4.0) * 10.0 + 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_data(time_s=0.0)
+        with pytest.raises(ValueError):
+            run_data(memory_share=1.5)
+
+
+class TestProjection:
+    model = NBScalingModel()
+
+    def test_nb_hi_is_identity(self):
+        r = run_data()
+        p = self.model.project(r, nb_low=False)
+        assert p.time_s == r.time_s
+        assert p.energy == pytest.approx(r.energy)
+
+    def test_time_stretches_by_memory_share(self):
+        r = run_data(memory_share=0.4)
+        p = self.model.project(r, nb_low=True)
+        assert p.time_s == pytest.approx(10.0 * 1.2)  # +50% of 40%
+
+    def test_cpu_bound_barely_stretches(self):
+        r = run_data(memory_share=0.0)
+        p = self.model.project(r, nb_low=True)
+        assert p.time_s == r.time_s
+
+    def test_energy_terms_follow_paper_assumptions(self):
+        r = run_data(memory_share=0.0)  # isolate the power terms
+        p = self.model.project(r, nb_low=True)
+        expected = 8.0 * 10.0 + 4.0 * 0.6 * 10.0 + 20.0 * 0.64
+        assert p.energy == pytest.approx(expected)
+
+    def test_nb_heavy_workload_saves_despite_stretch(self):
+        r = run_data(core_power=3.0, nb_idle_power=8.0, memory_share=0.2)
+        p = self.model.project(r, nb_low=True)
+        assert p.energy < r.energy
+
+    def test_core_heavy_memory_exposed_workload_can_lose(self):
+        r = run_data(core_power=20.0, nb_idle_power=1.0,
+                     nb_dynamic_energy=1.0, memory_share=0.8)
+        p = self.model.project(r, nb_low=True)
+        assert p.energy > r.energy
+
+
+class TestEvaluate:
+    model = NBScalingModel()
+
+    def sweep(self):
+        # A stylised core-VF sweep: faster states burn more core power
+        # but finish sooner.
+        return [
+            run_data(vf_index=5, time_s=4.0, core_power=30.0, memory_share=0.2),
+            run_data(vf_index=3, time_s=6.0, core_power=14.0, memory_share=0.25),
+            run_data(vf_index=1, time_s=9.0, core_power=6.0, memory_share=0.3),
+        ]
+
+    def test_outcome_structure(self):
+        outcome = self.model.evaluate(self.sweep())
+        assert len(outcome.combos) == 6  # 3 VF states x 2 NB states
+        assert 0.0 <= outcome.energy_saving < 1.0
+        assert outcome.speedup >= 1.0
+
+    def test_saving_is_positive_for_nb_share(self):
+        outcome = self.model.evaluate(self.sweep())
+        assert outcome.energy_saving > 0.05
+
+    def test_speedup_baseline_is_vf1_hi(self):
+        outcome = self.model.evaluate(self.sweep())
+        base = [c for c in outcome.combos if c.vf_index == 1 and not c.nb_low][0]
+        fastest_eligible = min(
+            (
+                c
+                for c in outcome.combos
+                if c.energy <= base.energy * (1 + self.model.energy_tolerance)
+            ),
+            key=lambda c: c.time_s,
+        )
+        assert outcome.speedup == pytest.approx(base.time_s / fastest_eligible.time_s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.evaluate([])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NBScalingModel(idle_drop=1.0)
+        with pytest.raises(ValueError):
+            NBScalingModel(leading_load_stretch=-0.1)
+        with pytest.raises(ValueError):
+            NBScalingModel(energy_tolerance=-0.1)

@@ -1,0 +1,97 @@
+"""Unit tests for the north-bridge model."""
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.northbridge import NorthBridge
+from repro.hardware.vfstates import NB_VF_HI, NB_VF_LO
+
+
+@pytest.fixture
+def nb():
+    return NorthBridge(FX8320_SPEC)
+
+
+@pytest.fixture
+def nb_low():
+    return NorthBridge(FX8320_SPEC, NB_VF_LO)
+
+
+class TestFrequencyScaling:
+    def test_stock_multiplier_is_one(self, nb):
+        assert nb.memory_time_multiplier() == pytest.approx(1.0)
+
+    def test_half_frequency_gives_paper_stretch(self, nb_low):
+        # nb_latency_share = 0.5 and f halves -> leading loads x1.5,
+        # exactly the paper's Section V-C2 assumption.
+        assert nb_low.memory_time_multiplier() == pytest.approx(1.5)
+
+    def test_bandwidth_shrinks_at_low_nb(self, nb, nb_low):
+        assert nb_low.effective_bandwidth() < nb.effective_bandwidth()
+
+    def test_with_vf_preserves_spec(self, nb):
+        low = nb.with_vf(NB_VF_LO)
+        assert low.spec is nb.spec
+        assert low.vf == NB_VF_LO
+
+
+class TestContention:
+    def test_zero_demand_is_uncontended(self, nb):
+        point = nb.resolve_contention(0.0)
+        assert point.latency_multiplier == pytest.approx(1.0)
+        assert point.utilisation == 0.0
+
+    def test_multiplier_monotone_in_demand(self, nb):
+        demands = [1e9, 3e9, 6e9, 9e9, 12e9]
+        multipliers = [nb.resolve_contention(d).latency_multiplier for d in demands]
+        assert multipliers == sorted(multipliers)
+        assert multipliers[-1] > multipliers[0]
+
+    def test_multiplier_capped(self, nb):
+        point = nb.resolve_contention(1e15)
+        assert point.latency_multiplier <= nb.spec.contention_cap
+
+    def test_utilisation_below_one(self, nb):
+        assert nb.resolve_contention(1e15).utilisation < 1.0
+
+    def test_negative_demand_rejected(self, nb):
+        with pytest.raises(ValueError):
+            nb.resolve_contention(-1.0)
+
+    def test_moderate_demand_mild_contention(self, nb):
+        # 25% utilisation should cost well under 1.25x latency.
+        point = nb.resolve_contention(0.25 * nb.effective_bandwidth())
+        assert 1.0 < point.latency_multiplier < 1.25
+
+
+class TestMABDistortion:
+    def test_no_distortion_when_idle(self, nb):
+        assert nb.mab_distortion(0.0) == pytest.approx(1.0)
+
+    def test_distortion_grows_with_pressure(self, nb):
+        assert nb.mab_distortion(0.9) > nb.mab_distortion(0.3) > 1.0
+
+    def test_distortion_is_bounded(self, nb):
+        assert nb.mab_distortion(1.0) <= 1.0 + nb.spec.mab_pressure_gain
+
+
+class TestNBDynamicPower:
+    def test_zero_activity_zero_power(self, nb):
+        assert nb.dynamic_power(0.0, 0.0) == 0.0
+
+    def test_scales_with_access_rates(self, nb):
+        p1 = nb.dynamic_power(1e8, 1e7)
+        p2 = nb.dynamic_power(2e8, 2e7)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_dram_access_costs_more_than_l3(self, nb):
+        assert nb.dynamic_power(0.0, 1e8) > nb.dynamic_power(1e8, 0.0)
+
+    def test_low_voltage_cuts_power_quadratically(self, nb, nb_low):
+        ratio = nb_low.dynamic_power(1e8, 1e8) / nb.dynamic_power(1e8, 1e8)
+        expected = (NB_VF_LO.voltage / NB_VF_HI.voltage) ** 2
+        assert ratio == pytest.approx(expected)
+
+    def test_negative_rate_rejected(self, nb):
+        with pytest.raises(ValueError):
+            nb.dynamic_power(-1.0, 0.0)

@@ -1,0 +1,78 @@
+"""Tests for trace persistence (save/load round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistence import load_trace, save_trace
+from repro.analysis.trace import Trace
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.platform import CoreAssignment, Platform
+from repro.workloads.synthetic import make_mixed
+
+
+@pytest.fixture
+def trace():
+    platform = Platform(FX8320_SPEC, seed=31, power_gating=True)
+    platform.set_cu_vf(1, FX8320_SPEC.vf_table.by_index(2))
+    platform.set_assignment(CoreAssignment.packed([make_mixed("persist")]))
+    return Trace(platform.run(4), label="round-trip")
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_measurements(self, trace, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path, FX8320_SPEC)
+        assert len(loaded) == len(trace)
+        assert loaded.label == "round-trip"
+        np.testing.assert_allclose(
+            loaded.measured_power(), trace.measured_power()
+        )
+        np.testing.assert_allclose(loaded.true_power(), trace.true_power())
+        np.testing.assert_allclose(loaded.temperatures(), trace.temperatures())
+
+    def test_roundtrip_preserves_events(self, trace, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path, FX8320_SPEC)
+        for original, restored in zip(trace, loaded):
+            for a, b in zip(original.core_events, restored.core_events):
+                assert a == b
+            for a, b in zip(original.true_core_events, restored.true_core_events):
+                assert a == b
+            assert original.instructions == pytest.approx(restored.instructions)
+
+    def test_roundtrip_preserves_configuration(self, trace, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path, FX8320_SPEC)
+        for original, restored in zip(trace, loaded):
+            assert [v.index for v in original.cu_vfs] == [
+                v.index for v in restored.cu_vfs
+            ]
+            assert original.power_gating == restored.power_gating
+            assert original.nb_vf.index == restored.nb_vf.index
+
+    def test_breakdown_not_persisted(self, trace, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path, FX8320_SPEC)
+        assert loaded[0].breakdown is None
+
+    def test_loaded_trace_feeds_models(self, trace, tmp_path):
+        """A reloaded trace is a drop-in for the live one."""
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path, FX8320_SPEC)
+        chip = loaded.chip_events(measured=True)
+        assert chip[0].instructions > 0
+
+    def test_version_check(self, trace, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        # Corrupt the version field.
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path, FX8320_SPEC)

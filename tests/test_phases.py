@@ -1,0 +1,115 @@
+"""Unit tests for the workload phase model."""
+
+import pytest
+
+from repro.workloads.phases import Workload, WorkloadPhase
+
+
+def phase(name="p", instructions=1e9, ccpi=1.0, mem_ns=0.2, **kw):
+    return WorkloadPhase(
+        name=name, instructions=instructions, ccpi=ccpi, mem_ns=mem_ns, **kw
+    )
+
+
+class TestWorkloadPhase:
+    def test_cpi_decomposition(self):
+        p = phase(ccpi=1.0, mem_ns=0.5)
+        # CPI(f) = ccpi + mem_ns * f  (f in GHz).
+        assert p.cpi_at(2.0) == pytest.approx(2.0)
+        assert p.cpi_at(4.0) == pytest.approx(3.0)
+
+    def test_contention_multiplies_memory_only(self):
+        p = phase(ccpi=1.0, mem_ns=0.5)
+        assert p.cpi_at(2.0, contention=2.0) == pytest.approx(1.0 + 2.0)
+
+    def test_memory_boundness_range(self):
+        cpu = phase(mem_ns=0.0)
+        mem = phase(ccpi=0.5, mem_ns=2.0)
+        assert cpu.memory_boundness(3.5) == 0.0
+        assert 0.9 < mem.memory_boundness(3.5) < 1.0
+
+    def test_memory_boundness_grows_with_frequency(self):
+        p = phase(ccpi=1.0, mem_ns=0.3)
+        assert p.memory_boundness(3.5) > p.memory_boundness(1.4)
+
+    def test_dram_traffic(self):
+        p = phase(l2_miss_per_inst=0.02, l3_miss_ratio=0.5)
+        assert p.dram_accesses_per_inst() == pytest.approx(0.01)
+        assert p.bytes_per_inst(64) == pytest.approx(0.64)
+
+    def test_scaled_changes_only_length(self):
+        p = phase(instructions=1e9)
+        q = p.scaled(2.0)
+        assert q.instructions == pytest.approx(2e9)
+        assert q.ccpi == p.ccpi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase(instructions=0)
+        with pytest.raises(ValueError):
+            phase(ccpi=0)
+        with pytest.raises(ValueError):
+            phase(mem_ns=-1)
+        with pytest.raises(ValueError):
+            phase(l3_miss_ratio=1.5)
+        with pytest.raises(ValueError):
+            phase(branch_per_inst=0.1, mispredict_per_inst=0.2)
+
+
+class TestWorkload:
+    def two_phase(self, total=None):
+        return Workload(
+            "w",
+            [phase("a", instructions=1e9), phase("b", instructions=3e9)],
+            total_instructions=total,
+        )
+
+    def test_loop_instructions(self):
+        assert self.two_phase().loop_instructions == pytest.approx(4e9)
+
+    def test_phase_at_start(self):
+        assert self.two_phase().phase_at(0).name == "a"
+
+    def test_phase_at_boundary(self):
+        assert self.two_phase().phase_at(1e9).name == "b"
+
+    def test_phase_at_wraps(self):
+        wl = self.two_phase()
+        assert wl.phase_at(4e9).name == "a"
+        assert wl.phase_at(4e9 + 2e9).name == "b"
+
+    def test_phase_at_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.two_phase().phase_at(-1)
+
+    def test_unbounded_never_finishes(self):
+        assert not self.two_phase().is_finished(1e15)
+
+    def test_bounded_finishes(self):
+        wl = self.two_phase(total=5e9)
+        assert not wl.is_finished(4.9e9)
+        assert wl.is_finished(5e9)
+
+    def test_with_budget(self):
+        wl = self.two_phase().with_budget(1e9)
+        assert wl.total_instructions == 1e9
+        assert wl.name == "w"
+
+    def test_averages_are_instruction_weighted(self):
+        wl = Workload(
+            "w",
+            [
+                phase("a", instructions=1e9, mem_ns=0.0, ccpi=1.0),
+                phase("b", instructions=3e9, mem_ns=0.4, ccpi=2.0),
+            ],
+        )
+        assert wl.average_mem_ns() == pytest.approx(0.3)
+        assert wl.average_ccpi() == pytest.approx(1.75)
+
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            Workload("w", [])
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            Workload("w", [phase()], total_instructions=0)

@@ -1,0 +1,179 @@
+"""Unit tests for the ground-truth power model."""
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.power import CoreActivity, GroundTruthPower
+from repro.hardware.vfstates import FX8320_VF_TABLE, NB_VF_HI
+
+
+@pytest.fixture
+def gt():
+    return GroundTruthPower(FX8320_SPEC)
+
+
+VF5 = FX8320_VF_TABLE.by_index(5)
+VF1 = FX8320_VF_TABLE.by_index(1)
+
+
+def busy_activity(scale=1.0):
+    return CoreActivity(
+        busy=True,
+        uops=4e9 * scale,
+        fpu_ops=4e8 * scale,
+        ic_fetches=1e9 * scale,
+        dc_accesses=1.5e9 * scale,
+        l2_requests=1e8 * scale,
+        branches=5e8 * scale,
+        mispredicts=1e7 * scale,
+        l3_accesses=1e7 * scale,
+        dram_accesses=5e6 * scale,
+        hidden=2e8 * scale,
+    )
+
+
+class TestLeakage:
+    def test_leakage_at_reference_point(self, gt):
+        spec = FX8320_SPEC
+        value = gt.cu_leakage(spec.leak_ref_voltage, spec.leak_ref_temperature)
+        assert value == pytest.approx(spec.cu_leakage_ref)
+
+    def test_leakage_grows_with_temperature(self, gt):
+        assert gt.cu_leakage(1.32, 340.0) > gt.cu_leakage(1.32, 320.0)
+
+    def test_leakage_grows_with_voltage(self, gt):
+        assert gt.cu_leakage(1.32, 330.0) > gt.cu_leakage(0.9, 330.0)
+
+    def test_low_voltage_collapses_leakage(self, gt):
+        # The FX-class story: VF1 leakage is a small fraction of VF5's.
+        ratio = gt.cu_leakage(VF1.voltage, 330.0) / gt.cu_leakage(VF5.voltage, 330.0)
+        assert ratio < 0.3
+
+    def test_nb_leakage_independent_of_core_voltage(self, gt):
+        assert gt.nb_leakage(NB_VF_HI.voltage, 330.0) > 0
+
+
+class TestActivityPower:
+    def test_core_dynamic_zero_for_idle_activity(self, gt):
+        assert gt.core_dynamic(CoreActivity(), 1.32) == 0.0
+
+    def test_core_dynamic_scales_with_v_squared(self, gt):
+        act = busy_activity()
+        ratio = gt.core_dynamic(act, 1.0) / gt.core_dynamic(act, 2.0)
+        assert ratio == pytest.approx(0.25)
+
+    def test_core_dynamic_linear_in_activity(self, gt):
+        assert gt.core_dynamic(busy_activity(2.0), 1.32) == pytest.approx(
+            2.0 * gt.core_dynamic(busy_activity(1.0), 1.32)
+        )
+
+    def test_clock_power_scales_with_fv2(self, gt):
+        assert gt.core_clock(VF5) > gt.core_clock(VF1)
+
+
+class TestChipPower:
+    def idle_activities(self):
+        return [CoreActivity() for _ in range(FX8320_SPEC.num_cores)]
+
+    def test_idle_pg_off_includes_everything(self, gt):
+        breakdown = gt.chip_power(
+            cu_vfs=[VF5] * 4,
+            nb_vf=NB_VF_HI,
+            temperature=330.0,
+            activities=self.idle_activities(),
+            nb_dynamic=0.0,
+            power_gating=False,
+        )
+        assert breakdown.cu_leakage > 0
+        assert breakdown.nb_leakage > 0
+        assert breakdown.base == FX8320_SPEC.base_power
+        assert breakdown.core_dynamic == 0.0
+
+    def test_idle_pg_on_collapses_to_base(self, gt):
+        power = gt.idle_chip_power(VF5, NB_VF_HI, 330.0, power_gating=True)
+        assert power == pytest.approx(FX8320_SPEC.base_power)
+
+    def test_pg_gates_only_idle_cus(self, gt):
+        activities = self.idle_activities()
+        activities[0] = busy_activity()
+        b = gt.chip_power(
+            cu_vfs=[VF5] * 4,
+            nb_vf=NB_VF_HI,
+            temperature=330.0,
+            activities=activities,
+            nb_dynamic=1.0,
+            power_gating=True,
+        )
+        one_cu_leak = gt.cu_leakage(VF5.voltage, 330.0)
+        assert b.cu_leakage == pytest.approx(one_cu_leak)
+        assert b.nb_leakage > 0  # NB awake while any CU is
+
+    def test_pg_disabled_keeps_all_cus(self, gt):
+        activities = self.idle_activities()
+        activities[0] = busy_activity()
+        b = gt.chip_power(
+            cu_vfs=[VF5] * 4,
+            nb_vf=NB_VF_HI,
+            temperature=330.0,
+            activities=activities,
+            nb_dynamic=0.0,
+            power_gating=False,
+        )
+        assert b.cu_leakage == pytest.approx(4 * gt.cu_leakage(VF5.voltage, 330.0))
+
+    def test_breakdown_total_is_sum_of_parts(self, gt):
+        activities = self.idle_activities()
+        activities[0] = busy_activity()
+        b = gt.chip_power(
+            cu_vfs=[VF5] * 4,
+            nb_vf=NB_VF_HI,
+            temperature=330.0,
+            activities=activities,
+            nb_dynamic=2.0,
+            power_gating=False,
+        )
+        parts = (
+            b.base + b.cu_leakage + b.cu_active_idle + b.core_clock
+            + b.core_dynamic + b.nb_leakage + b.nb_active_idle + b.nb_dynamic
+            + b.housekeeping
+        )
+        assert b.total == pytest.approx(parts)
+        assert b.nb_total == pytest.approx(b.nb_leakage + b.nb_active_idle + b.nb_dynamic)
+
+    def test_full_load_in_fx_envelope(self, gt):
+        b = gt.chip_power(
+            cu_vfs=[VF5] * 4,
+            nb_vf=NB_VF_HI,
+            temperature=335.0,
+            activities=[busy_activity() for _ in range(8)],
+            nb_dynamic=3.0,
+            power_gating=False,
+        )
+        # A loaded FX-8320 draws roughly 100-160 W on the CPU rail.
+        assert 90.0 < b.total < 170.0
+
+    def test_idle_envelope(self, gt):
+        power = gt.idle_chip_power(VF5, NB_VF_HI, 320.0, power_gating=False)
+        assert 30.0 < power < 80.0
+        low = gt.idle_chip_power(VF1, NB_VF_HI, 310.0, power_gating=False)
+        assert low < power / 2
+
+    def test_shape_validation(self, gt):
+        with pytest.raises(ValueError):
+            gt.chip_power(
+                cu_vfs=[VF5] * 3,  # wrong CU count
+                nb_vf=NB_VF_HI,
+                temperature=330.0,
+                activities=self.idle_activities(),
+                nb_dynamic=0.0,
+                power_gating=False,
+            )
+        with pytest.raises(ValueError):
+            gt.chip_power(
+                cu_vfs=[VF5] * 4,
+                nb_vf=NB_VF_HI,
+                temperature=330.0,
+                activities=[CoreActivity()] * 3,  # wrong core count
+                nb_dynamic=0.0,
+                power_gating=False,
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for the Section IV-D idle power decomposition."""
+
+import pytest
+
+from repro.core.power_gating import (
+    IdlePowerDecomposition,
+    PGAwareIdleModel,
+    decompose_from_sweep,
+)
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+VF5 = FX8320_VF_TABLE.by_index(5)
+VF1 = FX8320_VF_TABLE.by_index(1)
+
+
+def synthetic_sweep(p_cu=6.0, p_nb=4.0, p_base=3.0, busy_power=9.0, num_cus=4):
+    """The Figure 4 bars implied by a known decomposition."""
+    pg_off = []
+    pg_on = []
+    chip_idle = num_cus * p_cu + p_nb + p_base
+    for k in range(num_cus + 1):
+        pg_off.append(chip_idle + k * busy_power)
+        if k == 0:
+            pg_on.append(p_base)
+        else:
+            pg_on.append(k * p_cu + p_nb + p_base + k * busy_power)
+    return pg_off, pg_on
+
+
+class TestDecomposition:
+    def test_recovers_known_components(self):
+        pg_off, pg_on = synthetic_sweep()
+        d = decompose_from_sweep(VF5, pg_off, pg_on, 4)
+        assert d.p_cu == pytest.approx(6.0)
+        assert d.p_nb == pytest.approx(4.0)
+        assert d.p_base == pytest.approx(3.0)
+
+    def test_negative_gaps_clamped(self):
+        pg_off, pg_on = synthetic_sweep()
+        pg_on = [v + 100.0 for v in pg_on]  # noise pushed PG-on above
+        d = decompose_from_sweep(VF5, pg_off, pg_on, 4)
+        assert d.p_cu == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            decompose_from_sweep(VF5, [1.0, 2.0], [1.0, 2.0], 4)
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            IdlePowerDecomposition(vf=VF5, p_cu=-1.0, p_nb=0.0, p_base=0.0)
+
+
+@pytest.fixture
+def model():
+    decomps = {
+        5: IdlePowerDecomposition(vf=VF5, p_cu=6.0, p_nb=4.0, p_base=3.0),
+        1: IdlePowerDecomposition(vf=VF1, p_cu=1.0, p_nb=4.0, p_base=3.0),
+    }
+    return PGAwareIdleModel(decomps, num_cus=4, cores_per_cu=2)
+
+
+class TestPerCoreAttribution:
+    def test_eq7_single_busy_core(self, model):
+        # m = 1, n = 1: the lone core owns its CU plus NB plus base.
+        value = model.per_core_idle(VF5, busy_in_cu=1, busy_total=1, power_gating=True)
+        assert value == pytest.approx(6.0 + 4.0 + 3.0)
+
+    def test_eq7_sharing(self, model):
+        # m = 2, n = 8: CU split two ways, NB+base split eight ways.
+        value = model.per_core_idle(VF5, busy_in_cu=2, busy_total=8, power_gating=True)
+        assert value == pytest.approx(6.0 / 2 + 7.0 / 8)
+
+    def test_eq8_pg_disabled(self, model):
+        # All four CUs stay awake regardless of who is busy.
+        value = model.per_core_idle(VF5, busy_in_cu=1, busy_total=2, power_gating=False)
+        assert value == pytest.approx((4 * 6.0 + 4.0 + 3.0) / 2)
+
+    def test_eq7_sums_to_chip_idle(self, model):
+        # Per-core attributions over all busy cores reconstruct the
+        # chip idle power exactly (2 busy CUs, 2 busy cores each).
+        total = 4 * model.per_core_idle(VF5, busy_in_cu=2, busy_total=4, power_gating=True)
+        assert total == pytest.approx(model.chip_idle(VF5, busy_cus=2, power_gating=True))
+
+    def test_attribution_validation(self, model):
+        with pytest.raises(ValueError):
+            model.per_core_idle(VF5, busy_in_cu=0, busy_total=1, power_gating=True)
+        with pytest.raises(ValueError):
+            model.per_core_idle(VF5, busy_in_cu=3, busy_total=2, power_gating=True)
+
+
+class TestChipIdle:
+    def test_fully_gated_is_base(self, model):
+        assert model.chip_idle(VF5, 0, power_gating=True) == pytest.approx(3.0)
+
+    def test_partially_gated(self, model):
+        assert model.chip_idle(VF5, 2, power_gating=True) == pytest.approx(
+            2 * 6.0 + 4.0 + 3.0
+        )
+
+    def test_pg_off_always_full(self, model):
+        for busy in (0, 2, 4):
+            assert model.chip_idle(VF5, busy, power_gating=False) == pytest.approx(
+                4 * 6.0 + 4.0 + 3.0
+            )
+
+    def test_vf_dependence(self, model):
+        assert model.chip_idle(VF1, 4, True) < model.chip_idle(VF5, 4, True)
+
+    def test_nb_idle_accessor(self, model):
+        assert model.nb_idle(VF5) == pytest.approx(4.0)
+
+    def test_unknown_vf_raises(self, model):
+        vf3 = FX8320_VF_TABLE.by_index(3)
+        with pytest.raises(KeyError):
+            model.chip_idle(vf3, 1, True)
+
+    def test_busy_range_checked(self, model):
+        with pytest.raises(ValueError):
+            model.chip_idle(VF5, 5, True)
+
+    def test_needs_decompositions(self):
+        with pytest.raises(ValueError):
+            PGAwareIdleModel({}, num_cus=4, cores_per_cu=2)

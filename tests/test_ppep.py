@@ -1,0 +1,159 @@
+"""Tests for the PPEP manager and trainer (end-to-end on a tiny set)."""
+
+import pytest
+
+from repro.analysis.trace import TraceLibrary
+from repro.core.ppep import PPEP, PPEPTrainer, stable_seed
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.platform import CoreAssignment, Platform
+from repro.workloads.suites import spec_combinations
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """A PPEP trained on four combinations with short traces."""
+    trainer = PPEPTrainer(FX8320_SPEC, bench_intervals=8, cool_intervals=100)
+    library = TraceLibrary()
+    combos = spec_combinations()[:4]
+    ppep = trainer.train(combos, library)
+    return trainer, library, combos, ppep
+
+
+@pytest.fixture(scope="module")
+def busy_sample():
+    combo = spec_combinations()[5]
+    platform = Platform(FX8320_SPEC, seed=99, initial_temperature=320.0)
+    platform.set_assignment(combo.assignment(FX8320_SPEC))
+    platform.run(2)
+    return platform.step()
+
+
+class TestStableSeed:
+    def test_reproducible(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_distinct(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_fits_32_bits(self):
+        assert 0 <= stable_seed("x", "y", 3) < 2 ** 32
+
+
+class TestTrainer:
+    def test_produces_all_components(self, tiny_setup):
+        _trainer, _library, _combos, ppep = tiny_setup
+        assert ppep.idle_model is not None
+        assert len(ppep.dynamic_model.weights) == 9
+        assert ppep.pg_model is not None  # FX-8320 supports PG
+
+    def test_alpha_near_physical_value(self, tiny_setup):
+        # Ground-truth event energies scale with V^2; the derived
+        # exponent should sit near 2.
+        _trainer, _library, _combos, ppep = tiny_setup
+        assert 1.5 < ppep.dynamic_model.alpha < 3.0
+
+    def test_weights_nonnegative(self, tiny_setup):
+        _trainer, _library, _combos, ppep = tiny_setup
+        assert all(w >= 0 for w in ppep.dynamic_model.weights)
+
+    def test_trace_caching(self, tiny_setup):
+        trainer, library, combos, _ppep = tiny_setup
+        before = len(library)
+        trainer.collect_trace(combos[0], FX8320_SPEC.vf_table.fastest, library)
+        assert len(library) == before  # cache hit, nothing re-simulated
+
+    def test_trace_is_warmed_up(self, tiny_setup):
+        trainer, library, combos, _ppep = tiny_setup
+        trace = trainer.collect_trace(
+            combos[0], FX8320_SPEC.vf_table.fastest, library
+        )
+        assert len(trace) == trainer.BENCH_INTERVALS
+        assert trace[0].index == trainer.WARMUP
+
+    def test_interval_overrides_validated(self):
+        with pytest.raises(ValueError):
+            PPEPTrainer(FX8320_SPEC, bench_intervals=1)
+        with pytest.raises(ValueError):
+            PPEPTrainer(FX8320_SPEC, cool_intervals=5)
+
+
+class TestManager:
+    def test_analyze_covers_all_vf_states(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        snapshot = ppep.analyze(busy_sample)
+        assert set(snapshot.predictions) == {1, 2, 3, 4, 5}
+        ordered = snapshot.all_predictions()
+        assert [p.vf.index for p in ordered] == [5, 4, 3, 2, 1]
+
+    def test_current_estimate_close_to_measured(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        estimate = ppep.estimate_current(busy_sample)
+        assert estimate == pytest.approx(busy_sample.measured_power, rel=0.15)
+
+    def test_power_prediction_monotone_in_vf(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        snapshot = ppep.analyze(busy_sample)
+        powers = [p.chip_power for p in snapshot.all_predictions()]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_performance_prediction_monotone_in_vf(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        snapshot = ppep.analyze(busy_sample)
+        rates = [p.instructions_per_second for p in snapshot.all_predictions()]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_self_prediction_matches_estimate(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        snapshot = ppep.analyze(busy_sample)
+        vf5 = FX8320_SPEC.vf_table.fastest
+        assert snapshot.prediction(vf5).chip_power == pytest.approx(
+            snapshot.current_estimate, rel=0.02
+        )
+
+    def test_predict_mixed_interpolates(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        states = ppep.core_states(busy_sample)
+        table = FX8320_SPEC.vf_table
+        uniform_hi, _ = ppep.predict_mixed(
+            states, busy_sample.temperature, [table.fastest] * 4, False
+        )
+        uniform_lo, _ = ppep.predict_mixed(
+            states, busy_sample.temperature, [table.slowest] * 4, False
+        )
+        mixed, _ = ppep.predict_mixed(
+            states,
+            busy_sample.temperature,
+            [table.fastest, table.fastest, table.slowest, table.slowest],
+            False,
+        )
+        assert uniform_lo < mixed < uniform_hi
+
+    def test_predict_mixed_shape_checked(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        states = ppep.core_states(busy_sample)
+        with pytest.raises(ValueError):
+            ppep.predict_mixed(
+                states, 320.0, [FX8320_SPEC.vf_table.fastest] * 3, False
+            )
+
+    def test_nb_power_below_chip_power(self, tiny_setup, busy_sample):
+        ppep = tiny_setup[3]
+        snapshot = ppep.analyze(busy_sample)
+        for p in snapshot.all_predictions():
+            assert 0.0 <= p.nb_power < p.chip_power
+
+
+class TestPGSweepCollection:
+    def test_sweep_shape(self, tiny_setup):
+        trainer = tiny_setup[0]
+        pg_off, pg_on = trainer.collect_pg_sweep(FX8320_SPEC.vf_table.slowest)
+        assert len(pg_off) == 5 and len(pg_on) == 5
+        # PG-on idle is far below PG-off idle; 4-CU bars nearly equal.
+        assert pg_on[0] < pg_off[0] / 2
+        assert pg_on[4] == pytest.approx(pg_off[4], rel=0.05)
+
+    def test_cooling_covers_a_wide_range(self, tiny_setup):
+        trainer = tiny_setup[0]
+        temps, powers = trainer.collect_cooling(FX8320_SPEC.vf_table.by_index(3))
+        assert max(temps) - min(temps) > 10.0
+        assert len(temps) == trainer.COOL_INTERVALS

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on core data structures and model
+invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpi_model import CPIModel, CPISample
+from repro.hardware.events import Event, EventVector, NUM_EVENTS
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.thermal import ThermalModel
+
+finite_counts = st.lists(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    min_size=NUM_EVENTS,
+    max_size=NUM_EVENTS,
+)
+
+frequencies = st.floats(min_value=0.5, max_value=5.0, allow_nan=False)
+cpis = st.floats(min_value=0.3, max_value=20.0, allow_nan=False)
+
+
+class TestEventVectorProperties:
+    @given(finite_counts, finite_counts)
+    def test_addition_commutes(self, a, b):
+        va, vb = EventVector(a), EventVector(b)
+        assert va + vb == vb + va
+
+    @given(finite_counts)
+    def test_zero_is_identity(self, a):
+        va = EventVector(a)
+        assert va + EventVector.zeros() == va
+
+    @given(finite_counts, st.floats(min_value=0.0, max_value=1e6))
+    def test_scaling_distributes(self, a, s):
+        va = EventVector(a)
+        left = (va + va) * s
+        right = va * s + va * s
+        for x, y in zip(left, right):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(finite_counts)
+    def test_per_instruction_ratio_consistency(self, a):
+        va = EventVector(a)
+        per_inst = va.per_instruction()
+        if va.instructions > 0:
+            for event in Event:
+                expected = va[event] / va.instructions
+                assert math.isclose(
+                    per_inst[event], expected, rel_tol=1e-12, abs_tol=1e-12
+                )
+        else:
+            assert per_inst == EventVector.zeros()
+
+
+class TestEquationOneProperties:
+    @given(cpis, st.floats(min_value=0.0, max_value=1.0), frequencies, frequencies)
+    def test_prediction_roundtrip(self, cpi, mem_fraction, f_a, f_b):
+        """Predicting A->B then B->A returns the original CPI."""
+        mcpi = cpi * mem_fraction
+        sample_a = CPISample(cpi=cpi, mcpi=mcpi, frequency_ghz=f_a)
+        cpi_b = CPIModel.predict_cpi(sample_a, f_b)
+        mcpi_b = CPIModel.predict_mcpi(sample_a, f_b)
+        sample_b = CPISample(cpi=cpi_b, mcpi=mcpi_b, frequency_ghz=f_b)
+        back = CPIModel.predict_cpi(sample_b, f_a)
+        assert math.isclose(back, cpi, rel_tol=1e-9)
+
+    @given(cpis, st.floats(min_value=0.0, max_value=1.0), frequencies, frequencies)
+    def test_cpi_monotone_in_frequency(self, cpi, mem_fraction, f_lo, f_hi):
+        if f_lo > f_hi:
+            f_lo, f_hi = f_hi, f_lo
+        sample = CPISample(cpi=cpi, mcpi=cpi * mem_fraction, frequency_ghz=2.0)
+        assert CPIModel.predict_cpi(sample, f_lo) <= CPIModel.predict_cpi(
+            sample, f_hi
+        ) + 1e-12
+
+    @given(cpis, st.floats(min_value=0.0, max_value=1.0), frequencies)
+    def test_speedup_bounded_by_frequency_ratio(self, cpi, mem_fraction, f_target):
+        sample = CPISample(cpi=cpi, mcpi=cpi * mem_fraction, frequency_ghz=2.0)
+        speedup = CPIModel.speedup(sample, f_target)
+        ratio = f_target / 2.0
+        lo, hi = min(1.0, ratio), max(1.0, ratio)
+        assert lo - 1e-9 <= speedup <= hi + 1e-9
+
+    @given(cpis, frequencies, frequencies)
+    def test_time_per_instruction_constant_when_fully_memory_bound(
+        self, cpi, f_a, f_b
+    ):
+        sample = CPISample(cpi=cpi, mcpi=cpi, frequency_ghz=f_a)
+        t_b = CPIModel.predict_time_per_instruction_ns(sample, f_b)
+        t_a = cpi / f_a
+        assert math.isclose(t_a, t_b, rel_tol=1e-9)
+
+
+class TestThermalProperties:
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.0, max_value=200.0),
+        st.floats(min_value=0.001, max_value=1000.0),
+        st.floats(min_value=280.0, max_value=400.0),
+    )
+    def test_step_moves_toward_steady_state(self, power, dt, start):
+        thermal = ThermalModel(FX8320_SPEC, initial_temperature=start)
+        target = thermal.steady_state(power)
+        before_gap = abs(start - target)
+        thermal.step(power, dt)
+        after_gap = abs(thermal.temperature - target)
+        assert after_gap <= before_gap + 1e-9
+
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.0, max_value=200.0),
+        st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=5),
+    )
+    def test_splitting_a_step_changes_nothing(self, power, dts):
+        a = ThermalModel(FX8320_SPEC, initial_temperature=330.0)
+        b = ThermalModel(FX8320_SPEC, initial_temperature=330.0)
+        a.step(power, sum(dts))
+        for dt in dts:
+            b.step(power, dt)
+        assert math.isclose(a.temperature, b.temperature, rel_tol=1e-12)

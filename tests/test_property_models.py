@@ -1,0 +1,169 @@
+"""Property-based tests on the power models and attribution math."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpi_model import segment_cycles
+from repro.core.power_gating import IdlePowerDecomposition, PGAwareIdleModel
+from repro.dvfs.nb_scaling import NBScalingModel, PerVFRunData
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.northbridge import NorthBridge
+from repro.hardware.power import GroundTruthPower
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+voltages = st.floats(min_value=0.85, max_value=1.40)
+temperatures = st.floats(min_value=290.0, max_value=360.0)
+
+
+class TestGroundTruthPowerProperties:
+    gt = GroundTruthPower(FX8320_SPEC)
+
+    @given(voltages, voltages, temperatures)
+    def test_leakage_monotone_in_voltage(self, v_lo, v_hi, temp):
+        if v_lo > v_hi:
+            v_lo, v_hi = v_hi, v_lo
+        assert self.gt.cu_leakage(v_lo, temp) <= self.gt.cu_leakage(v_hi, temp) + 1e-12
+
+    @given(voltages, temperatures, temperatures)
+    def test_leakage_monotone_in_temperature(self, v, t_lo, t_hi):
+        if t_lo > t_hi:
+            t_lo, t_hi = t_hi, t_lo
+        assert self.gt.cu_leakage(v, t_lo) <= self.gt.cu_leakage(v, t_hi) + 1e-12
+
+    @given(temperatures, st.booleans())
+    def test_idle_power_ordered_by_vf(self, temp, pg):
+        table = FX8320_VF_TABLE
+        powers = [
+            self.gt.idle_chip_power(vf, FX8320_SPEC.nb_vf, temp, power_gating=pg)
+            for vf in table.ascending()
+        ]
+        for slower, faster in zip(powers, powers[1:]):
+            assert slower <= faster + 1e-9
+
+
+class TestContentionProperties:
+    nb = NorthBridge(FX8320_SPEC)
+
+    @given(st.floats(min_value=0.0, max_value=1e12),
+           st.floats(min_value=0.0, max_value=1e12))
+    def test_latency_monotone_in_demand(self, d_lo, d_hi):
+        if d_lo > d_hi:
+            d_lo, d_hi = d_hi, d_lo
+        a = self.nb.resolve_contention(d_lo).latency_multiplier
+        b = self.nb.resolve_contention(d_hi).latency_multiplier
+        assert a <= b + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1e13))
+    def test_latency_bounded(self, demand):
+        m = self.nb.resolve_contention(demand).latency_multiplier
+        assert 1.0 <= m <= FX8320_SPEC.contention_cap
+
+
+class TestPGAttributionProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.integers(min_value=1, max_value=4),  # busy CUs
+        st.integers(min_value=1, max_value=2),  # busy cores per busy CU
+    )
+    def test_attribution_conserves_chip_idle(
+        self, p_cu, p_nb, p_base, busy_cus, per_cu
+    ):
+        """Summing Eq. 7 attributions over every busy core recovers the
+        chip idle power exactly, for any decomposition and occupancy."""
+        vf = FX8320_VF_TABLE.fastest
+        model = PGAwareIdleModel(
+            {5: IdlePowerDecomposition(vf=vf, p_cu=p_cu, p_nb=p_nb, p_base=p_base)},
+            num_cus=4,
+            cores_per_cu=2,
+        )
+        busy_total = busy_cus * per_cu
+        attributed = busy_total * model.per_core_idle(
+            vf, busy_in_cu=per_cu, busy_total=busy_total, power_gating=True
+        )
+        chip = model.chip_idle(vf, busy_cus, power_gating=True)
+        assert math.isclose(attributed, chip, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_eq8_attribution_conserves(self, p_cu, p_nb, p_base, busy_total):
+        vf = FX8320_VF_TABLE.fastest
+        model = PGAwareIdleModel(
+            {5: IdlePowerDecomposition(vf=vf, p_cu=p_cu, p_nb=p_nb, p_base=p_base)},
+            num_cus=4,
+            cores_per_cu=2,
+        )
+        attributed = busy_total * model.per_core_idle(
+            vf, busy_in_cu=1, busy_total=busy_total, power_gating=False
+        )
+        chip = model.chip_idle(vf, 0, power_gating=False)
+        assert math.isclose(attributed, chip, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestSegmentProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6),
+                st.floats(min_value=1.0, max_value=1e7),
+            ),
+            min_size=2,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_segments_conserve_cycles(self, intervals, n_segments):
+        """Splitting a trace into instruction segments conserves the
+        total cycle count."""
+        inst = [i for i, _c in intervals]
+        cycles = [c for _i, c in intervals]
+        total_inst = sum(inst)
+        boundaries = np.linspace(
+            total_inst / n_segments, total_inst, n_segments
+        )
+        segments = segment_cycles(inst, cycles, boundaries)
+        assert math.isclose(segments.sum(), sum(cycles), rel_tol=1e-9)
+        assert (segments >= -1e-9).all()
+
+
+class TestNBScalingProperties:
+    model = NBScalingModel()
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_nb_components_never_grow(
+        self, time_s, core_power, nb_idle, nb_dyn, mem_share
+    ):
+        """Under NB_lo, NB idle *power* and NB dynamic energy both drop;
+        only time-driven terms can raise total energy."""
+        run = PerVFRunData(
+            vf_index=1,
+            time_s=time_s,
+            core_power=core_power,
+            nb_idle_power=nb_idle,
+            nb_dynamic_energy=nb_dyn,
+            memory_share=mem_share,
+        )
+        lo = self.model.project(run, nb_low=True)
+        stretched_time = lo.time_s
+        assert stretched_time >= time_s
+        # Upper bound: all savings disabled (energy grows only by time).
+        upper = (core_power + nb_idle) * stretched_time + nb_dyn
+        assert lo.energy <= upper + 1e-9

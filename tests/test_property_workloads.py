@@ -1,0 +1,90 @@
+"""Property-based tests on workload generation and execution."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.phases import Workload, WorkloadPhase
+from repro.workloads.synthetic import ProgramProfile, make_program
+
+axes = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25)
+    @given(axes, axes, axes, axes, axes, st.integers(min_value=1, max_value=12))
+    def test_any_profile_generates_valid_phases(
+        self, mem, fp, br, ilp, vol, n_phases
+    ):
+        """WorkloadPhase's own validation must hold for every point of
+        the profile space (construction raises otherwise)."""
+        profile = ProgramProfile(
+            name="prop-{}-{}-{}".format(mem, fp, vol),
+            memory_intensity=mem,
+            fp_intensity=fp,
+            branchiness=br,
+            ilp=ilp,
+            phase_volatility=vol,
+            num_phases=n_phases,
+        )
+        workload = make_program(profile)
+        assert len(workload.phases) == n_phases
+        for phase in workload.phases:
+            assert phase.ccpi > 0
+            assert phase.mem_ns >= 0
+            assert 0 <= phase.l3_miss_ratio <= 1
+            assert phase.mispredict_per_inst <= phase.branch_per_inst
+            assert phase.toggle_factor > 0
+
+    @settings(max_examples=25)
+    @given(axes, st.integers(min_value=1, max_value=8))
+    def test_memory_axis_is_monotone_in_boundness(self, mem, n_phases):
+        """More memory intensity never means less memory-boundness
+        (comparing a profile against its half-intensity twin)."""
+        hi = make_program(
+            ProgramProfile(name="mono-a", memory_intensity=mem, num_phases=n_phases)
+        )
+        lo = make_program(
+            ProgramProfile(
+                name="mono-a", memory_intensity=mem / 2, num_phases=n_phases
+            )
+        )
+        assert hi.memory_boundness(3.5) >= lo.memory_boundness(3.5) - 1e-9
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=1e6, max_value=1e10), min_size=1, max_size=8
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_phase_at_respects_boundaries(self, lengths, fraction):
+        phases = [
+            WorkloadPhase(name="p{}".format(i), instructions=n, ccpi=1.0, mem_ns=0.1)
+            for i, n in enumerate(lengths)
+        ]
+        workload = Workload("prop", phases)
+        total = workload.loop_instructions
+        position = fraction * total * 0.999999
+        phase = workload.phase_at(position)
+        # The returned phase's cumulative span must contain the position.
+        start = 0.0
+        for candidate in phases:
+            end = start + candidate.instructions
+            if candidate is phase:
+                assert start - 1e-6 <= position < end + 1e-6
+                break
+            start = end
+        else:  # pragma: no cover - would mean phase_at returned a stranger
+            raise AssertionError("phase_at returned a phase not in the list")
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=1e6, max_value=1e12))
+    def test_budget_monotone(self, budget):
+        phase = WorkloadPhase(name="p", instructions=1e9, ccpi=1.0, mem_ns=0.0)
+        workload = Workload("prop", [phase], total_instructions=budget)
+        assert not workload.is_finished(budget * 0.999)
+        assert workload.is_finished(budget)

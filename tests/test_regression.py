@@ -1,0 +1,75 @@
+"""Unit tests for the shared fitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (
+    Polynomial,
+    linear_fit,
+    nonnegative_least_squares,
+    polyfit,
+)
+
+
+class TestNNLS:
+    def test_recovers_positive_coefficients(self):
+        rng = np.random.default_rng(0)
+        true = np.array([2.0, 0.5, 3.0])
+        a = rng.random((50, 3))
+        b = a @ true
+        x = nonnegative_least_squares(a, b)
+        assert x == pytest.approx(true, abs=1e-8)
+
+    def test_clamps_negative_solutions(self):
+        # A system whose unconstrained solution has a negative entry.
+        a = np.array([[1.0, 1.0], [1.0, 1.01]])
+        b = np.array([1.0, 0.5])
+        x = nonnegative_least_squares(a, b)
+        assert (x >= 0).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            nonnegative_least_squares(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            nonnegative_least_squares(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            nonnegative_least_squares(np.ones((0, 2)), np.ones(0))
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 200)
+        y = 0.5 * x + 2.0 + rng.normal(0, 0.01, x.size)
+        slope, intercept = linear_fit(x, y)
+        assert slope == pytest.approx(0.5, abs=0.01)
+        assert intercept == pytest.approx(2.0, abs=0.05)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+
+
+class TestPolyfit:
+    def test_interpolates_exact_degree(self):
+        x = [0.9, 1.0, 1.1, 1.2, 1.3]
+        y = [xi ** 3 - xi for xi in x]
+        poly = polyfit(x, y, 3)
+        for xi, yi in zip(x, y):
+            assert poly(xi) == pytest.approx(yi, abs=1e-9)
+
+    def test_degree_property(self):
+        assert polyfit([0, 1, 2], [0, 1, 4], 2).degree == 2
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            polyfit([0.0, 1.0], [0.0, 1.0], 3)
+
+    def test_polynomial_is_callable(self):
+        poly = Polynomial((2.0, 1.0))  # 2x + 1
+        assert poly(3.0) == pytest.approx(7.0)

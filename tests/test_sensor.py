@@ -1,0 +1,70 @@
+"""Unit tests for the power measurement channel."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.sensor import PowerSensor
+
+
+@pytest.fixture
+def sensor():
+    return PowerSensor(FX8320_SPEC, np.random.default_rng(7))
+
+
+class TestSampling:
+    def test_sample_tracks_true_power(self, sensor):
+        samples = [sensor.sample(50.0) for _ in range(500)]
+        # Mean within a watt of truth (gain error + offset are small).
+        assert abs(np.mean(samples) - 50.0) < 1.0
+
+    def test_sample_noise_matches_spec(self, sensor):
+        samples = [sensor.sample(50.0) for _ in range(2000)]
+        measured_sd = np.std(samples)
+        assert 0.5 * FX8320_SPEC.sensor_noise_w < measured_sd < 2.0 * FX8320_SPEC.sensor_noise_w
+
+    def test_samples_are_quantized(self, sensor):
+        q = FX8320_SPEC.sensor_quantum
+        for _ in range(50):
+            value = sensor.sample(42.3)
+            assert (value / q) == pytest.approx(round(value / q), abs=1e-6)
+
+    def test_sample_never_negative(self, sensor):
+        assert all(sensor.sample(0.0) >= 0.0 for _ in range(100))
+
+    def test_rejects_negative_power(self, sensor):
+        with pytest.raises(ValueError):
+            sensor.sample(-1.0)
+
+    def test_sample_many_length(self, sensor):
+        assert len(sensor.sample_many([10.0] * 10)) == 10
+
+
+class TestCalibration:
+    def test_gain_is_per_session(self):
+        gains = {
+            PowerSensor(FX8320_SPEC, np.random.default_rng(seed)).gain
+            for seed in range(5)
+        }
+        assert len(gains) == 5  # independent draws
+
+    def test_gain_near_unity(self):
+        for seed in range(20):
+            gain = PowerSensor(FX8320_SPEC, np.random.default_rng(seed)).gain
+            assert abs(gain - 1.0) < 5 * FX8320_SPEC.sensor_gain_sigma
+
+    def test_deterministic_given_seed(self):
+        a = PowerSensor(FX8320_SPEC, np.random.default_rng(3))
+        b = PowerSensor(FX8320_SPEC, np.random.default_rng(3))
+        assert [a.sample(30.0) for _ in range(10)] == [
+            b.sample(30.0) for _ in range(10)
+        ]
+
+
+class TestIntervalAverage:
+    def test_average(self):
+        assert PowerSensor.interval_average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerSensor.interval_average([])

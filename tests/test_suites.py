@@ -1,0 +1,106 @@
+"""Unit tests for the 152-combination roster."""
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.workloads.suites import (
+    BenchmarkCombination,
+    NPB_PROGRAMS,
+    PARSEC_PROGRAMS,
+    SPEC_PROGRAMS,
+    Suite,
+    build_roster,
+    npb_runs,
+    parsec_runs,
+    single_threaded_programs,
+    spec_combinations,
+    spec_program,
+)
+
+
+class TestRosterStructure:
+    def test_total_is_152(self):
+        assert len(build_roster()) == 152
+
+    def test_spec_structure_29_15_10_7(self):
+        combos = spec_combinations()
+        assert len(combos) == 61
+        sizes = [len(c.workloads) for c in combos]
+        assert sizes.count(1) == 29
+        assert sizes.count(2) == 15
+        assert sizes.count(3) == 10
+        assert sizes.count(4) == 7
+
+    def test_parsec_is_51_runs(self):
+        assert len(parsec_runs()) == 51
+
+    def test_npb_is_40_runs(self):
+        assert len(npb_runs()) == 40
+
+    def test_names_are_unique(self):
+        names = [c.name for c in build_roster()]
+        assert len(names) == len(set(names))
+
+    def test_program_counts(self):
+        assert len(SPEC_PROGRAMS) == 29
+        assert len(PARSEC_PROGRAMS) == 13
+        assert len(NPB_PROGRAMS) == 10
+
+    def test_single_threaded_is_52(self):
+        programs = single_threaded_programs()
+        assert len(programs) == 52
+        assert len({p.name for p in programs}) == 52
+
+
+class TestPrograms:
+    def test_spec_program_by_prefix_or_full_name(self):
+        assert spec_program("433") is spec_program("433.milc")
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            spec_program("999")
+
+    def test_milc_is_memory_bound_sjeng_is_not(self):
+        milc = spec_program("433")
+        sjeng = spec_program("458")
+        assert milc.memory_boundness(3.5) > 3 * sjeng.memory_boundness(3.5)
+
+    def test_rapid_phase_programs_are_volatile(self):
+        from repro.workloads.suites import npb_program, parsec_program
+
+        for wl in (parsec_program("dedup"), npb_program("DC"), npb_program("IS")):
+            shortest = min(p.instructions for p in wl.phases)
+            assert shortest < 4e8  # flips within a 200 ms interval
+
+    def test_threads_share_one_workload_object(self):
+        run = next(c for c in parsec_runs() if c.name == "blackscholes-4t")
+        assert len(run.workloads) == 4
+        assert len({id(w) for w in run.workloads}) == 1
+
+
+class TestAssignments:
+    def test_multiprogram_spreads_one_per_cu(self):
+        combo = next(c for c in spec_combinations() if len(c.workloads) == 4)
+        assignment = combo.assignment(FX8320_SPEC)
+        cores = assignment.core_ids
+        cus = {FX8320_SPEC.cu_of_core(c) for c in cores}
+        assert len(cus) == 4  # one program per CU
+
+    def test_multithread_packs_consecutively(self):
+        run = next(c for c in npb_runs() if c.name == "CG-4t")
+        assignment = run.assignment(FX8320_SPEC)
+        assert list(assignment.core_ids) == [0, 1, 2, 3]
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkCombination(
+                name="bad",
+                suite=Suite.SPEC,
+                workloads=(spec_program("433"),),
+                kind="weird",
+            )
+
+    def test_suite_labels(self):
+        assert Suite.SPEC.label == "SPE"
+        assert Suite.PARSEC.label == "PAR"
+        assert Suite.NPB.label == "NPB"

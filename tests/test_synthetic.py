@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads.synthetic import (
+    ProgramProfile,
+    make_cpu_bound,
+    make_memory_bound,
+    make_mixed,
+    make_phased,
+    make_program,
+)
+
+
+class TestProfiles:
+    def test_axes_validated(self):
+        with pytest.raises(ValueError):
+            ProgramProfile(name="x", memory_intensity=1.5)
+        with pytest.raises(ValueError):
+            ProgramProfile(name="x", num_phases=0)
+
+    def test_generation_is_deterministic(self):
+        a = make_program(ProgramProfile(name="determinism-check"))
+        b = make_program(ProgramProfile(name="determinism-check"))
+        assert len(a.phases) == len(b.phases)
+        for pa, pb in zip(a.phases, b.phases):
+            assert pa == pb
+
+    def test_different_names_differ(self):
+        a = make_program(ProgramProfile(name="prog-a"))
+        b = make_program(ProgramProfile(name="prog-b"))
+        assert any(pa != pb for pa, pb in zip(a.phases, b.phases))
+
+    def test_phase_count_respected(self):
+        wl = make_program(ProgramProfile(name="x", num_phases=7))
+        assert len(wl.phases) == 7
+
+
+class TestBehaviouralAxes:
+    def test_memory_bound_has_more_memory_time(self):
+        mem = make_memory_bound("axis-mem")
+        cpu = make_cpu_bound("axis-cpu")
+        assert mem.average_mem_ns() > 5 * cpu.average_mem_ns()
+
+    def test_memory_bound_misses_more(self):
+        mem = make_memory_bound("axis-mem2")
+        cpu = make_cpu_bound("axis-cpu2")
+        mem_miss = sum(p.l2_miss_per_inst for p in mem.phases) / len(mem.phases)
+        cpu_miss = sum(p.l2_miss_per_inst for p in cpu.phases) / len(cpu.phases)
+        assert mem_miss > 5 * cpu_miss
+
+    def test_cpu_bound_is_branchier(self):
+        cpu = make_cpu_bound("axis-cpu3")
+        mem = make_memory_bound("axis-mem3")
+        cpu_br = sum(p.branch_per_inst for p in cpu.phases) / len(cpu.phases)
+        mem_br = sum(p.branch_per_inst for p in mem.phases) / len(mem.phases)
+        assert cpu_br > mem_br
+
+    def test_exposure_capped_below_half_at_vf5(self):
+        # The decoupling property: even the most memory-bound analog
+        # exposes well under half its time at 3.5 GHz.
+        mem = make_memory_bound("axis-mem4")
+        assert mem.memory_boundness(3.5) < 0.55
+
+    def test_phased_workload_has_short_phases(self):
+        volatile = make_phased("axis-phased")
+        steady = make_cpu_bound("axis-steady")
+        v_len = min(p.instructions for p in volatile.phases)
+        s_len = min(p.instructions for p in steady.phases)
+        assert v_len < s_len / 5
+        # Short enough to flip several times within a 200 ms interval
+        # at 3.5 GHz (~7e8 cycles).
+        assert v_len < 4e8
+
+    def test_mixed_sits_between(self):
+        mixed = make_mixed("axis-mixed")
+        mem = make_memory_bound("axis-mem5")
+        cpu = make_cpu_bound("axis-cpu5")
+        assert (
+            cpu.average_mem_ns() < mixed.average_mem_ns() < mem.average_mem_ns()
+        )
+
+    def test_all_phases_valid(self):
+        # Construction enforces invariants; generation must not trip them.
+        for factory in (make_cpu_bound, make_memory_bound, make_mixed, make_phased):
+            wl = factory("validity-{}".format(factory.__name__))
+            for p in wl.phases:
+                assert p.ccpi > 0
+                assert p.mem_ns >= 0
+                assert p.mispredict_per_inst <= p.branch_per_inst
+                assert 0 <= p.l3_miss_ratio <= 1

@@ -1,0 +1,91 @@
+"""Unit tests for the RC thermal model."""
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.thermal import ThermalModel
+
+
+@pytest.fixture
+def thermal():
+    return ThermalModel(FX8320_SPEC)
+
+
+class TestSteadyState:
+    def test_zero_power_steady_is_ambient(self, thermal):
+        assert thermal.steady_state(0.0) == pytest.approx(
+            FX8320_SPEC.ambient_temperature
+        )
+
+    def test_steady_state_linear_in_power(self, thermal):
+        t100 = thermal.steady_state(100.0)
+        t50 = thermal.steady_state(50.0)
+        ambient = FX8320_SPEC.ambient_temperature
+        assert (t100 - ambient) == pytest.approx(2 * (t50 - ambient))
+
+    def test_time_constant(self, thermal):
+        expected = FX8320_SPEC.thermal_resistance * FX8320_SPEC.thermal_capacitance
+        assert thermal.time_constant() == pytest.approx(expected)
+
+
+class TestDynamics:
+    def test_heats_toward_steady_state(self, thermal):
+        target = thermal.steady_state(100.0)
+        t0 = thermal.temperature
+        thermal.step(100.0, 5.0)
+        assert t0 < thermal.temperature < target
+
+    def test_cools_when_power_removed(self, thermal):
+        thermal.reset(345.0)
+        thermal.step(0.0, 10.0)
+        assert thermal.temperature < 345.0
+
+    def test_converges_after_many_time_constants(self, thermal):
+        for _ in range(100):
+            thermal.step(80.0, thermal.time_constant())
+        assert thermal.temperature == pytest.approx(thermal.steady_state(80.0), abs=0.01)
+
+    def test_exact_exponential_step(self, thermal):
+        # One time constant closes 1 - 1/e of the gap, exactly.
+        import math
+
+        target = thermal.steady_state(100.0)
+        start = thermal.temperature
+        thermal.step(100.0, thermal.time_constant())
+        expected = target + (start - target) * math.exp(-1.0)
+        assert thermal.temperature == pytest.approx(expected)
+
+    def test_step_is_stable_for_huge_dt(self, thermal):
+        thermal.step(60.0, 1e6)
+        assert thermal.temperature == pytest.approx(thermal.steady_state(60.0))
+
+    def test_zero_dt_is_identity(self, thermal):
+        t0 = thermal.temperature
+        thermal.step(100.0, 0.0)
+        assert thermal.temperature == t0
+
+    def test_rejects_negative_dt(self, thermal):
+        with pytest.raises(ValueError):
+            thermal.step(10.0, -1.0)
+
+    def test_rejects_negative_power(self, thermal):
+        with pytest.raises(ValueError):
+            thermal.step(-5.0, 1.0)
+
+
+class TestDiode:
+    def test_diode_is_quantized(self, thermal):
+        thermal.reset(320.0617)
+        reading = thermal.diode_reading()
+        quantum = FX8320_SPEC.diode_quantum
+        assert reading % quantum == pytest.approx(0.0, abs=1e-9)
+        assert abs(reading - 320.0617) <= quantum / 2 + 1e-9
+
+    def test_reset_defaults_to_ambient(self, thermal):
+        thermal.step(100.0, 50.0)
+        thermal.reset()
+        assert thermal.temperature == FX8320_SPEC.ambient_temperature
+
+    def test_initial_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThermalModel(FX8320_SPEC, initial_temperature=-1.0)

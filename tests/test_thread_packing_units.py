@@ -1,0 +1,87 @@
+"""Unit tests for the thread-packing study's decision logic."""
+
+import pytest
+
+from repro.experiments.thread_packing import PackingPoint, ThreadPackingResult
+
+
+def point(placement, vf, power, ips):
+    return PackingPoint(
+        placement=placement, vf_index=vf, power_w=power, throughput_ips=ips
+    )
+
+
+class TestWinner:
+    def make(self, spread, packed, cap=50.0):
+        return ThreadPackingResult(
+            points=[p for p in (spread, packed) if p is not None],
+            decisions={cap: (spread, packed)},
+        )
+
+    def test_packed_wins_on_throughput(self):
+        result = self.make(
+            point("spread", 2, 45.0, 1e9), point("packed", 3, 44.0, 1.5e9)
+        )
+        assert result.winner(50.0) == "packed"
+
+    def test_spread_wins_on_throughput(self):
+        result = self.make(
+            point("spread", 3, 45.0, 1.5e9), point("packed", 2, 40.0, 1e9)
+        )
+        assert result.winner(50.0) == "spread"
+
+    def test_tie_within_tolerance(self):
+        result = self.make(
+            point("spread", 3, 45.0, 1.0e9), point("packed", 3, 40.0, 1.0005e9)
+        )
+        assert result.winner(50.0) == "tie"
+
+    def test_only_packed_feasible(self):
+        result = self.make(None, point("packed", 1, 20.0, 5e8))
+        assert result.winner(50.0) == "packed"
+
+    def test_only_spread_feasible(self):
+        result = self.make(point("spread", 1, 20.0, 5e8), None)
+        assert result.winner(50.0) == "spread"
+
+    def test_neither_feasible(self):
+        result = self.make(None, None)
+        assert result.winner(50.0) == "neither"
+
+
+class TestBackgroundSweepCell:
+    def test_nb_ratio_excludes_base(self):
+        from repro.experiments.background_sweep import SweepCell
+        from repro.experiments.common import FixedWorkRun
+
+        cell = SweepCell(
+            program="433",
+            n_instances=1,
+            vf_index=5,
+            run=FixedWorkRun(vf_index=5, n_instances=1, time_s=1.0, chip_energy=30.0),
+            core_energy=10.0,
+            nb_idle_energy=6.0,
+            nb_dynamic_energy=4.0,
+            base_energy=10.0,
+            memory_share=0.4,
+        )
+        assert cell.nb_energy == pytest.approx(10.0)
+        # Ratio over core + NB only; base power excluded by design.
+        assert cell.nb_ratio == pytest.approx(0.5)
+
+    def test_nb_ratio_zero_denominator(self):
+        from repro.experiments.background_sweep import SweepCell
+        from repro.experiments.common import FixedWorkRun
+
+        cell = SweepCell(
+            program="x",
+            n_instances=1,
+            vf_index=1,
+            run=FixedWorkRun(vf_index=1, n_instances=1, time_s=1.0, chip_energy=0.0),
+            core_energy=0.0,
+            nb_idle_energy=0.0,
+            nb_dynamic_energy=0.0,
+            base_energy=0.0,
+            memory_share=0.0,
+        )
+        assert cell.nb_ratio == 0.0

@@ -1,0 +1,91 @@
+"""Unit tests for the Trace container and TraceLibrary."""
+
+import pytest
+
+from repro.analysis.trace import Trace, TraceLibrary
+from repro.hardware.platform import CoreAssignment, INTERVAL_S
+from repro.workloads.synthetic import make_cpu_bound
+
+
+@pytest.fixture
+def trace(busy_platform):
+    return Trace(busy_platform.run(6), label="t")
+
+
+class TestTrace:
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            Trace([])
+
+    def test_len_and_iteration(self, trace):
+        assert len(trace) == 6
+        assert len(list(trace)) == 6
+
+    def test_indexing_and_slicing(self, trace):
+        assert trace[0].index == 0
+        sliced = trace[2:4]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 2
+        assert sliced.label == "t"
+
+    def test_skip_warmup(self, trace):
+        trimmed = trace.skip_warmup(2)
+        assert len(trimmed) == 4
+        assert trimmed[0].index == 2
+
+    def test_skip_warmup_cannot_empty(self, trace):
+        with pytest.raises(ValueError):
+            trace.skip_warmup(6)
+
+    def test_power_arrays(self, trace):
+        measured = trace.measured_power()
+        assert measured.shape == (6,)
+        assert (measured > 0).all()
+        assert trace.average_measured_power() == pytest.approx(measured.mean())
+
+    def test_energy_accounting(self, trace):
+        expected = trace.measured_power().sum() * INTERVAL_S
+        assert trace.total_measured_energy() == pytest.approx(expected)
+
+    def test_duration(self, trace):
+        assert trace.duration() == pytest.approx(6 * INTERVAL_S)
+
+    def test_chip_events_sum_cores(self, trace):
+        chip = trace.chip_events(measured=False)
+        assert len(chip) == 6
+        sample = trace[0]
+        total_inst = sum(ev.instructions for ev in sample.true_core_events)
+        assert chip[0].instructions == pytest.approx(total_inst)
+
+    def test_core_events_view(self, trace):
+        core0 = trace.core_events(0, measured=False)
+        assert len(core0) == 6
+        assert core0[0].instructions > 0
+
+    def test_cumulative_instructions_monotone(self, trace):
+        cum = trace.cumulative_instructions(0)
+        assert (cum[1:] >= cum[:-1]).all()
+        assert cum[-1] == pytest.approx(trace.total_instructions())
+
+
+class TestTraceLibrary:
+    def test_memoises(self, busy_platform):
+        library = TraceLibrary()
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return Trace(busy_platform.run(2))
+
+        a = library.get_or_run("key", produce)
+        b = library.get_or_run("key", produce)
+        assert a is b
+        assert len(calls) == 1
+        assert "key" in library
+        assert len(library) == 1
+
+    def test_clear(self, busy_platform):
+        library = TraceLibrary()
+        library.get_or_run("key", lambda: Trace(busy_platform.run(1)))
+        library.clear()
+        assert "key" not in library

@@ -1,0 +1,108 @@
+"""Unit tests for VF states and tables."""
+
+import pytest
+
+from repro.hardware.vfstates import (
+    FX8320_VF_TABLE,
+    NB_VF_HI,
+    NB_VF_LO,
+    PHENOM_II_VF_TABLE,
+    VFState,
+    VFTable,
+)
+
+
+class TestVFState:
+    def test_paper_values_fx8320(self):
+        vf5 = FX8320_VF_TABLE.by_index(5)
+        assert vf5.voltage == pytest.approx(1.320)
+        assert vf5.frequency_ghz == pytest.approx(3.5)
+        vf1 = FX8320_VF_TABLE.by_index(1)
+        assert vf1.voltage == pytest.approx(0.888)
+        assert vf1.frequency_ghz == pytest.approx(1.4)
+
+    def test_default_name(self):
+        assert VFState(3, 1.1, 2.0).name == "VF3"
+
+    def test_frequency_hz(self):
+        assert VFState(1, 1.0, 2.0).frequency_hz == pytest.approx(2.0e9)
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(ValueError):
+            VFState(0, 1.0, 1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            VFState(1, 0.0, 1.0)
+
+    def test_ordering_follows_index(self):
+        assert FX8320_VF_TABLE.by_index(1) < FX8320_VF_TABLE.by_index(5)
+
+    def test_nb_states_match_paper(self):
+        assert NB_VF_HI.voltage == pytest.approx(1.175)
+        assert NB_VF_HI.frequency_ghz == pytest.approx(2.2)
+        assert NB_VF_LO.voltage == pytest.approx(0.940)
+        assert NB_VF_LO.frequency_ghz == pytest.approx(1.1)
+
+
+class TestVFTable:
+    def test_fx8320_has_five_states(self):
+        assert len(FX8320_VF_TABLE) == 5
+
+    def test_phenom_has_four_states(self):
+        assert len(PHENOM_II_VF_TABLE) == 4
+
+    def test_iteration_is_fastest_first(self):
+        indices = [s.index for s in FX8320_VF_TABLE]
+        assert indices == [5, 4, 3, 2, 1]
+
+    def test_ascending_is_slowest_first(self):
+        indices = [s.index for s in FX8320_VF_TABLE.ascending()]
+        assert indices == [1, 2, 3, 4, 5]
+
+    def test_fastest_and_slowest(self):
+        assert FX8320_VF_TABLE.fastest.index == 5
+        assert FX8320_VF_TABLE.slowest.index == 1
+
+    def test_by_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            FX8320_VF_TABLE.by_index(9)
+
+    def test_step_down(self):
+        vf3 = FX8320_VF_TABLE.by_index(3)
+        assert FX8320_VF_TABLE.step_down(vf3).index == 2
+
+    def test_step_down_saturates_at_floor(self):
+        vf1 = FX8320_VF_TABLE.slowest
+        assert FX8320_VF_TABLE.step_down(vf1) is vf1
+
+    def test_step_up(self):
+        vf3 = FX8320_VF_TABLE.by_index(3)
+        assert FX8320_VF_TABLE.step_up(vf3).index == 4
+
+    def test_step_up_saturates_at_ceiling(self):
+        vf5 = FX8320_VF_TABLE.fastest
+        assert FX8320_VF_TABLE.step_up(vf5) is vf5
+
+    def test_step_rejects_foreign_state(self):
+        foreign = VFState(3, 1.0, 1.0)
+        with pytest.raises(KeyError):
+            FX8320_VF_TABLE.step_down(foreign)
+
+    def test_requires_contiguous_indices(self):
+        with pytest.raises(ValueError):
+            VFTable([VFState(1, 0.9, 1.0), VFState(3, 1.1, 2.0)])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            VFTable([])
+
+    def test_contains(self):
+        assert FX8320_VF_TABLE.fastest in FX8320_VF_TABLE
+        assert VFState(9, 1.0, 1.0) not in FX8320_VF_TABLE
+
+    def test_voltage_monotone_with_frequency(self):
+        states = FX8320_VF_TABLE.ascending()
+        for slow, fast in zip(states, states[1:]):
+            assert fast.voltage > slow.voltage
+            assert fast.frequency_ghz > slow.frequency_ghz
