@@ -1,0 +1,79 @@
+"""Fleet hot path: batched all-VF pricing vs the per-node Python loop.
+
+A cluster power manager re-prices every VF state of every node each
+200 ms interval.  This bench stands up a 64-node FX-8320 fleet, checks
+the batched NumPy path (:class:`repro.core.batch.BatchedVFPredictor`)
+is numerically identical to looping :meth:`PPEP.predict_at` per node,
+then times both and records the speedup in results/fleet.txt.  The
+acceptance floor is 5x; typical runs land far above it.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.batch import looped_reference
+from repro.fleet import ModelRegistry, make_fleet
+from repro.hardware.microarch import FX8320_SPEC
+from repro.workloads.suites import spec_combinations
+
+N_NODES = 64
+WARM_INTERVALS = 3
+REPEATS = 5
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fleet_batched_speedup(report_dir):
+    registry = ModelRegistry(
+        combos=spec_combinations()[:4], bench_intervals=4, cool_intervals=20
+    )
+    fleet = make_fleet([FX8320_SPEC] * N_NODES, registry)
+    assert registry.trains == 1  # 64 identical nodes, one training run
+    ppep = fleet.nodes[0].ppep
+    predictor = ppep.batched_predictor()
+
+    samples = None
+    for _ in range(WARM_INTERVALS):
+        samples = fleet.step()
+
+    # Correctness first: the fast path must price every (node, VF) pair
+    # exactly as the scalar pipeline does.
+    batch = predictor.predict_samples(samples)
+    reference = looped_reference(ppep, samples)
+    chip_power = batch.chip_power
+    for i, node_ref in enumerate(reference):
+        assert np.allclose(chip_power[i], node_ref[:, 0], rtol=1e-9)
+        assert np.allclose(
+            batch.instructions_per_second[i], node_ref[:, 1], rtol=1e-9
+        )
+
+    t_batched = _best_of(lambda: predictor.predict_samples(samples))
+    t_looped = _best_of(lambda: looped_reference(ppep, samples))
+    speedup = t_looped / t_batched
+    throughput = N_NODES / t_batched
+
+    lines = [
+        "Fleet batched prediction vs per-node Python loop",
+        "nodes: {}  VF states priced per node: {}".format(
+            N_NODES, len(batch.vf_indices)
+        ),
+        "per-node loop : {:>9.3f} ms per interval".format(t_looped * 1e3),
+        "batched       : {:>9.3f} ms per interval".format(t_batched * 1e3),
+        "speedup       : {:>9.1f}x  (acceptance floor: 5x)".format(speedup),
+        "throughput    : {:>9.0f} node-intervals/s batched".format(throughput),
+    ]
+    report = "\n".join(lines)
+    print("\n" + report)
+    with open(os.path.join(report_dir, "fleet.txt"), "w") as handle:
+        handle.write(report + "\n")
+
+    assert speedup >= 5.0

@@ -1,0 +1,102 @@
+"""Hierarchical fleet power capping across a mixed-SKU cluster.
+
+The paper caps one chip in one 200 ms step; this example scales the
+same primitive to a small rack.  Six nodes (four FX-8320, two
+Phenom II X6) share one cluster budget that drops mid-run, as when a
+rack's power allocation is reshuffled:
+
+1. a :class:`ModelRegistry` trains one PPEP model per SKU (two
+   trainings for six nodes);
+2. each interval the fleet's batched predictor prices every VF state of
+   every node in a handful of NumPy ops;
+3. an allocation policy splits the cluster budget into node shares and
+   each node's one-step PPEPPowerCapper chases its share.
+
+Three policies are compared on the same fleet (fresh but identically
+seeded nodes per run): the naive uniform split, proportional-to-
+predicted-demand, and waterfilling.  The smarter policies route budget
+to the nodes that can use it, so the fleet retires more instructions
+under the same total cap.
+
+Run:  python examples/fleet_capping.py
+"""
+
+from repro.dvfs.power_capping import square_wave_cap
+from repro.fleet import ClusterPowerManager, ModelRegistry, make_fleet
+from repro.hardware.microarch import FX8320_SPEC, PHENOM_II_SPEC
+from repro.workloads.suites import spec_combinations
+
+SKUS = [
+    FX8320_SPEC, FX8320_SPEC, PHENOM_II_SPEC,
+    FX8320_SPEC, PHENOM_II_SPEC, FX8320_SPEC,
+]
+#: Busy compute units per node: a realistic rack is unevenly loaded,
+#: and that imbalance is exactly what demand-aware allocation exploits.
+BUSY_CUS = (4, 1, 6, 4, 1, 2)
+CAP_HIGH = 6 * 90.0  # watts, the generous rack budget
+CAP_LOW = 6 * 50.0   # watts, after the reshuffle
+PERIOD = 8           # intervals between cap flips
+INTERVALS = 32
+
+
+def main() -> None:
+    registry = ModelRegistry(
+        combos=spec_combinations()[:6], bench_intervals=6, cool_intervals=30
+    )
+    # Touch both SKUs once so every policy run below is a cache hit.
+    for spec in (FX8320_SPEC, PHENOM_II_SPEC):
+        registry.get(spec)
+    print(
+        "registry: {} SKUs trained for {} nodes".format(
+            registry.trains, len(SKUS)
+        )
+    )
+
+    schedule = square_wave_cap(CAP_HIGH, CAP_LOW, PERIOD)
+    print(
+        "cluster cap: {:.0f} W / {:.0f} W, flipping every {} intervals\n".format(
+            CAP_HIGH, CAP_LOW, PERIOD
+        )
+    )
+
+    runs = {}
+    for policy in ("uniform", "proportional", "waterfill"):
+        # A fresh fleet per policy, identically seeded, so the policies
+        # face the exact same workload trajectories.
+        fleet = make_fleet(SKUS, registry, busy_cus=BUSY_CUS)
+        manager = ClusterPowerManager(fleet, schedule, policy=policy)
+        runs[policy] = manager.run(INTERVALS)
+
+    print("interval   cap(W)   " + "  ".join(
+        "{:>12}".format(p) for p in runs
+    ))
+    for i in range(INTERVALS):
+        row = "{:>8}  {:>7.0f}   ".format(i, runs["uniform"].caps[i])
+        row += "  ".join(
+            "{:>10.1f} W".format(run.fleet_powers[i]) for run in runs.values()
+        )
+        print(row)
+
+    print("\npolicy        worst-settle  violations  adherence  Ginstructions")
+    uniform_work = runs["uniform"].total_instructions()
+    for policy, run in runs.items():
+        result = run.evaluate()
+        print(
+            "{:<12}  {:>12}  {:>9.1%}  {:>9.1%}  {:>8.2f}  ({:+.1%} vs uniform)".format(
+                policy,
+                result.worst_settle,
+                result.violation_rate,
+                result.adherence,
+                result.total_instructions / 1e9,
+                result.total_instructions / uniform_work - 1.0,
+            )
+        )
+    print(
+        "\nEvery policy lands under a new cap within one decision interval"
+        "\n(the paper's one-step property, now cluster-wide); demand-aware"
+        "\nallocation turns the same watts into more retired instructions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,10 @@ Public API tour:
 - :mod:`repro.dvfs` -- DVFS policies built on PPEP (power capping,
   energy governors, NB scaling, the Green Governors baseline);
 - :mod:`repro.experiments` -- one module per paper table/figure;
-- :mod:`repro.analysis` -- traces, error metrics, formatting.
+- :mod:`repro.analysis` -- traces, error metrics, formatting;
+- :mod:`repro.fleet` -- cluster-scale extension: a per-SKU trained-model
+  registry, batched multi-node prediction, and hierarchical power
+  capping of many chips under one cluster budget.
 
 Quickstart::
 
@@ -30,6 +33,13 @@ Quickstart::
 from repro.analysis.trace import Trace, TraceLibrary
 from repro.core.ppep import PPEP, PPEPTrainer
 from repro.core.energy import EnergyPredictor, VFPrediction
+from repro.fleet import (
+    ClusterPowerManager,
+    FleetNode,
+    FleetSimulator,
+    ModelRegistry,
+    make_fleet,
+)
 from repro.hardware.microarch import ChipSpec, FX8320_SPEC, PHENOM_II_SPEC
 from repro.hardware.platform import CoreAssignment, IntervalSample, Platform
 from repro.hardware.vfstates import VFState, VFTable
@@ -44,12 +54,17 @@ __all__ = [
     "EnergyPredictor",
     "VFPrediction",
     "ChipSpec",
+    "ClusterPowerManager",
     "FX8320_SPEC",
+    "FleetNode",
+    "FleetSimulator",
+    "ModelRegistry",
     "PHENOM_II_SPEC",
     "CoreAssignment",
     "IntervalSample",
     "Platform",
     "VFState",
     "VFTable",
+    "make_fleet",
     "__version__",
 ]

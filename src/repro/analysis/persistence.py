@@ -1,16 +1,23 @@
-"""Trace persistence.
+"""Trace and model-artifact persistence.
 
 Traces are the expensive artefact of this reproduction (a full sweep
 simulates 152 benchmark combinations at five VF states).  This module
 serialises them to a compact ``.npz`` archive so sweeps can be captured
 once and re-analysed offline, shared, or diffed across code versions.
 
-The format stores, per interval: the ten power samples, ground-truth
-power, diode temperature, per-core measured and true event matrices,
-instructions, per-CU VF indices, and the PG/NB configuration.  The
-ground-truth power *breakdown* is not persisted (it is a debugging aid,
-not part of the measurement surface); loaded samples carry
+The trace format stores, per interval: the ten power samples,
+ground-truth power, diode temperature, per-core measured and true event
+matrices, instructions, per-CU VF indices, and the PG/NB configuration.
+The ground-truth power *breakdown* is not persisted (it is a debugging
+aid, not part of the measurement surface); loaded samples carry
 ``breakdown=None``.
+
+Trained PPEP models are the other expensive artefact: a full training
+run simulates thousands of intervals per chip SKU.  :func:`save_ppep` /
+:func:`load_ppep` serialise everything a trained :class:`PPEP` carries
+-- the Eq. 2 idle polynomials, the Eq. 3 weights plus alpha, and the
+Section IV-D power-gating decomposition -- so a model registry (see
+:mod:`repro.fleet.registry`) can survive process restarts.
 """
 
 from __future__ import annotations
@@ -20,14 +27,19 @@ from typing import List
 import numpy as np
 
 from repro.analysis.trace import Trace
+from repro.core.dynamic_power import DynamicPowerModel
+from repro.core.idle_power import IdlePowerModel
+from repro.core.power_gating import IdlePowerDecomposition, PGAwareIdleModel
+from repro.core.regression import Polynomial
 from repro.hardware.events import EventVector, NUM_EVENTS
 from repro.hardware.microarch import ChipSpec
 from repro.hardware.platform import IntervalSample
 from repro.hardware.vfstates import VFState
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "save_ppep", "load_ppep"]
 
 _FORMAT_VERSION = 1
+_PPEP_FORMAT_VERSION = 1
 
 
 def save_trace(trace: Trace, path: str) -> None:
@@ -115,3 +127,76 @@ def load_trace(path: str, spec: ChipSpec) -> Trace:
                 )
             )
         return Trace(samples, label=str(data["label"]))
+
+
+def save_ppep(ppep, path: str) -> None:
+    """Serialise a trained :class:`~repro.core.ppep.PPEP` to ``path``.
+
+    Stores the fitted model parameters only; the chip spec is *not*
+    persisted -- the loader receives it and checks the name, mirroring
+    how :func:`load_trace` resolves VF indices.
+    """
+    arrays = {
+        "version": np.array(_PPEP_FORMAT_VERSION),
+        "spec_name": np.array(ppep.spec.name),
+        "idle_w1": np.array(ppep.idle_model.w_idle1.coefficients),
+        "idle_w0": np.array(ppep.idle_model.w_idle0.coefficients),
+        "idle_voltage_range": np.array(ppep.idle_model.voltage_range),
+        "dyn_weights": np.array(ppep.dynamic_model.weights),
+        "dyn_alpha": np.array(ppep.dynamic_model.alpha),
+        "dyn_train_voltage": np.array(ppep.dynamic_model.train_voltage),
+        "has_pg_model": np.array(ppep.pg_model is not None),
+    }
+    if ppep.pg_model is not None:
+        by_index = ppep.pg_model.decompositions()
+        indices = sorted(by_index)
+        decomps = [by_index[i] for i in indices]
+        arrays["pg_vf_indices"] = np.array(indices)
+        arrays["pg_p_cu"] = np.array([d.p_cu for d in decomps])
+        arrays["pg_p_nb"] = np.array([d.p_nb for d in decomps])
+        arrays["pg_p_base"] = np.array([d.p_base for d in decomps])
+    np.savez_compressed(path, **arrays)
+
+
+def load_ppep(path: str, spec: ChipSpec):
+    """Load a model saved by :func:`save_ppep` for chip ``spec``."""
+    from repro.core.ppep import PPEP
+
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _PPEP_FORMAT_VERSION:
+            raise ValueError(
+                "unsupported PPEP artifact version {}".format(version)
+            )
+        saved_name = str(data["spec_name"])
+        if saved_name != spec.name:
+            raise ValueError(
+                "artifact was trained on {!r}, not {!r}".format(
+                    saved_name, spec.name
+                )
+            )
+        idle_model = IdlePowerModel(
+            w_idle1=Polynomial(tuple(float(c) for c in data["idle_w1"])),
+            w_idle0=Polynomial(tuple(float(c) for c in data["idle_w0"])),
+            voltage_range=tuple(float(v) for v in data["idle_voltage_range"]),
+        )
+        dynamic_model = DynamicPowerModel(
+            weights=tuple(float(w) for w in data["dyn_weights"]),
+            alpha=float(data["dyn_alpha"]),
+            train_voltage=float(data["dyn_train_voltage"]),
+        )
+        pg_model = None
+        if bool(data["has_pg_model"]):
+            decompositions = {}
+            for i, vf_index in enumerate(data["pg_vf_indices"]):
+                vf = spec.vf_table.by_index(int(vf_index))
+                decompositions[int(vf_index)] = IdlePowerDecomposition(
+                    vf=vf,
+                    p_cu=float(data["pg_p_cu"][i]),
+                    p_nb=float(data["pg_p_nb"][i]),
+                    p_base=float(data["pg_p_base"][i]),
+                )
+            pg_model = PGAwareIdleModel(
+                decompositions, spec.num_cus, spec.cores_per_cu
+            )
+        return PPEP(spec, idle_model, dynamic_model, pg_model)

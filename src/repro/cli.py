@@ -71,11 +71,13 @@ EXPERIMENTS: Dict[str, tuple] = {
 def _run_one(name: str, ctx: common.ExperimentContext) -> None:
     module, description = EXPERIMENTS[name]
     print("=== {} — {} ===".format(name, description))
-    started = time.time()
+    # perf_counter: monotonic, so the reported duration survives NTP
+    # clock steps mid-experiment (time.time() does not).
+    started = time.perf_counter()
     result = module.run(ctx)
     report = module.format_report(result, ctx)
     print(report)
-    print("[{} finished in {:.1f}s]\n".format(name, time.time() - started))
+    print("[{} finished in {:.1f}s]\n".format(name, time.perf_counter() - started))
 
 
 def main(argv=None) -> int:
@@ -103,6 +105,59 @@ def main(argv=None) -> int:
         default="full",
         help="full = the paper's 152 combinations; quick = a fast subset",
     )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=20141213,
+        help="base seed for every simulation RNG; the default (20141213, "
+        "the MICRO 2014 publication date) reproduces the recorded numbers",
+    )
+    fleet_parser = sub.add_parser(
+        "fleet", help="cluster-scale capping: N nodes under one power budget"
+    )
+    fleet_parser.add_argument(
+        "--nodes", type=int, default=8, help="number of nodes (default: 8)"
+    )
+    fleet_parser.add_argument(
+        "--sku-mix",
+        nargs="+",
+        choices=["fx8320", "phenom2"],
+        default=["fx8320"],
+        help="SKUs to rotate nodes through (default: all FX-8320)",
+    )
+    fleet_parser.add_argument(
+        "--policy",
+        choices=["uniform", "proportional", "waterfill"],
+        default="proportional",
+        help="how the cluster budget is split across nodes",
+    )
+    fleet_parser.add_argument(
+        "--intervals", type=int, default=40,
+        help="decision intervals to simulate (200 ms each; default: 40)",
+    )
+    fleet_parser.add_argument(
+        "--cap-high", type=float, default=None,
+        help="high cluster cap, watts (default: 90 W per node)",
+    )
+    fleet_parser.add_argument(
+        "--cap-low", type=float, default=None,
+        help="low cluster cap, watts (default: 50 W per node)",
+    )
+    fleet_parser.add_argument(
+        "--period", type=int, default=10,
+        help="intervals between cap flips (default: 10)",
+    )
+    fleet_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training and node simulation (default: 20141213)",
+    )
+    fleet_parser.add_argument(
+        "--training",
+        choices=["full", "quick"],
+        default="full",
+        help="per-SKU training depth; quick trades model fidelity for "
+        "a fast bring-up",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -114,10 +169,82 @@ def main(argv=None) -> int:
     if args.command == "report":
         return _assemble_report(args.results_dir, args.output)
 
-    ctx = common.get_context(scale=args.scale)
+    if args.command == "fleet":
+        return _run_fleet(args)
+
+    ctx = common.get_context(scale=args.scale, base_seed=args.seed)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_one(name, ctx)
+    return 0
+
+
+def _run_fleet(args) -> int:
+    """The ``fleet`` subcommand: train per SKU, cap the cluster."""
+    from repro.dvfs.power_capping import square_wave_cap
+    from repro.fleet import ClusterPowerManager, ModelRegistry, make_fleet
+    from repro.hardware.microarch import FX8320_SPEC, PHENOM_II_SPEC
+    from repro.workloads.suites import spec_combinations
+
+    if args.nodes <= 0:
+        print("--nodes must be positive")
+        return 1
+    skus = {"fx8320": FX8320_SPEC, "phenom2": PHENOM_II_SPEC}
+    mix = [skus[name] for name in args.sku_mix]
+    specs = [mix[i % len(mix)] for i in range(args.nodes)]
+
+    started = time.perf_counter()
+    if args.training == "quick":
+        registry = ModelRegistry(
+            combos=spec_combinations()[:3],
+            bench_intervals=4,
+            cool_intervals=20,
+            base_seed=args.seed,
+        )
+    else:
+        registry = ModelRegistry(base_seed=args.seed)
+    fleet = make_fleet(specs, registry, base_seed=args.seed)
+    print(
+        "fleet: {} nodes, {} SKU(s) -> {} model(s) trained in {:.1f}s".format(
+            len(fleet), len(set(s.name for s in specs)), registry.trains,
+            time.perf_counter() - started,
+        )
+    )
+
+    cap_high = args.cap_high if args.cap_high is not None else 90.0 * args.nodes
+    cap_low = args.cap_low if args.cap_low is not None else 50.0 * args.nodes
+    schedule = square_wave_cap(cap_high, cap_low, args.period)
+    manager = ClusterPowerManager(fleet, schedule, policy=args.policy)
+    started = time.perf_counter()
+    run = manager.run(args.intervals)
+    elapsed = time.perf_counter() - started
+
+    print(
+        "cap schedule: {:.0f} W / {:.0f} W, flipping every {} intervals; "
+        "policy: {}".format(cap_high, cap_low, args.period, args.policy)
+    )
+    print("interval   cap(W)   fleet(W)  min-share  max-share")
+    for i, (cap, power, shares) in enumerate(
+        zip(run.caps, run.node_powers, run.shares)
+    ):
+        print(
+            "{:>8}  {:>7.1f}  {:>8.1f}  {:>9.1f}  {:>9.1f}".format(
+                i, cap, sum(power), min(shares), max(shares)
+            )
+        )
+    result = run.evaluate()
+    print(
+        "settle intervals after cap drops: {}  (worst {})".format(
+            result.settle_intervals, result.worst_settle
+        )
+    )
+    print(
+        "violation rate {:.1%}, adherence {:.1%}, {:.3g} instructions "
+        "in {:.1f}s wall".format(
+            result.violation_rate, result.adherence,
+            result.total_instructions, elapsed,
+        )
+    )
     return 0
 
 

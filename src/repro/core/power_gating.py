@@ -103,6 +103,10 @@ class PGAwareIdleModel:
         except KeyError:
             raise KeyError("no decomposition for {}".format(vf)) from None
 
+    def decompositions(self) -> Dict[int, IdlePowerDecomposition]:
+        """All decompositions keyed by VF index (a copy; serialisation)."""
+        return dict(self._by_index)
+
     # -- per-core attribution ------------------------------------------------
 
     def per_core_idle(

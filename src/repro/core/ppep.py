@@ -104,6 +104,20 @@ class PPEP:
         self.dynamic_model = dynamic_model
         self.pg_model = pg_model
         self.event_predictor = EventPredictor()
+        self._batched = None
+
+    def batched_predictor(self):
+        """The vectorized all-nodes/all-VF pricing path (cached).
+
+        Returns a :class:`repro.core.batch.BatchedVFPredictor` bound to
+        this model -- the fleet hot path that prices every VF state of a
+        whole batch of same-spec nodes in a few NumPy operations.
+        """
+        if self._batched is None:
+            from repro.core.batch import BatchedVFPredictor
+
+            self._batched = BatchedVFPredictor(self)
+        return self._batched
 
     # -- state extraction ----------------------------------------------------
 

@@ -33,11 +33,40 @@ __all__ = [
     "UniformPowerCapper",
     "IterativePowerCapper",
     "CappingResult",
+    "ExternalBudget",
     "evaluate_capping",
+    "evaluate_power_series",
     "square_wave_cap",
 ]
 
 CapSchedule = Callable[[int], float]
+
+
+class ExternalBudget:
+    """A cap "schedule" whose value an outer controller sets at runtime.
+
+    The per-chip cappers read their cap through a ``schedule(step)``
+    callable.  Hierarchical managers (see
+    :class:`repro.fleet.cluster_cap.ClusterPowerManager`) re-apportion a
+    cluster budget every interval; handing each node's capper an
+    ``ExternalBudget`` lets the existing one-step
+    :class:`PPEPPowerCapper` chase a share it does not own.
+    """
+
+    def __init__(self, initial: float = float("inf")) -> None:
+        self._value = float(initial)
+
+    def set(self, watts: float) -> None:
+        if watts < 0:
+            raise ValueError("a power budget cannot be negative")
+        self._value = float(watts)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __call__(self, _step: int) -> float:
+        return self._value
 
 
 def square_wave_cap(
@@ -285,7 +314,27 @@ def evaluate_capping(
 ) -> CappingResult:
     """Score a closed-loop run against its cap schedule."""
     caps = [cap_schedule(i) for i in range(len(run.samples))]
-    powers = run.measured_powers
+    return evaluate_power_series(
+        run.measured_powers, caps, run.total_instructions()
+    )
+
+
+def evaluate_power_series(
+    powers: Sequence[float],
+    caps: Sequence[float],
+    total_instructions: float,
+) -> CappingResult:
+    """Score any per-interval power series against its cap series.
+
+    The Figure 7 methodology detached from :class:`ControlledRun`, so
+    fleet-level totals (sum of node powers vs. a cluster budget) are
+    scored with exactly the same settle/violation/adherence metrics as
+    a single chip.
+    """
+    if len(powers) != len(caps):
+        raise ValueError("powers and caps must align")
+    if not powers:
+        raise ValueError("cannot score an empty run")
 
     settle: List[int] = []
     i = 1
@@ -308,5 +357,5 @@ def evaluate_capping(
         settle_intervals=settle,
         violation_rate=violations / len(powers),
         adherence=adherence,
-        total_instructions=run.total_instructions(),
+        total_instructions=total_instructions,
     )

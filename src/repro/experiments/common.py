@@ -238,12 +238,18 @@ class ExperimentContext:
         )
 
 
-_CONTEXTS: Dict[Tuple[str, str], ExperimentContext] = {}
+_CONTEXTS: Dict[Tuple[str, str, int], ExperimentContext] = {}
 
 
-def get_context(scale: str = "full", spec: ChipSpec = FX8320_SPEC) -> ExperimentContext:
+def get_context(
+    scale: str = "full",
+    spec: ChipSpec = FX8320_SPEC,
+    base_seed: int = 20141213,
+) -> ExperimentContext:
     """Process-wide memoised context (shared across benchmarks)."""
-    key = (scale, spec.name)
+    key = (scale, spec.name, base_seed)
     if key not in _CONTEXTS:
-        _CONTEXTS[key] = ExperimentContext(spec=spec, scale=scale)
+        _CONTEXTS[key] = ExperimentContext(
+            spec=spec, scale=scale, base_seed=base_seed
+        )
     return _CONTEXTS[key]

@@ -1,0 +1,37 @@
+"""Cluster-scale PPEP: many chips, one framework.
+
+The paper manages one chip; a datacenter power manager needs the same
+one-step cross-VF prediction primitive across every node in a rack.
+This package scales the single-chip stack to N heterogeneous nodes:
+
+- :mod:`repro.fleet.registry` -- :class:`ModelRegistry` caches trained
+  PPEP artifacts per chip SKU, so a 100-node fleet with 3 SKUs trains 3
+  models, not 100, and a warm registry survives restarts;
+- :mod:`repro.fleet.simulator` -- :class:`FleetSimulator` steps many
+  platforms through synchronized 200 ms intervals and prices all VF
+  states of all nodes through the batched NumPy path
+  (:mod:`repro.core.batch`);
+- :mod:`repro.fleet.cluster_cap` -- :class:`ClusterPowerManager`
+  apportions a cluster power budget across nodes (uniform /
+  proportional-to-demand / waterfilling) and lets each node's one-step
+  :class:`~repro.dvfs.power_capping.PPEPPowerCapper` chase its share.
+"""
+
+from repro.fleet.cluster_cap import (
+    ClusterPowerManager,
+    FleetCappingRun,
+    allocate_budget,
+)
+from repro.fleet.registry import ModelRegistry, spec_fingerprint
+from repro.fleet.simulator import FleetNode, FleetSimulator, make_fleet
+
+__all__ = [
+    "ClusterPowerManager",
+    "FleetCappingRun",
+    "FleetNode",
+    "FleetSimulator",
+    "ModelRegistry",
+    "allocate_budget",
+    "make_fleet",
+    "spec_fingerprint",
+]

@@ -1,0 +1,234 @@
+"""Hierarchical fleet power capping.
+
+A cluster-level power budget (a rack breaker limit, a demand-response
+event) must be met by chips that only know how to cap *themselves*.
+:class:`ClusterPowerManager` closes the loop hierarchically, every
+200 ms decision interval:
+
+1. the fleet's batched predictor prices every VF state of every node --
+   each node's *demand* (predicted power at its fastest state) and
+   *floor* (predicted power at its slowest state) cost one NumPy pass;
+2. an allocation policy apportions the cluster budget into node shares;
+3. each node's existing one-step
+   :class:`~repro.dvfs.power_capping.PPEPPowerCapper` chases its share
+   through an :class:`~repro.dvfs.power_capping.ExternalBudget`.
+
+Because every layer is proactive (prediction, not trial-and-error), the
+fleet total lands under a new cluster cap within one decision interval
+-- the Figure 7 one-step property, at rack scale.
+
+Allocation policies:
+
+- ``uniform`` -- the naive baseline: every node gets ``B / N``
+  regardless of what it is running;
+- ``proportional`` -- shares proportional to predicted demand, so busy
+  nodes get budget idle nodes would waste;
+- ``waterfill`` -- every node is first granted its floor (it cannot go
+  lower anyway), then the remaining budget fills nodes equally, capped
+  at each node's demand (classic waterfilling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Union
+
+import numpy as np
+
+from repro.dvfs.power_capping import (
+    CappingResult,
+    ExternalBudget,
+    PPEPPowerCapper,
+    evaluate_power_series,
+)
+from repro.fleet.simulator import FleetSimulator
+
+__all__ = [
+    "ALLOCATION_POLICIES",
+    "ClusterPowerManager",
+    "FleetCappingRun",
+    "allocate_budget",
+]
+
+ALLOCATION_POLICIES = ("uniform", "proportional", "waterfill")
+
+CapSchedule = Callable[[int], float]
+
+
+def allocate_budget(
+    policy: str,
+    budget: float,
+    demand: np.ndarray,
+    floor: np.ndarray,
+) -> np.ndarray:
+    """Split ``budget`` watts across nodes; shares never sum above it.
+
+    ``demand`` and ``floor`` are the per-node predicted powers at the
+    fastest and slowest VF states (see
+    :class:`~repro.fleet.simulator.FleetPrediction`).
+    """
+    demand = np.asarray(demand, dtype=float)
+    floor = np.asarray(floor, dtype=float)
+    if demand.shape != floor.shape or demand.ndim != 1 or demand.size == 0:
+        raise ValueError("demand and floor must be equal-length vectors")
+    if budget < 0:
+        raise ValueError("budget cannot be negative")
+    n = demand.size
+
+    if policy == "uniform":
+        return np.full(n, budget / n)
+    if policy == "proportional":
+        total = demand.sum()
+        if total <= 0:
+            return np.full(n, budget / n)
+        return budget * demand / total
+    if policy == "waterfill":
+        return _waterfill(budget, demand, floor)
+    raise ValueError(
+        "unknown policy {!r}; choose from {}".format(policy, ALLOCATION_POLICIES)
+    )
+
+
+def _waterfill(
+    budget: float, demand: np.ndarray, floor: np.ndarray
+) -> np.ndarray:
+    """Floors first, then equal fill capped at demand."""
+    # An infeasible budget (below the sum of floors) is split
+    # proportionally to the floors: every node will pin to its slowest
+    # state regardless, and proportional floors degrade gracefully.
+    floors_total = floor.sum()
+    if budget <= floors_total or floors_total <= 0:
+        if floors_total <= 0:
+            return np.full(demand.size, budget / demand.size)
+        return budget * floor / floors_total
+    share = floor.copy()
+    ceiling = np.maximum(demand, floor)
+    remaining = budget - share.sum()
+    unsat = share < ceiling - 1e-9
+    while remaining > 1e-9 and unsat.any():
+        added = np.zeros_like(share)
+        added[unsat] = remaining / unsat.sum()
+        new_share = np.minimum(share + added, ceiling)
+        granted = (new_share - share).sum()
+        share = new_share
+        remaining -= granted
+        unsat = share < ceiling - 1e-9
+        if granted <= 1e-12:
+            break
+    return share
+
+
+@dataclass
+class FleetCappingRun:
+    """Closed-loop trajectory of a cluster-capped fleet."""
+
+    node_names: List[str]
+    #: Cluster cap in force per interval, watts.
+    caps: List[float] = field(default_factory=list)
+    #: Measured per-node power, ``[interval][node]``, watts.
+    node_powers: List[List[float]] = field(default_factory=list)
+    #: Budget share granted per node, ``[interval][node]``, watts.
+    shares: List[List[float]] = field(default_factory=list)
+    #: Instructions retired per node per interval.
+    node_instructions: List[List[float]] = field(default_factory=list)
+
+    @property
+    def fleet_powers(self) -> List[float]:
+        """Total measured fleet power per interval, watts."""
+        return [sum(row) for row in self.node_powers]
+
+    def total_instructions(self) -> float:
+        return float(sum(sum(row) for row in self.node_instructions))
+
+    def evaluate(self) -> CappingResult:
+        """Figure 7 metrics of the fleet total against the cluster cap."""
+        return evaluate_power_series(
+            self.fleet_powers, self.caps, self.total_instructions()
+        )
+
+
+class ClusterPowerManager:
+    """Apportions a cluster budget; nodes run one-step PPEP capping.
+
+    Parameters
+    ----------
+    fleet:
+        The simulator whose nodes to manage.
+    cap_schedule:
+        Cluster budget in watts per decision step (a callable or a
+        constant), e.g. :func:`repro.dvfs.power_capping.square_wave_cap`.
+    policy:
+        One of :data:`ALLOCATION_POLICIES`.
+    margin / bias_gain:
+        Forwarded to each node's :class:`PPEPPowerCapper`.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSimulator,
+        cap_schedule: Union[CapSchedule, float],
+        policy: str = "proportional",
+        margin: float = 0.97,
+        bias_gain: float = 0.25,
+    ) -> None:
+        if policy not in ALLOCATION_POLICIES:
+            raise ValueError(
+                "unknown policy {!r}; choose from {}".format(
+                    policy, ALLOCATION_POLICIES
+                )
+            )
+        self.fleet = fleet
+        self.policy = policy
+        self._schedule = (
+            cap_schedule if callable(cap_schedule) else (lambda _s: float(cap_schedule))
+        )
+        self._budgets = [ExternalBudget() for _ in fleet.nodes]
+        self._cappers = [
+            PPEPPowerCapper(node.ppep, budget, margin=margin, bias_gain=bias_gain)
+            for node, budget in zip(fleet.nodes, self._budgets)
+        ]
+        self._step = 0
+
+    def reset(self) -> None:
+        self._step = 0
+        for capper in self._cappers:
+            capper.reset()
+
+    def run(self, n_intervals: int, start_fastest: bool = True) -> FleetCappingRun:
+        """Run the observe/allocate/decide/apply loop.
+
+        As in :func:`repro.dvfs.governor.run_controlled`, the decision
+        made from interval *k*'s samples governs interval *k + 1* (one
+        interval of actuation latency).
+        """
+        if n_intervals <= 0:
+            raise ValueError("n_intervals must be positive")
+        self.reset()
+        if start_fastest:
+            for node in self.fleet.nodes:
+                node.platform.set_all_vf(node.spec.vf_table.fastest)
+        record = FleetCappingRun(
+            node_names=[node.name for node in self.fleet.nodes]
+        )
+        for _ in range(n_intervals):
+            samples = self.fleet.step()
+            prediction = self.fleet.predict(samples)
+            cap = self._schedule(self._step)
+            shares = allocate_budget(
+                self.policy, cap, prediction.demand, prediction.floor
+            )
+            for node, budget, capper, sample, share in zip(
+                self.fleet.nodes, self._budgets, self._cappers, samples, shares
+            ):
+                budget.set(float(share))
+                decision = capper.decide(sample)
+                for cu, vf in enumerate(decision):
+                    node.platform.set_cu_vf(cu, vf)
+            record.caps.append(cap)
+            record.node_powers.append([s.measured_power for s in samples])
+            record.shares.append([float(s) for s in shares])
+            record.node_instructions.append(
+                [s.total_instructions() for s in samples]
+            )
+            self._step += 1
+        return record

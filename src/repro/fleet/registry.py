@@ -1,0 +1,162 @@
+"""The trained-model registry: one training run per chip SKU.
+
+Training a PPEP model simulates thousands of platform intervals
+(cool-down traces per VF state, the VF5 regression suite, the alpha
+calibration, the power-gating sweep).  A fleet of a hundred nodes built
+from three chip SKUs must pay that cost three times, not a hundred:
+:class:`ModelRegistry` memoises trained :class:`~repro.core.ppep.PPEP`
+artifacts by a stable fingerprint of the :class:`ChipSpec` *and* the
+training configuration, and optionally persists them to disk through
+:mod:`repro.analysis.persistence` so a warm registry survives process
+restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.persistence import load_ppep, save_ppep
+from repro.analysis.trace import TraceLibrary
+from repro.core.ppep import PPEP, PPEPTrainer
+from repro.hardware.microarch import ChipSpec
+from repro.hardware.vfstates import VFState, VFTable
+from repro.workloads.suites import BenchmarkCombination, spec_combinations
+
+__all__ = ["ModelRegistry", "spec_fingerprint"]
+
+
+def _canonical(value: object) -> str:
+    """A stable textual form for fingerprint hashing."""
+    if isinstance(value, VFTable):
+        return "[{}]".format(
+            ",".join(_canonical(s) for s in value.descending())
+        )
+    if isinstance(value, VFState):
+        return "({},{:.6f},{:.6f})".format(
+            value.index, value.voltage, value.frequency_ghz
+        )
+    if isinstance(value, float):
+        return "{:.9g}".format(value)
+    if isinstance(value, (tuple, list)):
+        return "[{}]".format(",".join(_canonical(v) for v in value))
+    return str(value)
+
+
+def spec_fingerprint(spec: ChipSpec) -> str:
+    """A stable hex digest of every field of ``spec``.
+
+    Two specs with identical topology, VF tables, and ground-truth
+    parameters fingerprint identically across processes and platforms;
+    any field change (a different SKU) produces a different digest.
+    """
+    parts = []
+    for f in dataclasses.fields(spec):
+        parts.append("{}={}".format(f.name, _canonical(getattr(spec, f.name))))
+    text = ";".join(parts)
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ModelRegistry:
+    """Caches trained PPEP models keyed by chip SKU + training config.
+
+    Parameters
+    ----------
+    combos:
+        Training benchmark combinations (default: the first eight SPEC
+        singles -- enough diversity for a usable Eq. 3 fit at fleet
+        bring-up speed; pass the full roster for paper-grade models).
+    bench_intervals / cool_intervals / base_seed:
+        Forwarded to :class:`PPEPTrainer`.
+    with_pg_model:
+        Whether to run the Figure 4 sweep on PG-capable SKUs.
+    cache_dir:
+        When set, trained artifacts are written there as
+        ``ppep-<fingerprint>.npz`` and re-loaded on a fresh registry,
+        so training survives process restarts.
+    """
+
+    def __init__(
+        self,
+        combos: Optional[Sequence[BenchmarkCombination]] = None,
+        bench_intervals: int = 8,
+        cool_intervals: int = 60,
+        base_seed: int = 20141213,
+        with_pg_model: bool = True,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.combos: List[BenchmarkCombination] = list(
+            combos if combos is not None else spec_combinations()[:8]
+        )
+        if not self.combos:
+            raise ValueError("need at least one training combination")
+        self.bench_intervals = bench_intervals
+        self.cool_intervals = cool_intervals
+        self.base_seed = base_seed
+        self.with_pg_model = with_pg_model
+        self.cache_dir = cache_dir
+        self._models: Dict[str, PPEP] = {}
+        #: Number of actual training runs this registry performed
+        #: (cache hits -- in memory or on disk -- do not count).
+        self.trains = 0
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(self, spec: ChipSpec) -> str:
+        """The cache key: chip fingerprint + training configuration."""
+        config = "combos=[{}];bench={};cool={};seed={};pg={}".format(
+            ",".join(c.name for c in self.combos),
+            self.bench_intervals,
+            self.cool_intervals,
+            self.base_seed,
+            self.with_pg_model,
+        )
+        digest = hashlib.blake2b(
+            (spec_fingerprint(spec) + "|" + config).encode("utf-8"),
+            digest_size=16,
+        ).hexdigest()
+        return digest
+
+    def _artifact_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, "ppep-{}.npz".format(key))
+
+    # -- the cache ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, spec: ChipSpec) -> bool:
+        return self.key_for(spec) in self._models
+
+    def get(self, spec: ChipSpec) -> PPEP:
+        """The trained model for ``spec``: memory, then disk, then train."""
+        key = self.key_for(spec)
+        model = self._models.get(key)
+        if model is not None:
+            return model
+        path = self._artifact_path(key)
+        if path is not None and os.path.exists(path):
+            model = load_ppep(path, spec)
+        else:
+            model = self._train(spec)
+            if path is not None:
+                os.makedirs(self.cache_dir, exist_ok=True)
+                save_ppep(model, path)
+        self._models[key] = model
+        return model
+
+    def _train(self, spec: ChipSpec) -> PPEP:
+        trainer = PPEPTrainer(
+            spec,
+            base_seed=self.base_seed,
+            bench_intervals=self.bench_intervals,
+            cool_intervals=self.cool_intervals,
+        )
+        self.trains += 1
+        return trainer.train(
+            self.combos, TraceLibrary(), with_pg_model=self.with_pg_model
+        )

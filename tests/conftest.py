@@ -83,3 +83,15 @@ def quick_ctx():
     share one instance.
     """
     return ExperimentContext(scale="quick")
+
+
+@pytest.fixture(scope="session")
+def tiny_registry():
+    """A fleet model registry with a minimal training config, shared
+    across the session so each SKU trains at most once."""
+    from repro.fleet import ModelRegistry
+    from repro.workloads.suites import spec_combinations
+
+    return ModelRegistry(
+        combos=spec_combinations()[:3], bench_intervals=4, cool_intervals=20
+    )

@@ -25,6 +25,13 @@ class TestCLI:
         assert "PMCx0c1" in out
         assert "finished in" in out
 
+    def test_seed_flag_reseeds_context(self, capsys):
+        from repro.experiments import common
+
+        assert main(["run", "table1", "--scale", "quick", "--seed", "7"]) == 0
+        assert "finished in" in capsys.readouterr().out
+        assert ("quick", common.FX8320_SPEC.name, 7) in common._CONTEXTS
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "nonsense"])
@@ -32,6 +39,21 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFleetCommand:
+    def test_fleet_smoke(self, capsys):
+        assert main([
+            "fleet", "--nodes", "2", "--intervals", "4", "--period", "2",
+            "--cap-high", "180", "--cap-low", "100", "--training", "quick",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 nodes" in out
+        assert "1 model(s) trained" in out
+        assert "settle intervals" in out
+
+    def test_fleet_rejects_nonpositive_nodes(self, capsys):
+        assert main(["fleet", "--nodes", "0"]) == 1
 
 
 class TestReportCommand:

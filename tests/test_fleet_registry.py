@@ -1,0 +1,109 @@
+"""Unit tests for the per-SKU trained-model registry."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fleet import ModelRegistry, make_fleet, spec_fingerprint
+from repro.hardware.microarch import FX8320_SPEC, PHENOM_II_SPEC
+from repro.hardware.platform import CoreAssignment, Platform
+from repro.workloads.suites import spec_combinations, spec_program
+
+TINY = dict(
+    combos=spec_combinations()[:2], bench_intervals=3, cool_intervals=15
+)
+
+
+def _all_vf_powers(ppep, sample):
+    """Predicted chip power per VF state -- the model's signature."""
+    states = ppep.core_states(sample)
+    return np.array([
+        ppep.predict_at(states, sample.temperature, vf, sample.power_gating).chip_power
+        for vf in ppep.spec.vf_table.descending()
+    ])
+
+
+def _stepped_sample(spec, seed=77):
+    platform = Platform(spec, seed=seed, power_gating=spec.supports_power_gating)
+    platform.set_assignment(
+        CoreAssignment.one_per_cu(spec, [spec_program("429")])
+    )
+    return platform.step()
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert spec_fingerprint(FX8320_SPEC) == spec_fingerprint(FX8320_SPEC)
+
+    def test_distinguishes_skus(self):
+        assert spec_fingerprint(FX8320_SPEC) != spec_fingerprint(PHENOM_II_SPEC)
+
+    def test_any_field_change_changes_digest(self):
+        tweaked = dataclasses.replace(
+            FX8320_SPEC, ambient_temperature=FX8320_SPEC.ambient_temperature + 1.0
+        )
+        assert spec_fingerprint(tweaked) != spec_fingerprint(FX8320_SPEC)
+
+
+class TestCache:
+    def test_hit_on_identical_spec(self):
+        registry = ModelRegistry(**TINY)
+        first = registry.get(FX8320_SPEC)
+        second = registry.get(FX8320_SPEC)
+        assert first is second
+        assert registry.trains == 1
+        assert len(registry) == 1
+        assert FX8320_SPEC in registry
+
+    def test_miss_on_differing_spec(self, tiny_registry):
+        key_fx = tiny_registry.key_for(FX8320_SPEC)
+        key_ph = tiny_registry.key_for(PHENOM_II_SPEC)
+        assert key_fx != key_ph
+
+    def test_key_includes_training_config(self):
+        a = ModelRegistry(**TINY)
+        b = ModelRegistry(
+            combos=spec_combinations()[:2], bench_intervals=4, cool_intervals=15
+        )
+        assert a.key_for(FX8320_SPEC) != b.key_for(FX8320_SPEC)
+
+    def test_empty_combos_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(combos=[])
+
+    def test_mixed_sku_fleet_trains_each_spec_once(self):
+        registry = ModelRegistry(**TINY)
+        fleet = make_fleet(
+            [FX8320_SPEC, FX8320_SPEC, PHENOM_II_SPEC, FX8320_SPEC], registry
+        )
+        assert registry.trains == 2
+        assert fleet.num_model_groups == 2
+        # The three FX nodes share one model object.
+        fx_models = {
+            id(node.ppep) for node in fleet.nodes
+            if node.spec.name == FX8320_SPEC.name
+        }
+        assert len(fx_models) == 1
+
+
+class TestPersistence:
+    def test_round_trip_predictions_identical(self, tmp_path):
+        cache = str(tmp_path / "models")
+        warm = ModelRegistry(cache_dir=cache, **TINY)
+        trained = warm.get(FX8320_SPEC)
+        assert warm.trains == 1
+
+        cold = ModelRegistry(cache_dir=cache, **TINY)
+        loaded = cold.get(FX8320_SPEC)
+        assert cold.trains == 0  # came from disk, not a retrain
+
+        sample = _stepped_sample(FX8320_SPEC)
+        np.testing.assert_allclose(
+            _all_vf_powers(loaded, sample), _all_vf_powers(trained, sample)
+        )
+
+    def test_no_cache_dir_means_no_files(self, tmp_path):
+        registry = ModelRegistry(**TINY)
+        registry.get(FX8320_SPEC)
+        assert list(tmp_path.iterdir()) == []

@@ -5,8 +5,10 @@ import pytest
 from repro.dvfs.governor import ControlledRun
 from repro.dvfs.power_capping import (
     CappingResult,
+    ExternalBudget,
     IterativePowerCapper,
     evaluate_capping,
+    evaluate_power_series,
     square_wave_cap,
 )
 from repro.hardware.microarch import FX8320_SPEC
@@ -129,6 +131,90 @@ class TestEvaluateCapping:
         empty = CappingResult([], 0.0, 1.0, 0.0)
         assert empty.mean_settle == 0.0
         assert empty.worst_settle == 0
+
+
+class TestExternalBudget:
+    def test_starts_unbounded(self):
+        budget = ExternalBudget()
+        assert budget.value == float("inf")
+        assert budget(0) == float("inf")
+
+    def test_set_changes_every_step(self):
+        budget = ExternalBudget(100.0)
+        assert budget(3) == 100.0
+        budget.set(42.5)
+        assert budget.value == 42.5
+        assert budget(0) == budget(99) == 42.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExternalBudget().set(-1.0)
+
+
+class TestEvaluatePowerSeries:
+    def test_matches_evaluate_capping(self):
+        cap = square_wave_cap(90.0, 50.0, 3)
+        powers = [80.0, 80.0, 80.0, 80.0, 60.0, 45.0]
+        run = ControlledRun()
+        run.samples = [fake_sample(p) for p in powers]
+        via_run = evaluate_capping(run, cap)
+        direct = evaluate_power_series(
+            powers, [cap(i) for i in range(len(powers))],
+            run.total_instructions(),
+        )
+        assert direct == via_run
+
+    def test_validates_alignment(self):
+        with pytest.raises(ValueError):
+            evaluate_power_series([80.0, 80.0], [90.0], 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_power_series([], [], 0.0)
+
+
+class TestPPEPCapperEdgeCases:
+    def _stepped_sample(self, quick_ctx, vf):
+        from repro.hardware.platform import CoreAssignment, Platform
+        from repro.workloads.suites import spec_program
+
+        platform = Platform(
+            quick_ctx.spec, seed=31, initial_temperature=320.0
+        )
+        platform.set_assignment(
+            CoreAssignment.one_per_cu(
+                quick_ctx.spec, [spec_program("458")] * 4
+            )
+        )
+        platform.set_all_vf(vf)
+        return platform.step()
+
+    def test_unachievable_cap_pins_floor_and_never_raises(self, quick_ctx):
+        """A cap below the slowest state's power: every CU lands at the
+        floor, and the climb-back refinement must not raise anything."""
+        from repro.dvfs.power_capping import PPEPPowerCapper
+
+        capper = PPEPPowerCapper(quick_ctx.full_ppep, 5.0)
+        sample = self._stepped_sample(
+            quick_ctx, quick_ctx.spec.vf_table.fastest
+        )
+        slowest = quick_ctx.spec.vf_table.slowest.index
+        for _ in range(3):  # bias feedback must not unpin the floor
+            decision = capper.decide(sample)
+            assert [vf.index for vf in decision] == [slowest] * 4
+
+    def test_generous_cap_reaches_fastest_in_one_step(self, quick_ctx):
+        """A cap above max chip power: one decision jumps straight to
+        the fastest state even from a crawling start."""
+        from repro.dvfs.power_capping import PPEPPowerCapper
+
+        capper = PPEPPowerCapper(quick_ctx.full_ppep, 500.0)
+        sample = self._stepped_sample(
+            quick_ctx, quick_ctx.spec.vf_table.slowest
+        )
+        fastest = quick_ctx.spec.vf_table.fastest.index
+        decision = capper.decide(sample)
+        assert [vf.index for vf in decision] == [fastest] * 4
 
 
 class TestUniformCapper:
