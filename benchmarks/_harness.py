@@ -1,17 +1,60 @@
 """Shared bench-harness helper (imported by every bench file)."""
 
+import json
 import os
+import time
+
+#: Machine-readable sibling of results/*.txt: one entry per bench with
+#: its wall-clock and the scalar metrics of its result object, so perf
+#: regressions are diffable across commits without parsing reports.
+BENCH_RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_results.json"
+)
+
+
+def _scalar_metrics(result):
+    """The public numeric fields of ``result`` (dataclass or plain object)."""
+    source = getattr(result, "__dict__", None)
+    if source is None:
+        return {}
+    return {
+        key: value
+        for key, value in source.items()
+        if not key.startswith("_")
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def record_bench(name, wall_s, metrics=None, path=None):
+    """Append one bench entry to ``BENCH_results.json`` (read-modify-write)."""
+    path = path or BENCH_RESULTS_PATH
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        data = {}
+    entry = {"wall_s": round(wall_s, 4)}
+    entry.update(metrics or {})
+    data[name] = entry
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def run_and_report(benchmark, module, ctx, report_dir, name, **run_kwargs):
     """Run ``module.run(ctx)`` once under benchmark timing, render its
-    report, persist it under results/, and return the result object."""
+    report, persist it under results/, record wall-clock and key metrics
+    in BENCH_results.json, and return the result object."""
+    started = time.perf_counter()
     result = benchmark.pedantic(
         module.run, args=(ctx,), kwargs=run_kwargs, rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - started
     report = module.format_report(result, ctx)
     print("\n" + report)
     path = os.path.join(report_dir, "{}.txt".format(name))
     with open(path, "w") as handle:
         handle.write(report + "\n")
+    record_bench(name, wall_s, _scalar_metrics(result))
     return result

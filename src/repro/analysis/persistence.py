@@ -36,10 +36,63 @@ from repro.hardware.microarch import ChipSpec
 from repro.hardware.platform import IntervalSample
 from repro.hardware.vfstates import VFState
 
-__all__ = ["save_trace", "load_trace", "save_ppep", "load_ppep"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_ppep",
+    "load_ppep",
+    "trace_fingerprint",
+]
 
 _FORMAT_VERSION = 1
 _PPEP_FORMAT_VERSION = 1
+
+
+def _canonical_key_part(value) -> str:
+    """A collision-free canonical encoding of one key component.
+
+    Every component is type-tagged and strings are length-prefixed, so
+    structurally different keys can never serialise to the same byte
+    string (``("ab", "c")`` vs ``("a", "bc")``, ``1`` vs ``True`` vs
+    ``"1"``).  Only the value types that appear in trace-cache keys are
+    accepted; anything else is a hard error rather than a silently
+    ambiguous ``str()``.
+    """
+    if value is None:
+        return "n"
+    # bool before int: True is an instance of int.
+    if isinstance(value, bool):
+        return "b:1" if value else "b:0"
+    if isinstance(value, int):
+        return "i:{}".format(value)
+    if isinstance(value, float):
+        return "f:{!r}".format(value)
+    if isinstance(value, str):
+        return "s:{}:{}".format(len(value), value)
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_canonical_key_part(v) for v in value)
+        return "t:{}:[{}]".format(len(value), inner)
+    raise TypeError(
+        "unsupported trace-key component type: {!r}".format(type(value))
+    )
+
+
+def trace_fingerprint(key) -> str:
+    """A stable hex fingerprint of a trace-cache key.
+
+    The fingerprint names the on-disk cache file for a trace, so it must
+    be (a) stable across processes and Python versions -- no ``hash()``
+    -- and (b) injective on the supported key types -- no separator
+    ambiguity.  Keys are tuples of primitives (spec fingerprint, combo
+    name, VF index, seed, interval counts, engine, ...); 128 bits of
+    blake2b keeps accidental collisions out of reach.
+    """
+    import hashlib
+
+    canonical = _canonical_key_part(key)
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 def save_trace(trace: Trace, path: str) -> None:
@@ -94,36 +147,51 @@ def load_trace(path: str, spec: ChipSpec) -> Trace:
         nb_table.setdefault(NB_VF_HI.index, NB_VF_HI)
         nb_table.setdefault(NB_VF_LO.index, NB_VF_LO)
 
+        # Bulk ndarray->list conversion up front: one C-level tolist()
+        # per array instead of per-element float() calls per interval.
+        # This keeps a warm disk cache decisively cheaper than
+        # re-simulating (the whole point of persisting traces).
+        indices = data["index"].tolist()
+        times = data["time"].tolist()
+        power_samples = data["power_samples"].tolist()
+        measured = data["measured_power"].tolist()
+        true_power = data["true_power"].tolist()
+        temperature = data["temperature"].tolist()
+        instructions = data["instructions"].tolist()
+        cu_vf_indices = data["cu_vf_indices"].tolist()
+        nb_vf_index = data["nb_vf_index"].tolist()
+        nb_utilisation = data["nb_utilisation"].tolist()
+        power_gating = data["power_gating"].tolist()
+        core_events = data["core_events"].tolist()
+        true_core_events = data["true_core_events"].tolist()
+        by_index = {}
+        for row in cu_vf_indices:
+            for idx in row:
+                if idx not in by_index:
+                    by_index[idx] = spec.vf_table.by_index(int(idx))
+
         samples: List[IntervalSample] = []
         for i in range(n):
-            cu_vfs = [
-                spec.vf_table.by_index(int(idx))
-                for idx in data["cu_vf_indices"][i]
-            ]
-            core_events = [
-                EventVector(data["core_events"][i, c, :])
-                for c in range(data["core_events"].shape[1])
-            ]
-            true_events = [
-                EventVector(data["true_core_events"][i, c, :])
-                for c in range(data["true_core_events"].shape[1])
-            ]
             samples.append(
                 IntervalSample(
-                    index=int(data["index"][i]),
-                    time=float(data["time"][i]),
-                    cu_vfs=cu_vfs,
-                    nb_vf=nb_table[int(data["nb_vf_index"][i])],
-                    power_gating=bool(data["power_gating"][i]),
-                    power_samples=list(data["power_samples"][i]),
-                    measured_power=float(data["measured_power"][i]),
-                    temperature=float(data["temperature"][i]),
-                    core_events=core_events,
-                    true_core_events=true_events,
-                    instructions=list(data["instructions"][i]),
-                    true_power=float(data["true_power"][i]),
+                    index=int(indices[i]),
+                    time=times[i],
+                    cu_vfs=[by_index[idx] for idx in cu_vf_indices[i]],
+                    nb_vf=nb_table[int(nb_vf_index[i])],
+                    power_gating=bool(power_gating[i]),
+                    power_samples=power_samples[i],
+                    measured_power=measured[i],
+                    temperature=temperature[i],
+                    core_events=[
+                        EventVector.wrap(row) for row in core_events[i]
+                    ],
+                    true_core_events=[
+                        EventVector.wrap(row) for row in true_core_events[i]
+                    ],
+                    instructions=instructions[i],
+                    true_power=true_power[i],
                     breakdown=None,
-                    nb_utilisation=float(data["nb_utilisation"][i]),
+                    nb_utilisation=nb_utilisation[i],
                 )
             )
         return Trace(samples, label=str(data["label"]))

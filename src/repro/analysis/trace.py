@@ -8,12 +8,18 @@ segments, and warm-up trimming.
 
 :class:`TraceLibrary` memoises traces by an arbitrary hashable key so
 that expensive sweeps (152 combinations x 5 VF states) are simulated
-once and shared across experiments within a process.
+once and shared across experiments within a process.  Given a
+``cache_dir`` it additionally persists every trace as one ``.npz`` file
+named by a stable key fingerprint
+(:func:`repro.analysis.persistence.trace_fingerprint`), so warm-up
+survives process restarts: a second run finds each trace on disk and
+performs zero new simulations.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterator, List, Sequence
+import os
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -125,24 +131,94 @@ class Trace:
 
 
 class TraceLibrary:
-    """Memoising trace store keyed by arbitrary hashable keys."""
+    """Memoising trace store keyed by arbitrary hashable keys.
 
-    def __init__(self) -> None:
+    Purely in-memory by default.  With ``cache_dir`` each trace is also
+    written to ``<cache_dir>/trace-<fingerprint>.npz`` and looked up
+    there on a memory miss, making the library durable across
+    processes; ``spec`` is then required to deserialise (it resolves VF
+    indices, exactly as :func:`~repro.analysis.persistence.load_trace`
+    documents).  Note the persisted format drops the ground-truth power
+    *breakdown* (a debugging aid): a disk round-trip returns samples
+    with ``breakdown=None``.
+
+    Cache invalidation is by key content only: any knob that changes
+    what a simulation would produce (spec, combo, VF index, seed,
+    interval counts, engine) must be part of the key, and the trainer's
+    keys include all of them.  Nothing else is versioned -- wiping the
+    directory is the escape hatch after a physics change.
+
+    The ``memory_hits`` / ``disk_hits`` / ``misses`` counters make cache
+    behaviour observable (tests assert a warm second context simulates
+    nothing; benchmarks report cold-vs-warm timings).
+    """
+
+    def __init__(
+        self, cache_dir: Optional[str] = None, spec=None
+    ) -> None:
+        if cache_dir is not None and spec is None:
+            raise ValueError("a disk-backed TraceLibrary needs the chip spec")
         self._store: Dict[Hashable, Trace] = {}
+        self.cache_dir = cache_dir
+        self.spec = spec
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def path_for(self, key: Hashable) -> str:
+        """The on-disk path a trace with ``key`` persists to."""
+        if self.cache_dir is None:
+            raise ValueError("library has no cache_dir")
+        from repro.analysis.persistence import trace_fingerprint
+
+        return os.path.join(
+            self.cache_dir, "trace-{}.npz".format(trace_fingerprint(key))
+        )
+
+    def get(self, key: Hashable) -> Optional[Trace]:
+        """The cached trace for ``key`` (memory, then disk) or ``None``."""
+        trace = self._store.get(key)
+        if trace is not None:
+            self.memory_hits += 1
+            return trace
+        if self.cache_dir is not None:
+            path = self.path_for(key)
+            if os.path.exists(path):
+                from repro.analysis.persistence import load_trace
+
+                trace = load_trace(path, self.spec)
+                self._store[key] = trace
+                self.disk_hits += 1
+                return trace
+        return None
+
+    def put(self, key: Hashable, trace: Trace) -> None:
+        """Cache ``trace`` under ``key`` (and persist it, if disk-backed)."""
+        self._store[key] = trace
+        if self.cache_dir is not None:
+            from repro.analysis.persistence import save_trace
+
+            save_trace(trace, self.path_for(key))
 
     def get_or_run(self, key: Hashable, producer: Callable[[], Trace]) -> Trace:
         """Return the cached trace for ``key`` or produce and cache it."""
-        trace = self._store.get(key)
+        trace = self.get(key)
         if trace is None:
+            self.misses += 1
             trace = producer()
-            self._store[key] = trace
+            self.put(key, trace)
         return trace
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        if key in self._store:
+            return True
+        return self.cache_dir is not None and os.path.exists(self.path_for(key))
 
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
+        """Drop the in-memory store (on-disk files are kept)."""
         self._store.clear()

@@ -324,10 +324,14 @@ class PPEPTrainer:
         base_seed: int = 20141213,
         bench_intervals: int = None,
         cool_intervals: int = None,
+        engine: str = "vector",
     ) -> None:
         # Any integer works; everything derived from the seed is stable.
         self.spec = spec
         self.base_seed = base_seed
+        if engine not in Platform.ENGINES:
+            raise ValueError("engine must be one of {}".format(Platform.ENGINES))
+        self.engine = engine
         if bench_intervals is not None:
             if bench_intervals < 2:
                 raise ValueError("bench_intervals must be >= 2")
@@ -339,31 +343,66 @@ class PPEPTrainer:
 
     # -- data collection -----------------------------------------------------------
 
-    def collect_cooling(self, vf: VFState) -> Tuple[List[float], List[float]]:
+    def _trace_key(self, kind: str, *parts) -> tuple:
+        """A cache key that pins everything a simulation depends on.
+
+        The spec enters as a content fingerprint (not its name), and the
+        seed, engine, and interval counts are explicit -- so a disk
+        cache can never serve a trace produced under different physics,
+        and the two engines (equivalent only to 1e-9, not bit-exact)
+        never share entries.
+        """
+        from repro.fleet.registry import spec_fingerprint
+
+        return (
+            "ppep-trainer",
+            kind,
+            spec_fingerprint(self.spec),
+            self.base_seed,
+            self.engine,
+        ) + parts
+
+    def collect_cooling(
+        self, vf: VFState, library: Optional[TraceLibrary] = None
+    ) -> Tuple[List[float], List[float]]:
         """One Figure 1 heat-then-cool experiment at ``vf``."""
-        platform = Platform(
-            self.spec,
-            seed=stable_seed(self.base_seed, "cooling", vf.index),
-            power_gating=False,
-            initial_temperature=self.HEAT_START_TEMPERATURE,
+        key = self._trace_key(
+            "cooling", vf.index, self.HEAT_INTERVALS, self.COOL_INTERVALS
         )
-        platform.set_all_vf(vf)
-        heaters = [
-            make_cpu_bound("heater-{}".format(i)) for i in range(self.spec.num_cores)
-        ]
-        platform.set_assignment(CoreAssignment.packed(heaters))
-        platform.run(self.HEAT_INTERVALS)
-        platform.set_assignment(CoreAssignment.idle())
-        temperatures: List[float] = []
-        powers: List[float] = []
-        for sample in platform.run(self.COOL_INTERVALS):
-            temperatures.append(sample.temperature)
-            powers.append(sample.measured_power)
+
+        def produce() -> Trace:
+            platform = Platform(
+                self.spec,
+                seed=stable_seed(self.base_seed, "cooling", vf.index),
+                power_gating=False,
+                initial_temperature=self.HEAT_START_TEMPERATURE,
+                engine=self.engine,
+            )
+            platform.set_all_vf(vf)
+            heaters = [
+                make_cpu_bound("heater-{}".format(i))
+                for i in range(self.spec.num_cores)
+            ]
+            platform.set_assignment(CoreAssignment.packed(heaters))
+            platform.run(self.HEAT_INTERVALS)
+            platform.set_assignment(CoreAssignment.idle())
+            samples = platform.run(self.COOL_INTERVALS)
+            return Trace(samples, label="cooling-{}".format(vf.name))
+
+        if library is not None:
+            trace = library.get_or_run(key, produce)
+        else:
+            trace = produce()
+        temperatures = [s.temperature for s in trace.samples]
+        powers = [s.measured_power for s in trace.samples]
         return temperatures, powers
 
-    def collect_all_cooling(self) -> Dict[float, Tuple[List[float], List[float]]]:
+    def collect_all_cooling(
+        self, library: Optional[TraceLibrary] = None
+    ) -> Dict[float, Tuple[List[float], List[float]]]:
         return {
-            vf.voltage: self.collect_cooling(vf) for vf in self.spec.vf_table
+            vf.voltage: self.collect_cooling(vf, library)
+            for vf in self.spec.vf_table
         }
 
     def collect_trace(
@@ -374,7 +413,14 @@ class PPEPTrainer:
         power_gating: bool = False,
     ) -> Trace:
         """A benchmark trace at one VF state (cached via ``library``)."""
-        key = (self.spec.name, combo.name, vf.index, power_gating)
+        key = self._trace_key(
+            "bench",
+            combo.name,
+            vf.index,
+            power_gating,
+            self.BENCH_INTERVALS,
+            self.WARMUP,
+        )
 
         def produce() -> Trace:
             platform = Platform(
@@ -382,6 +428,7 @@ class PPEPTrainer:
                 seed=stable_seed(self.base_seed, combo.name, vf.index),
                 power_gating=power_gating,
                 initial_temperature=self.spec.ambient_temperature + 15.0,
+                engine=self.engine,
             )
             platform.set_all_vf(vf)
             platform.set_assignment(combo.assignment(self.spec))
@@ -392,24 +439,115 @@ class PPEPTrainer:
             return library.get_or_run(key, produce)
         return produce()
 
-    def collect_pg_sweep(self, vf: VFState) -> Tuple[List[float], List[float]]:
+    def collect_many(
+        self,
+        requests: Sequence[Tuple[BenchmarkCombination, VFState]],
+        library: Optional[TraceLibrary] = None,
+        power_gating: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> List[Trace]:
+        """Traces for many (combo, VF) pairs, fanning out to workers.
+
+        Each trace comes from an independently seeded platform whose
+        seed depends only on (base_seed, combo, VF), so the result is
+        deterministic and identical for ANY worker count -- parallelism
+        changes wall-clock, never content.  Already-cached traces are
+        not re-simulated.  ``max_workers=0`` (or 1) forces the in-process
+        sequential path; ``None`` picks ``os.cpu_count()``.  If a
+        process pool cannot be used (no fork support, unpicklable
+        workload objects), the fan-out degrades to the sequential path
+        rather than failing.
+        """
+        requests = list(requests)
+        if library is None:
+            library = TraceLibrary()
+        missing = [
+            (combo, vf)
+            for combo, vf in requests
+            if library.get(
+                self._trace_key(
+                    "bench", combo.name, vf.index, power_gating,
+                    self.BENCH_INTERVALS, self.WARMUP,
+                )
+            )
+            is None
+        ]
+        parallel = max_workers is None or max_workers > 1
+        if missing and len(missing) > 1 and parallel:
+            tasks = [
+                (
+                    self.spec,
+                    combo,
+                    vf,
+                    power_gating,
+                    self.base_seed,
+                    self.BENCH_INTERVALS,
+                    self.COOL_INTERVALS,
+                    self.engine,
+                )
+                for combo, vf in missing
+            ]
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    produced = list(pool.map(_collect_trace_task, tasks))
+            except Exception:
+                produced = None  # degrade to sequential below
+            if produced is not None:
+                for (combo, vf), trace in zip(missing, produced):
+                    library.misses += 1
+                    library.put(
+                        self._trace_key(
+                            "bench", combo.name, vf.index, power_gating,
+                            self.BENCH_INTERVALS, self.WARMUP,
+                        ),
+                        trace,
+                    )
+        # Sequential path doubles as the fill-in for anything the pool
+        # did not produce; collect_trace is a no-op for cached keys.
+        return [
+            self.collect_trace(combo, vf, library, power_gating)
+            for combo, vf in requests
+        ]
+
+    def collect_pg_sweep(
+        self, vf: VFState, library: Optional[TraceLibrary] = None
+    ) -> Tuple[List[float], List[float]]:
         """The Figure 4 busy-CU sweep at ``vf`` (PG off, PG on)."""
         results: Dict[bool, List[float]] = {False: [], True: []}
         for pg in (False, True):
             for busy_cus in range(self.spec.num_cus + 1):
-                platform = Platform(
-                    self.spec,
-                    seed=stable_seed(self.base_seed, "pg", vf.index, busy_cus, pg),
-                    power_gating=pg,
-                    initial_temperature=self.spec.ambient_temperature + 12.0,
+                key = self._trace_key(
+                    "pg-sweep", vf.index, busy_cus, pg, self.SWEEP_INTERVALS
                 )
-                platform.set_all_vf(vf)
-                instances = [bench_a() for _ in range(busy_cus)]
-                platform.set_assignment(
-                    CoreAssignment.one_per_cu(self.spec, instances)
-                )
-                samples = platform.run(self.SWEEP_INTERVALS)
-                tail = samples[self.SWEEP_INTERVALS // 3 :]
+
+                def produce(busy_cus=busy_cus, pg=pg) -> Trace:
+                    platform = Platform(
+                        self.spec,
+                        seed=stable_seed(
+                            self.base_seed, "pg", vf.index, busy_cus, pg
+                        ),
+                        power_gating=pg,
+                        initial_temperature=self.spec.ambient_temperature + 12.0,
+                        engine=self.engine,
+                    )
+                    platform.set_all_vf(vf)
+                    instances = [bench_a() for _ in range(busy_cus)]
+                    platform.set_assignment(
+                        CoreAssignment.one_per_cu(self.spec, instances)
+                    )
+                    samples = platform.run(self.SWEEP_INTERVALS)
+                    return Trace(
+                        samples,
+                        label="pg-{}-{}-{}".format(vf.name, busy_cus, pg),
+                    )
+
+                if library is not None:
+                    trace = library.get_or_run(key, produce)
+                else:
+                    trace = produce()
+                tail = trace.samples[self.SWEEP_INTERVALS // 3 :]
                 results[pg].append(
                     sum(s.measured_power for s in tail) / len(tail)
                 )
@@ -431,7 +569,10 @@ class PPEPTrainer:
         return rows, powers, temps
 
     def collect_alpha_calibration(
-        self, vf: VFState, instances: int = None
+        self,
+        vf: VFState,
+        instances: int = None,
+        library: Optional[TraceLibrary] = None,
     ) -> Trace:
         """A steady ``bench_A`` run at ``vf`` for the alpha derivation.
 
@@ -443,20 +584,38 @@ class PPEPTrainer:
         """
         if instances is None:
             instances = self.spec.num_cus
-        platform = Platform(
-            self.spec,
-            seed=stable_seed(self.base_seed, "alpha", vf.index),
-            power_gating=False,
-            initial_temperature=self.spec.ambient_temperature + 12.0,
+        key = self._trace_key(
+            "alpha", vf.index, instances, self.SWEEP_INTERVALS, self.WARMUP
         )
-        platform.set_all_vf(vf)
-        platform.set_assignment(
-            CoreAssignment.one_per_cu(self.spec, [bench_a() for _ in range(instances)])
-        )
-        samples = platform.run(self.SWEEP_INTERVALS + self.WARMUP)
-        return Trace(samples, label="alpha-{}".format(vf.name)).skip_warmup(self.WARMUP)
 
-    def estimate_alpha_from_microbench(self, idle_model: IdlePowerModel) -> float:
+        def produce() -> Trace:
+            platform = Platform(
+                self.spec,
+                seed=stable_seed(self.base_seed, "alpha", vf.index),
+                power_gating=False,
+                initial_temperature=self.spec.ambient_temperature + 12.0,
+                engine=self.engine,
+            )
+            platform.set_all_vf(vf)
+            platform.set_assignment(
+                CoreAssignment.one_per_cu(
+                    self.spec, [bench_a() for _ in range(instances)]
+                )
+            )
+            samples = platform.run(self.SWEEP_INTERVALS + self.WARMUP)
+            return Trace(
+                samples, label="alpha-{}".format(vf.name)
+            ).skip_warmup(self.WARMUP)
+
+        if library is not None:
+            return library.get_or_run(key, produce)
+        return produce()
+
+    def estimate_alpha_from_microbench(
+        self,
+        idle_model: IdlePowerModel,
+        library: Optional[TraceLibrary] = None,
+    ) -> float:
         """Alpha from measured bench_A power ratios across VF states.
 
         For a steady, NB-quiet workload whose event rates all scale with
@@ -475,7 +634,7 @@ class PPEPTrainer:
         vf5 = self.spec.vf_table.fastest
         dynamic_by_vf: Dict[int, float] = {}
         for vf in self.spec.vf_table:
-            trace = self.collect_alpha_calibration(vf)
+            trace = self.collect_alpha_calibration(vf, library=library)
             _feats, powers, temps = self.features_and_power(trace)
             dyn = [
                 p - idle_model.predict(vf.voltage, t) for p, t in zip(powers, temps)
@@ -562,7 +721,7 @@ class PPEPTrainer:
         suite's traces at those VF states.
         """
         data = TrainingData()
-        data.cooling = self.collect_all_cooling()
+        data.cooling = self.collect_all_cooling(library)
         idle_model = fit_idle_power_model(data.cooling)
 
         vf5 = self.spec.vf_table.fastest
@@ -580,14 +739,43 @@ class PPEPTrainer:
                 )
         dynamic_model = self.fit_dynamic_model(idle_model, vf5_traces, alpha_traces)
         if not alpha_traces:
-            alpha = self.estimate_alpha_from_microbench(idle_model)
+            alpha = self.estimate_alpha_from_microbench(idle_model, library)
             dynamic_model = dynamic_model.with_alpha(alpha)
 
         pg_model = None
         if with_pg_model and self.spec.supports_power_gating:
             sweeps = {
-                vf.index: self.collect_pg_sweep(vf) for vf in self.spec.vf_table
+                vf.index: self.collect_pg_sweep(vf, library)
+                for vf in self.spec.vf_table
             }
             pg_model = self.fit_pg_model(sweeps)
 
         return PPEP(self.spec, idle_model, dynamic_model, pg_model)
+
+
+def _collect_trace_task(task) -> Trace:
+    """Process-pool worker for :meth:`PPEPTrainer.collect_many`.
+
+    Module-level so it pickles; rebuilds a trainer from the task tuple
+    and simulates one trace.  Everything the simulation depends on
+    travels in the tuple, so a worker produces byte-identical samples to
+    the in-process path.
+    """
+    (
+        spec,
+        combo,
+        vf,
+        power_gating,
+        base_seed,
+        bench_intervals,
+        cool_intervals,
+        engine,
+    ) = task
+    trainer = PPEPTrainer(
+        spec,
+        base_seed=base_seed,
+        bench_intervals=bench_intervals,
+        cool_intervals=cool_intervals,
+        engine=engine,
+    )
+    return trainer.collect_trace(combo, vf, None, power_gating)

@@ -16,6 +16,7 @@ Two scales are supported:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,7 +26,12 @@ from repro.core.idle_power import IdlePowerModel, fit_idle_power_model
 from repro.core.power_gating import PGAwareIdleModel
 from repro.core.ppep import PPEP, PPEPTrainer, stable_seed
 from repro.hardware.microarch import ChipSpec, FX8320_SPEC
-from repro.hardware.platform import CoreAssignment, IntervalSample, Platform
+from repro.hardware.platform import (
+    INTERVAL_S,
+    CoreAssignment,
+    IntervalSample,
+    Platform,
+)
 from repro.hardware.vfstates import VFState
 from repro.workloads.phases import Workload
 from repro.workloads.suites import (
@@ -83,12 +89,15 @@ class ExperimentContext:
         spec: ChipSpec = FX8320_SPEC,
         scale: str = "full",
         base_seed: int = 20141213,
+        cache_dir: Optional[str] = None,
+        engine: str = "vector",
     ) -> None:
         if scale not in _SCALES:
             raise ValueError("scale must be one of {}".format(_SCALES))
         self.spec = spec
         self.scale = scale
         self.base_seed = base_seed
+        self.engine = engine
         bench_intervals = 40 if scale == "full" else 12
         cool_intervals = 300 if scale == "full" else 150
         self.trainer = PPEPTrainer(
@@ -96,8 +105,13 @@ class ExperimentContext:
             base_seed=base_seed,
             bench_intervals=bench_intervals,
             cool_intervals=cool_intervals,
+            engine=engine,
         )
-        self.library = TraceLibrary()
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_TRACE_CACHE") or None
+        self.library = (
+            TraceLibrary(cache_dir, spec) if cache_dir else TraceLibrary()
+        )
         self.roster: List[BenchmarkCombination] = (
             build_roster() if scale == "full" else _quick_roster()
         )
@@ -126,7 +140,7 @@ class ExperimentContext:
     @property
     def cooling_traces(self):
         if self._cooling is None:
-            self._cooling = self.trainer.collect_all_cooling()
+            self._cooling = self.trainer.collect_all_cooling(self.library)
         return self._cooling
 
     @property
@@ -138,14 +152,16 @@ class ExperimentContext:
     @property
     def alpha(self) -> float:
         if self._alpha is None:
-            self._alpha = self.trainer.estimate_alpha_from_microbench(self.idle_model)
+            self._alpha = self.trainer.estimate_alpha_from_microbench(
+                self.idle_model, self.library
+            )
         return self._alpha
 
     @property
     def pg_model(self) -> Optional[PGAwareIdleModel]:
         if self._pg_model is None and self.spec.supports_power_gating:
             sweeps = {
-                vf.index: self.trainer.collect_pg_sweep(vf)
+                vf.index: self.trainer.collect_pg_sweep(vf, self.library)
                 for vf in self.spec.vf_table
             }
             self._pg_model = self.trainer.fit_pg_model(sweeps)
@@ -156,6 +172,35 @@ class ExperimentContext:
     def trace(self, combo: BenchmarkCombination, vf: VFState) -> Trace:
         """The (cached) trace of one combination at one VF state."""
         return self.trainer.collect_trace(combo, vf, self.library)
+
+    def warm_up(self, max_workers: Optional[int] = None) -> Dict[str, int]:
+        """Fill the trace library with everything training touches.
+
+        Bench traces at VF5 fan out through
+        :meth:`~repro.core.ppep.PPEPTrainer.collect_many` (parallel when
+        ``max_workers`` allows); the cooling, alpha, and PG-sweep runs
+        follow sequentially (a handful each).  With a disk-backed
+        library this pre-populates the cache so later contexts -- even
+        in fresh processes -- simulate nothing; the returned counter
+        snapshot says how much work warm-up actually did.
+        """
+        vf5 = self.spec.vf_table.fastest
+        self.trainer.collect_many(
+            [(combo, vf5) for combo in self.roster],
+            self.library,
+            max_workers=max_workers,
+        )
+        self.trainer.collect_all_cooling(self.library)
+        for vf in self.spec.vf_table:
+            self.trainer.collect_alpha_calibration(vf, library=self.library)
+        if self.spec.supports_power_gating:
+            for vf in self.spec.vf_table:
+                self.trainer.collect_pg_sweep(vf, self.library)
+        return {
+            "memory_hits": self.library.memory_hits,
+            "disk_hits": self.library.disk_hits,
+            "misses": self.library.misses,
+        }
 
     # -- fitted models ----------------------------------------------------------------
 
@@ -219,6 +264,7 @@ class ExperimentContext:
             power_gating=power_gating,
             nb_vf=nb_vf,
             initial_temperature=self.spec.ambient_temperature + 15.0,
+            engine=self.engine,
         )
         platform.set_all_vf(vf)
         platform.set_assignment(
@@ -227,7 +273,9 @@ class ExperimentContext:
         samples = platform.run_until_finished(max_intervals)
         time_s = max(platform.completion_times().values())
         energy = sum(
-            s.measured_power * 0.2 for s in samples if s.time <= time_s + 0.2
+            s.measured_power * INTERVAL_S
+            for s in samples
+            if s.time <= time_s + INTERVAL_S
         )
         return FixedWorkRun(
             vf_index=vf.index,
@@ -238,18 +286,32 @@ class ExperimentContext:
         )
 
 
-_CONTEXTS: Dict[Tuple[str, str, int], ExperimentContext] = {}
+_CONTEXTS: Dict[Tuple[str, str, int, Optional[str], str], ExperimentContext] = {}
 
 
 def get_context(
     scale: str = "full",
     spec: ChipSpec = FX8320_SPEC,
     base_seed: int = 20141213,
+    cache_dir: Optional[str] = None,
+    engine: str = "vector",
 ) -> ExperimentContext:
-    """Process-wide memoised context (shared across benchmarks)."""
-    key = (scale, spec.name, base_seed)
+    """Process-wide memoised context (shared across benchmarks).
+
+    ``cache_dir`` (or the ``REPRO_TRACE_CACHE`` environment variable)
+    makes the context's trace library disk-backed, so a warmed cache
+    survives process restarts; ``engine`` selects the simulation kernel
+    (see :class:`~repro.hardware.platform.Platform`).
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_TRACE_CACHE") or None
+    key = (scale, spec.name, base_seed, cache_dir, engine)
     if key not in _CONTEXTS:
         _CONTEXTS[key] = ExperimentContext(
-            spec=spec, scale=scale, base_seed=base_seed
+            spec=spec,
+            scale=scale,
+            base_seed=base_seed,
+            cache_dir=cache_dir,
+            engine=engine,
         )
     return _CONTEXTS[key]

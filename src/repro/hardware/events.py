@@ -156,6 +156,21 @@ class EventVector:
         return cls()
 
     @classmethod
+    def wrap(cls, values: List[float]) -> "EventVector":
+        """Adopt ``values`` (a length-12 list of floats) without copying
+        or validating.
+
+        Hot-path constructor for the vectorized engine, which builds
+        thousands of vectors per simulated second from ``ndarray.tolist()``
+        output that is already the right length and dtype.  The list is
+        owned by the new vector afterwards -- callers must not keep a
+        reference.
+        """
+        vec = cls.__new__(cls)
+        vec._values = values
+        return vec
+
+    @classmethod
     def from_mapping(cls, mapping: Mapping[Event, float]) -> "EventVector":
         """Build a vector from a partial ``{Event: value}`` mapping."""
         vec = cls()

@@ -179,7 +179,14 @@ class Platform:
         the cost at 200 ms granularity) are unaffected, but reactive
         policies that thrash VF states can be studied with it enabled.
         Capped at one 20 ms sub-slice.
+    engine:
+        ``"vector"`` (default) steps intervals through the batched
+        :class:`~repro.hardware.engine.VectorEngine`; ``"scalar"`` keeps
+        the reference per-slice loop.  The two are numerically
+        equivalent to 1e-9 (asserted in ``tests/test_engine.py``).
     """
+
+    ENGINES = ("vector", "scalar")
 
     def __init__(
         self,
@@ -189,6 +196,7 @@ class Platform:
         nb_vf: VFState = None,
         initial_temperature: float = None,
         vf_transition_penalty_s: float = 0.0,
+        engine: str = "vector",
     ) -> None:
         self.spec = spec
         seq = np.random.SeedSequence(seed)
@@ -212,6 +220,18 @@ class Platform:
         self._pending_stall: List[float] = [0.0] * spec.num_cus
         self._time = 0.0
         self._interval_index = 0
+        if engine not in self.ENGINES:
+            raise ValueError(
+                "engine must be one of {}, got {!r}".format(self.ENGINES, engine)
+            )
+        self.engine = engine
+        if engine == "vector":
+            # Deferred import: engine.py needs this module's constants.
+            from repro.hardware.engine import VectorEngine
+
+            self._vector_engine = VectorEngine(self)
+        else:
+            self._vector_engine = None
 
     # -- control surface (what a DVFS daemon can do) -------------------------
 
@@ -286,6 +306,12 @@ class Platform:
 
     def step(self) -> IntervalSample:
         """Advance one 200 ms DVFS decision interval."""
+        if self._vector_engine is not None:
+            return self._vector_engine.step()
+        return self._step_scalar()
+
+    def _step_scalar(self) -> IntervalSample:
+        """The reference per-slice interval loop (``engine="scalar"``)."""
         spec = self.spec
         power_samples: List[float] = []
         breakdowns: List[PowerBreakdown] = []
@@ -379,6 +405,10 @@ class Platform:
     def _resolve_contention(self) -> "tuple[float, float]":
         """Fixed point of the NB contention loop for one sub-slice."""
         spec = self.spec
+        if not any(core.busy for core in self.cores):
+            # With zero demand the damped iteration is the identity
+            # (multiplier 1.0, utilisation 0.0 every round); skip it.
+            return 1.0, 0.0
         contention = 1.0
         utilisation = 0.0
         # Damped iteration: the raw map can oscillate near saturation

@@ -116,26 +116,49 @@ class GroundTruthPower:
 
     # -- leakage -----------------------------------------------------------
 
-    def cu_leakage(self, voltage: float, temperature: float) -> float:
-        """Leakage of one (non-gated) compute unit, watts."""
+    def cu_leakage_voltage_factor(self, voltage: float) -> float:
+        """The temperature-independent part of one CU's leakage, watts.
+
+        Leakage factors exactly as ``(voltage prefix) * exp(kt dT)``
+        because float multiplication is left-associative here; the
+        vectorized engine hoists this prefix out of its per-slice loop
+        and multiplies by :meth:`leakage_temperature_factor`.
+        """
         s = self.spec
         return (
             s.cu_leakage_ref
             * (voltage / s.leak_ref_voltage)
             * math.exp(s.leak_voltage_exp * (voltage - s.leak_ref_voltage))
-            * math.exp(s.leak_temperature_exp * (temperature - s.leak_ref_temperature))
         )
 
-    def nb_leakage(self, nb_voltage: float, temperature: float) -> float:
-        """Leakage of the (non-gated) north bridge, watts."""
+    def nb_leakage_voltage_factor(self, nb_voltage: float) -> float:
+        """The temperature-independent part of the NB's leakage, watts."""
         s = self.spec
         ref_v = 1.175  # stock NB voltage is the NB leakage reference
         return (
             s.nb_leakage_ref
             * (nb_voltage / ref_v)
             * math.exp(s.leak_voltage_exp * (nb_voltage - ref_v))
-            * math.exp(s.leak_temperature_exp * (temperature - s.leak_ref_temperature))
         )
+
+    def leakage_temperature_factor(self, temperature: float) -> float:
+        """``exp(kt (T - T_ref))`` -- multiplies either voltage factor."""
+        s = self.spec
+        return math.exp(
+            s.leak_temperature_exp * (temperature - s.leak_ref_temperature)
+        )
+
+    def cu_leakage(self, voltage: float, temperature: float) -> float:
+        """Leakage of one (non-gated) compute unit, watts."""
+        return self.cu_leakage_voltage_factor(voltage) * self.leakage_temperature_factor(
+            temperature
+        )
+
+    def nb_leakage(self, nb_voltage: float, temperature: float) -> float:
+        """Leakage of the (non-gated) north bridge, watts."""
+        return self.nb_leakage_voltage_factor(
+            nb_voltage
+        ) * self.leakage_temperature_factor(temperature)
 
     # -- active idle ---------------------------------------------------------
 

@@ -53,13 +53,25 @@ class PowerSensor:
 
     def sample(self, true_power: float) -> float:
         """One 20 ms power reading of ``true_power`` watts."""
+        return self.apply_noise(
+            true_power, float(self._rng.normal(0.0, self.spec.sensor_noise_w))
+        )
+
+    def draw_noise(self, n: int) -> np.ndarray:
+        """Draw ``n`` additive-noise samples in one RNG call.
+
+        ``Generator.normal(size=n)`` consumes the stream identically to
+        ``n`` sequential scalar draws, so pre-drawing a whole interval's
+        noise (the vectorized engine does) leaves the generator in the
+        same state the scalar per-sample path would.
+        """
+        return self._rng.normal(0.0, self.spec.sensor_noise_w, size=n)
+
+    def apply_noise(self, true_power: float, noise: float) -> float:
+        """The measurement chain for one reading, given its noise draw."""
         if true_power < 0:
             raise ValueError("true power cannot be negative")
-        noisy = (
-            true_power * self._gain
-            + self._offset
-            + self._rng.normal(0.0, self.spec.sensor_noise_w)
-        )
+        noisy = true_power * self._gain + self._offset + noise
         q = self.spec.sensor_quantum
         quantized = round(noisy / q) * q
         return max(quantized, 0.0)

@@ -30,7 +30,9 @@ class TestCLI:
 
         assert main(["run", "table1", "--scale", "quick", "--seed", "7"]) == 0
         assert "finished in" in capsys.readouterr().out
-        assert ("quick", common.FX8320_SPEC.name, 7) in common._CONTEXTS
+        assert (
+            "quick", common.FX8320_SPEC.name, 7, None, "vector"
+        ) in common._CONTEXTS
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

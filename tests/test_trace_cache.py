@@ -1,0 +1,168 @@
+"""Disk-backed trace cache and parallel collection.
+
+Covers the three perf-infrastructure pieces: key fingerprinting (stable
+and collision-free), the disk-backed :class:`TraceLibrary` (round-trip
+fidelity, warm restarts simulating nothing), and
+:meth:`PPEPTrainer.collect_many` (worker-count-independent results).
+"""
+
+import pytest
+
+from repro.analysis.persistence import trace_fingerprint
+from repro.analysis.trace import TraceLibrary
+from repro.core.ppep import PPEPTrainer
+from repro.experiments.common import ExperimentContext
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.platform import Platform
+from repro.workloads.suites import spec_combinations
+
+
+def _quick_trainer(**kwargs):
+    return PPEPTrainer(
+        FX8320_SPEC, bench_intervals=4, cool_intervals=12, **kwargs
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        key = ("bench", "429", 4, False, 40, 2)
+        assert trace_fingerprint(key) == trace_fingerprint(key)
+
+    def test_structurally_close_keys_differ(self):
+        # The classic ambiguities a str()-join would collapse.
+        assert trace_fingerprint(("ab", "c")) != trace_fingerprint(("a", "bc"))
+        assert trace_fingerprint((1,)) != trace_fingerprint((True,))
+        assert trace_fingerprint((1,)) != trace_fingerprint(("1",))
+        assert trace_fingerprint((1, 2)) != trace_fingerprint(("1, 2",))
+        assert trace_fingerprint((None,)) != trace_fingerprint(("n",))
+        assert trace_fingerprint((1.0,)) != trace_fingerprint((1,))
+
+    def test_unsupported_type_is_an_error(self):
+        with pytest.raises(TypeError):
+            trace_fingerprint((object(),))
+
+    def test_all_trainer_keys_unique(self):
+        trainer = _quick_trainer()
+        keys = set()
+        for combo in spec_combinations()[:10]:
+            for vf in FX8320_SPEC.vf_table:
+                for pg in (False, True):
+                    keys.add(
+                        trainer._trace_key(
+                            "bench", combo.name, vf.index, pg,
+                            trainer.BENCH_INTERVALS, trainer.WARMUP,
+                        )
+                    )
+        fingerprints = {trace_fingerprint(k) for k in keys}
+        assert len(fingerprints) == len(keys)
+
+    def test_key_pins_engine_and_seed(self):
+        a = _quick_trainer(engine="vector")
+        b = _quick_trainer(engine="scalar")
+        c = _quick_trainer(engine="vector", base_seed=1)
+        keys = {t._trace_key("bench", "x", 4, False, 4, 2) for t in (a, b, c)}
+        assert len(keys) == 3
+
+
+class TestDiskLibrary:
+    def test_requires_spec(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceLibrary(str(tmp_path))
+
+    def test_round_trip_matches_fresh_simulation(self, tmp_path):
+        trainer = _quick_trainer()
+        combo = spec_combinations()[0]
+        vf5 = FX8320_SPEC.vf_table.fastest
+        disk = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        first = trainer.collect_trace(combo, vf5, disk)
+        # A second disk-backed library sees only the files.
+        fresh = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        loaded = trainer.collect_trace(combo, vf5, fresh)
+        assert fresh.disk_hits == 1 and fresh.misses == 0
+        for a, b in zip(first.samples, loaded.samples):
+            assert a.measured_power == b.measured_power
+            assert a.true_power == b.true_power
+            assert a.power_samples == b.power_samples
+            for va, vb in zip(a.core_events, b.core_events):
+                assert va.as_list() == vb.as_list()
+
+    def test_counters_and_contains(self, tmp_path):
+        trainer = _quick_trainer()
+        combo = spec_combinations()[0]
+        vf5 = FX8320_SPEC.vf_table.fastest
+        lib = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        key = trainer._trace_key(
+            "bench", combo.name, vf5.index, False,
+            trainer.BENCH_INTERVALS, trainer.WARMUP,
+        )
+        assert key not in lib
+        trainer.collect_trace(combo, vf5, lib)
+        assert key in lib and lib.misses == 1
+        trainer.collect_trace(combo, vf5, lib)
+        assert lib.memory_hits == 1
+        lib.clear()
+        assert key in lib  # still on disk
+        trainer.collect_trace(combo, vf5, lib)
+        assert lib.disk_hits == 1
+
+
+class TestWarmContext:
+    def test_second_context_simulates_nothing(self, tmp_path, monkeypatch):
+        """The acceptance gate: a warm disk cache means a fresh context
+        performs zero new simulations during warm-up."""
+        cold = ExperimentContext(scale="quick", cache_dir=str(tmp_path))
+        cold_stats = cold.warm_up(max_workers=1)
+        assert cold_stats["misses"] > 0
+
+        calls = []
+        original = Platform.step
+        monkeypatch.setattr(
+            Platform, "step", lambda self: calls.append(1) or original(self)
+        )
+        warm = ExperimentContext(scale="quick", cache_dir=str(tmp_path))
+        warm_stats = warm.warm_up(max_workers=1)
+        assert calls == []
+        assert warm_stats["misses"] == 0
+        assert warm_stats["disk_hits"] == cold_stats["misses"]
+
+    def test_env_var_selects_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        ctx = ExperimentContext(scale="quick")
+        assert ctx.library.cache_dir == str(tmp_path)
+
+
+class TestCollectMany:
+    def _requests(self, n=3):
+        vf5 = FX8320_SPEC.vf_table.fastest
+        return [(combo, vf5) for combo in spec_combinations()[:n]]
+
+    def test_parallel_matches_sequential(self):
+        trainer = _quick_trainer()
+        sequential = trainer.collect_many(
+            self._requests(), TraceLibrary(), max_workers=1
+        )
+        parallel = trainer.collect_many(
+            self._requests(), TraceLibrary(), max_workers=2
+        )
+        for a, b in zip(sequential, parallel):
+            assert [s.measured_power for s in a.samples] == [
+                s.measured_power for s in b.samples
+            ]
+            assert [s.true_power for s in a.samples] == [
+                s.true_power for s in b.samples
+            ]
+
+    def test_fills_library_and_skips_cached(self):
+        trainer = _quick_trainer()
+        lib = TraceLibrary()
+        trainer.collect_many(self._requests(), lib, max_workers=1)
+        first_misses = lib.misses
+        assert first_misses == 3
+        trainer.collect_many(self._requests(), lib, max_workers=2)
+        assert lib.misses == first_misses  # everything served from cache
+
+    def test_preserves_request_order(self):
+        trainer = _quick_trainer()
+        requests = self._requests(4)
+        traces = trainer.collect_many(requests, TraceLibrary(), max_workers=2)
+        assert [t.label for t in traces] == [c.name for c, _vf in requests]
