@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Fault-resilience benchmark: hardened vs unhardened online pipeline.
+
+Runs the :mod:`repro.experiments.fault_resilience` sweep and enforces
+the PR's acceptance contract as hard exit-code checks:
+
+- at a 5 % sensor-fault rate the *hardened* prediction MAE must stay
+  within ``--max-hardened-ratio`` (default 2x) of the clean baseline;
+- at the same rate the *unhardened* MAE must measurably degrade
+  (at least ``--min-raw-ratio`` times the clean baseline), proving the
+  injected faults actually bite;
+- the guarded capper's ground-truth violation rate must not exceed the
+  unguarded one.
+
+Plain script on purpose (no pytest-benchmark dependency), so CI can run
+it directly::
+
+    python benchmarks/bench_faults.py --scale quick
+
+Writes ``results/fault_resilience.txt`` and a ``BENCH_results.json``
+entry.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import record_bench  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    parser.add_argument(
+        "--max-hardened-ratio", type=float, default=2.0,
+        help="fail if hardened MAE at 5%% exceeds this multiple of the "
+        "clean baseline (0 disables)",
+    )
+    parser.add_argument(
+        "--min-raw-ratio", type=float, default=2.0,
+        help="fail if the unhardened MAE at 5%% does NOT exceed this "
+        "multiple of the clean baseline (0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import fault_resilience
+    from repro.experiments.common import get_context
+
+    ctx = get_context(scale=args.scale)
+    started = time.perf_counter()
+    result = fault_resilience.run(ctx)
+    wall_s = time.perf_counter() - started
+    report = fault_resilience.format_report(result, ctx)
+    print(report)
+
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "fault_resilience.txt"), "w") as handle:
+        handle.write(report + "\n")
+
+    clean = result.clean_mae_w
+    at5 = result.point_at(0.05)
+    cap5 = next(
+        (c for c in result.capping if abs(c.rate - 0.05) < 1e-12), None
+    )
+    record_bench(
+        "faults",
+        wall_s,
+        {
+            "clean_mae_w": round(clean, 3),
+            "raw_mae_5pct_w": round(at5.raw_mae_w, 3),
+            "hardened_mae_5pct_w": round(at5.hardened_mae_w, 3),
+            "raw_violation_5pct": round(cap5.raw_violation_rate, 4),
+            "guarded_violation_5pct": round(cap5.guarded_violation_rate, 4),
+        },
+    )
+
+    failures = []
+    if args.max_hardened_ratio and at5.hardened_mae_w > args.max_hardened_ratio * clean:
+        failures.append(
+            "hardened MAE at 5% ({:.2f} W) exceeds {:.1f}x clean "
+            "baseline ({:.2f} W)".format(
+                at5.hardened_mae_w, args.max_hardened_ratio, clean
+            )
+        )
+    if args.min_raw_ratio and at5.raw_mae_w <= args.min_raw_ratio * clean:
+        failures.append(
+            "unhardened MAE at 5% ({:.2f} W) did not degrade past "
+            "{:.1f}x clean baseline ({:.2f} W) -- injection is not "
+            "biting".format(at5.raw_mae_w, args.min_raw_ratio, clean)
+        )
+    if cap5.guarded_violation_rate > cap5.raw_violation_rate:
+        failures.append(
+            "guarded capper violates more than the raw one at 5% "
+            "({:.1%} > {:.1%})".format(
+                cap5.guarded_violation_rate, cap5.raw_violation_rate
+            )
+        )
+    for message in failures:
+        print("FAIL: {}".format(message))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

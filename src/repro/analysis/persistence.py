@@ -22,6 +22,8 @@ Section IV-D power-gating decomposition -- so a model registry (see
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import List
 
 import numpy as np
@@ -46,6 +48,35 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 _PPEP_FORMAT_VERSION = 1
+
+
+def _atomic_savez(path: str, **arrays) -> None:
+    """``np.savez_compressed`` with an atomic rename.
+
+    A crash (or a parallel worker killed mid-write) must never leave a
+    half-written archive under the final name: a shared trace cache
+    would then serve corrupt artifacts forever.  Write to a temporary
+    file in the destination directory and ``os.replace`` it into place
+    -- atomic on POSIX and Windows within one filesystem.
+
+    Mirrors ``np.savez_compressed``'s name handling: a path without an
+    ``.npz`` suffix gets one appended.
+    """
+    final = path if path.endswith(".npz") else path + ".npz"
+    directory = os.path.dirname(os.path.abspath(final))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(final) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp_path, final)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _canonical_key_part(value) -> str:
@@ -108,7 +139,7 @@ def save_trace(trace: Trace, path: str) -> None:
                 data[i, c, :] = vec.as_list()
         return data
 
-    np.savez_compressed(
+    _atomic_savez(
         path,
         version=np.array(_FORMAT_VERSION),
         label=np.array(trace.label),
@@ -223,7 +254,7 @@ def save_ppep(ppep, path: str) -> None:
         arrays["pg_p_cu"] = np.array([d.p_cu for d in decomps])
         arrays["pg_p_nb"] = np.array([d.p_nb for d in decomps])
         arrays["pg_p_base"] = np.array([d.p_base for d in decomps])
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, **arrays)
 
 
 def load_ppep(path: str, spec: ChipSpec):

@@ -18,7 +18,9 @@ performs zero new simulations.
 
 from __future__ import annotations
 
+import logging
 import os
+import zipfile
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -27,6 +29,8 @@ from repro.hardware.events import Event, EventVector
 from repro.hardware.platform import IntervalSample, INTERVAL_S
 
 __all__ = ["Trace", "TraceLibrary", "INTERVAL_S"]
+
+logger = logging.getLogger(__name__)
 
 
 class Trace:
@@ -188,7 +192,30 @@ class TraceLibrary:
             if os.path.exists(path):
                 from repro.analysis.persistence import load_trace
 
-                trace = load_trace(path, self.spec)
+                try:
+                    trace = load_trace(path, self.spec)
+                except (
+                    OSError,
+                    ValueError,
+                    KeyError,
+                    EOFError,
+                    zipfile.BadZipFile,
+                ) as exc:
+                    # A truncated/garbage archive (crashed writer, disk
+                    # corruption) is a cache miss, not a fatal error:
+                    # evict it so the trace is re-simulated and rewritten.
+                    logger.warning(
+                        "evicting unreadable trace cache entry %s (%s: %s); "
+                        "re-simulating",
+                        path,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    return None
                 self._store[key] = trace
                 self.disk_hits += 1
                 return trace

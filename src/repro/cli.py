@@ -31,6 +31,7 @@ from repro.experiments import (
     fig04_power_gating,
     fig06_energy_prediction,
     fig07_power_capping,
+    fault_resilience,
     fig08_background_energy,
     fig09_background_edp,
     fig10_nb_share,
@@ -66,7 +67,25 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablations": (ablations, "Ablations: NNLS, alpha, counter multiplexing"),
     "frontier": (nb_frontier, "Extension: simulated multi-state NB frontier"),
     "packing": (thread_packing, "Extension: thread packing under power caps"),
+    "faults": (fault_resilience, "Extension: resilience under telemetry faults"),
 }
+
+
+def _validate_cache_dir(path):
+    """One-line error string if ``path`` cannot serve as a trace cache."""
+    if path is None:
+        return None
+    try:
+        os.makedirs(path, exist_ok=True)
+        probe = os.path.join(path, ".write-probe")
+        with open(probe, "w"):
+            pass
+        os.unlink(probe)
+    except OSError as exc:
+        return "error: trace cache directory {!r} is not writable ({})".format(
+            path, exc
+        )
+    return None
 
 
 def _run_one(name: str, ctx: common.ExperimentContext) -> None:
@@ -129,6 +148,39 @@ def main(argv=None) -> int:
         "matching traces across runs (also honours the "
         "REPRO_TRACE_CACHE environment variable)",
     )
+    faults_parser = sub.add_parser(
+        "faults",
+        help="telemetry fault-resilience sweep: hardened vs unhardened "
+        "pipeline across fault rates",
+    )
+    faults_parser.add_argument(
+        "--scale", choices=["full", "quick"], default="quick",
+        help="training depth and sweep length (default: quick)",
+    )
+    faults_parser.add_argument(
+        "--rates", type=float, nargs="+", default=None, metavar="R",
+        help="fault rates to sweep (fractions; default: 0 0.01 0.05 0.1)",
+    )
+    faults_parser.add_argument(
+        "--combo", default=None,
+        help="benchmark combination to run (default: first of the roster)",
+    )
+    faults_parser.add_argument(
+        "--vf", type=int, default=None, metavar="INDEX",
+        help="1-based VF state index to run at (default: fastest)",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training, simulation, and fault schedules",
+    )
+    faults_parser.add_argument(
+        "--engine", choices=list(Platform.ENGINES), default="vector",
+        help="simulation kernel (see 'run --engine')",
+    )
+    faults_parser.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="persist simulated traces to DIR (see 'run --trace-cache')",
+    )
     fleet_parser = sub.add_parser(
         "fleet", help="cluster-scale capping: N nodes under one power budget"
     )
@@ -189,6 +241,13 @@ def main(argv=None) -> int:
     if args.command == "fleet":
         return _run_fleet(args)
 
+    if args.command == "faults":
+        return _run_faults(args)
+
+    error = _validate_cache_dir(args.trace_cache)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     ctx = common.get_context(
         scale=args.scale,
         base_seed=args.seed,
@@ -198,6 +257,58 @@ def main(argv=None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_one(name, ctx)
+    return 0
+
+
+def _run_faults(args) -> int:
+    """The ``faults`` subcommand: the resilience sweep with validation."""
+    error = _validate_cache_dir(args.trace_cache)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    rates = tuple(args.rates) if args.rates else fault_resilience.DEFAULT_RATES
+    bad = [r for r in rates if not 0.0 <= r <= 1.0]
+    if bad:
+        print(
+            "error: fault rates must lie in [0, 1], got {}".format(bad),
+            file=sys.stderr,
+        )
+        return 2
+    ctx = common.get_context(
+        scale=args.scale,
+        base_seed=args.seed,
+        cache_dir=args.trace_cache,
+        engine=args.engine,
+    )
+    if args.vf is not None:
+        try:
+            ctx.spec.vf_table.by_index(args.vf)
+        except KeyError:
+            print(
+                "error: no VF state with index {} on {} (valid: {})".format(
+                    args.vf, ctx.spec.name,
+                    ", ".join(str(vf.index) for vf in ctx.spec.vf_table),
+                ),
+                file=sys.stderr,
+            )
+            return 2
+    if args.combo is not None and args.combo not in {
+        c.name for c in ctx.roster
+    }:
+        print(
+            "error: unknown combination {!r}; see the roster at this scale "
+            "(e.g. {})".format(
+                args.combo, ", ".join(c.name for c in ctx.roster[:6])
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    started = time.perf_counter()
+    result = fault_resilience.run(
+        ctx, rates=rates, combo_name=args.combo, vf_index=args.vf
+    )
+    print(fault_resilience.format_report(result, ctx))
+    print("[faults finished in {:.1f}s]".format(time.perf_counter() - started))
     return 0
 
 

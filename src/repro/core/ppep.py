@@ -25,6 +25,8 @@ the ``bench_A`` busy-CU sweep for the power-gating decomposition.
 from __future__ import annotations
 
 import hashlib
+import logging
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -59,6 +61,11 @@ from repro.workloads.suites import BenchmarkCombination
 from repro.workloads.synthetic import make_cpu_bound
 
 __all__ = ["PPEP", "PPEPSnapshot", "PPEPTrainer", "TrainingData", "stable_seed"]
+
+# Library convention: repro.* modules log through their module logger and
+# never configure the root logger -- handlers/levels belong to the
+# application (the CLI, a test harness), not to imported code.
+logger = logging.getLogger(__name__)
 
 
 def stable_seed(*parts: object) -> int:
@@ -489,11 +496,45 @@ class PPEPTrainer:
             ]
             try:
                 from concurrent.futures import ProcessPoolExecutor
+                from concurrent.futures.process import BrokenProcessPool
 
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    produced = list(pool.map(_collect_trace_task, tasks))
-            except Exception:
-                produced = None  # degrade to sequential below
+                try:
+                    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                        produced = list(pool.map(_collect_trace_task, tasks))
+                except BrokenProcessPool as exc:
+                    # A worker died (OOM kill, interpreter crash).
+                    logger.warning(
+                        "trace-collection pool broke (%s); falling back to "
+                        "sequential simulation of %d traces",
+                        exc,
+                        len(missing),
+                    )
+                    produced = None
+                except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                    # The task tuple (spec/workload objects) failed to
+                    # pickle on the way to a worker.
+                    logger.warning(
+                        "trace-collection tasks are not picklable (%s: %s); "
+                        "falling back to sequential simulation",
+                        type(exc).__name__,
+                        exc,
+                    )
+                    produced = None
+                except OSError as exc:
+                    # No fork support / process limits / fd exhaustion.
+                    logger.warning(
+                        "cannot start trace-collection workers (%s); "
+                        "falling back to sequential simulation",
+                        exc,
+                    )
+                    produced = None
+            except ImportError as exc:  # pragma: no cover - exotic builds
+                logger.warning(
+                    "concurrent.futures unavailable (%s); using sequential "
+                    "simulation",
+                    exc,
+                )
+                produced = None
             if produced is not None:
                 for (combo, vf), trace in zip(missing, produced):
                     library.misses += 1

@@ -41,6 +41,7 @@ from repro.dvfs.power_capping import (
     PPEPPowerCapper,
     evaluate_power_series,
 )
+from repro.faults.filtering import FilterConfig, TelemetryFilter
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = [
@@ -131,11 +132,23 @@ class FleetCappingRun:
     shares: List[List[float]] = field(default_factory=list)
     #: Instructions retired per node per interval.
     node_instructions: List[List[float]] = field(default_factory=list)
+    #: Ground-truth per-node power, ``[interval][node]`` -- what the
+    #: machines actually drew, immune to telemetry faults.
+    node_true_powers: List[List[float]] = field(default_factory=list)
+    #: Telemetry quality flag per node per interval (hardened runs).
+    node_quality: List[List[str]] = field(default_factory=list)
+    #: Health verdict per node per interval (hardened runs).
+    node_healthy: List[List[bool]] = field(default_factory=list)
 
     @property
     def fleet_powers(self) -> List[float]:
         """Total measured fleet power per interval, watts."""
         return [sum(row) for row in self.node_powers]
+
+    @property
+    def fleet_true_powers(self) -> List[float]:
+        """Total ground-truth fleet power per interval, watts."""
+        return [sum(row) for row in self.node_true_powers]
 
     def total_instructions(self) -> float:
         return float(sum(sum(row) for row in self.node_instructions))
@@ -144,6 +157,17 @@ class FleetCappingRun:
         """Figure 7 metrics of the fleet total against the cluster cap."""
         return evaluate_power_series(
             self.fleet_powers, self.caps, self.total_instructions()
+        )
+
+    def evaluate_true(self) -> CappingResult:
+        """The same metrics scored on ground-truth power.
+
+        Under injected faults the *reported* fleet total can look
+        compliant while the machines actually violate the breaker limit
+        (or vice versa); this is the score that matters.
+        """
+        return evaluate_power_series(
+            self.fleet_true_powers, self.caps, self.total_instructions()
         )
 
 
@@ -161,6 +185,20 @@ class ClusterPowerManager:
         One of :data:`ALLOCATION_POLICIES`.
     margin / bias_gain:
         Forwarded to each node's :class:`PPEPPowerCapper`.
+    harden:
+        Run every node's telemetry through a
+        :class:`~repro.faults.filtering.TelemetryFilter` before
+        prediction and allocation.  Nodes whose quality stays bad for
+        ``unhealthy_after`` consecutive intervals are declared
+        unhealthy: pinned to their slowest VF state, granted only their
+        predicted floor power, with the rest of the budget re-allocated
+        to healthy nodes.  A node whose telemetry recovers is re-admitted
+        automatically.
+    unhealthy_after:
+        Consecutive bad intervals before a node is declared unhealthy.
+    filter_config:
+        Optional :class:`~repro.faults.filtering.FilterConfig` for the
+        per-node filters.
     """
 
     def __init__(
@@ -170,6 +208,9 @@ class ClusterPowerManager:
         policy: str = "proportional",
         margin: float = 0.97,
         bias_gain: float = 0.25,
+        harden: bool = False,
+        unhealthy_after: int = 3,
+        filter_config: FilterConfig = None,
     ) -> None:
         if policy not in ALLOCATION_POLICIES:
             raise ValueError(
@@ -177,6 +218,8 @@ class ClusterPowerManager:
                     policy, ALLOCATION_POLICIES
                 )
             )
+        if unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
         self.fleet = fleet
         self.policy = policy
         self._schedule = (
@@ -187,12 +230,26 @@ class ClusterPowerManager:
             PPEPPowerCapper(node.ppep, budget, margin=margin, bias_gain=bias_gain)
             for node, budget in zip(fleet.nodes, self._budgets)
         ]
+        self.harden = bool(harden)
+        self.unhealthy_after = int(unhealthy_after)
+        self._filters = (
+            [TelemetryFilter(node.spec, filter_config) for node in fleet.nodes]
+            if self.harden
+            else None
+        )
+        self._bad_streak = [0] * len(fleet.nodes)
+        self._held = [None] * len(fleet.nodes)
         self._step = 0
 
     def reset(self) -> None:
         self._step = 0
         for capper in self._cappers:
             capper.reset()
+        if self._filters is not None:
+            for filt in self._filters:
+                filt.reset()
+        self._bad_streak = [0] * len(self.fleet.nodes)
+        self._held = [None] * len(self.fleet.nodes)
 
     def run(self, n_intervals: int, start_fastest: bool = True) -> FleetCappingRun:
         """Run the observe/allocate/decide/apply loop.
@@ -212,16 +269,43 @@ class ClusterPowerManager:
         )
         for _ in range(n_intervals):
             samples = self.fleet.step()
-            prediction = self.fleet.predict(samples)
+            if self.harden:
+                filtered = [
+                    filt.ingest(sample)
+                    for filt, sample in zip(self._filters, samples)
+                ]
+                for i, verdict in enumerate(filtered):
+                    if verdict.actionable:
+                        self._bad_streak[i] = 0
+                    else:
+                        self._bad_streak[i] += 1
+                healthy = [
+                    streak < self.unhealthy_after for streak in self._bad_streak
+                ]
+                clean = [verdict.sample for verdict in filtered]
+            else:
+                filtered = None
+                healthy = [True] * len(self.fleet.nodes)
+                clean = samples
+            prediction = self.fleet.predict(clean)
             cap = self._schedule(self._step)
-            shares = allocate_budget(
-                self.policy, cap, prediction.demand, prediction.floor
-            )
-            for node, budget, capper, sample, share in zip(
-                self.fleet.nodes, self._budgets, self._cappers, samples, shares
+            shares = self._allocate(cap, prediction, healthy)
+            for i, (node, budget, capper, share) in enumerate(
+                zip(self.fleet.nodes, self._budgets, self._cappers, shares)
             ):
                 budget.set(float(share))
-                decision = capper.decide(sample)
+                # The inner capper always sees the (cleaned) sample so
+                # its schedule step and bias corrector stay in lockstep
+                # with the platform, even when its decision is overridden.
+                decision = list(capper.decide(clean[i]))
+                if not healthy[i]:
+                    decision = [node.spec.vf_table.slowest] * node.spec.num_cus
+                    self._held[i] = None
+                elif filtered is not None and not filtered[i].actionable:
+                    if self._held[i] is not None:
+                        decision = list(self._held[i])
+                else:
+                    self._held[i] = list(decision)
                 for cu, vf in enumerate(decision):
                     node.platform.set_cu_vf(cu, vf)
             record.caps.append(cap)
@@ -230,5 +314,27 @@ class ClusterPowerManager:
             record.node_instructions.append(
                 [s.total_instructions() for s in samples]
             )
+            record.node_true_powers.append([s.true_power for s in samples])
+            if filtered is not None:
+                record.node_quality.append([v.quality for v in filtered])
+                record.node_healthy.append(list(healthy))
             self._step += 1
         return record
+
+    def _allocate(self, cap, prediction, healthy) -> np.ndarray:
+        """Budget shares; unhealthy nodes get only their floor."""
+        demand = prediction.demand
+        floor = prediction.floor
+        mask = np.asarray(healthy, dtype=bool)
+        if mask.all():
+            return allocate_budget(self.policy, cap, demand, floor)
+        shares = np.zeros(len(mask))
+        # An unhealthy node is pinned to its slowest state, so its draw
+        # is its floor no matter what it is granted on paper.
+        shares[~mask] = floor[~mask]
+        remaining = max(cap - float(floor[~mask].sum()), 0.0)
+        if mask.any():
+            shares[mask] = allocate_budget(
+                self.policy, remaining, demand[mask], floor[mask]
+            )
+        return shares

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.batch import BatchObservation, BatchPrediction
 from repro.core.energy import VFPrediction
 from repro.core.ppep import PPEP, PPEPSnapshot, stable_seed
+from repro.faults.injection import FaultInjector, FaultSpec
 from repro.fleet.registry import ModelRegistry
 from repro.hardware.microarch import ChipSpec
 from repro.hardware.platform import CoreAssignment, IntervalSample, Platform
@@ -225,6 +226,7 @@ def make_fleet(
     power_gating: bool = True,
     programs: Sequence[str] = _DEFAULT_PROGRAMS,
     busy_cus: Optional[Sequence[int]] = None,
+    fault_specs: Optional[Sequence[FaultSpec]] = None,
 ) -> FleetSimulator:
     """Build a ready-to-run fleet: one node per entry of ``specs``.
 
@@ -234,18 +236,29 @@ def make_fleet(
     heterogeneous even when the SKUs are not.  ``busy_cus`` (per node,
     cycled) loads only that many CUs and leaves the rest idle --
     lightly-loaded nodes are what make demand-aware budget allocation
-    beat a uniform split.
+    beat a uniform split.  ``fault_specs`` (per node, cycled; ``None``
+    entries mean a clean node) attaches a deterministic, stable-seeded
+    :class:`~repro.faults.injection.FaultInjector` to each node's
+    telemetry.
     """
     if not specs:
         raise ValueError("need at least one node spec")
     nodes = []
     for i, spec in enumerate(specs):
         ppep = registry.get(spec)
+        injector = None
+        if fault_specs:
+            fault_spec = fault_specs[i % len(fault_specs)]
+            if fault_spec is not None and fault_spec.enabled:
+                injector = FaultInjector(
+                    fault_spec, seed=stable_seed(base_seed, "fleet-fault", i)
+                )
         platform = Platform(
             spec,
             seed=stable_seed(base_seed, "fleet-node", i, spec.name),
             power_gating=power_gating and spec.supports_power_gating,
             initial_temperature=spec.ambient_temperature + 15.0,
+            fault_injector=injector,
         )
         n_busy = spec.num_cus
         if busy_cus is not None:

@@ -126,6 +126,10 @@ class IntervalSample:
     breakdown: PowerBreakdown = None
     #: Mean NB bandwidth utilisation over the interval (ground truth).
     nb_utilisation: float = 0.0
+    #: Fault tags a :class:`~repro.faults.injection.FaultInjector` applied
+    #: to this delivered sample (empty on clean delivery).  Ground truth
+    #: about the corruption -- consumers must not read it online.
+    faults: tuple = ()
 
     @property
     def measured_energy(self) -> float:
@@ -184,6 +188,13 @@ class Platform:
         :class:`~repro.hardware.engine.VectorEngine`; ``"scalar"`` keeps
         the reference per-slice loop.  The two are numerically
         equivalent to 1e-9 (asserted in ``tests/test_engine.py``).
+    fault_injector:
+        Optional :class:`~repro.faults.injection.FaultInjector` applied
+        to every delivered interval sample.  It corrupts only the
+        observable fields after the interval is fully simulated, so both
+        engines are corrupted identically and no fault-free RNG stream
+        is perturbed; with ``None`` (or a disabled spec) output is
+        bitwise identical to an injector-free platform.
     """
 
     ENGINES = ("vector", "scalar")
@@ -197,6 +208,7 @@ class Platform:
         initial_temperature: float = None,
         vf_transition_penalty_s: float = 0.0,
         engine: str = "vector",
+        fault_injector=None,
     ) -> None:
         self.spec = spec
         seq = np.random.SeedSequence(seed)
@@ -225,6 +237,7 @@ class Platform:
                 "engine must be one of {}, got {!r}".format(self.ENGINES, engine)
             )
         self.engine = engine
+        self.fault_injector = fault_injector
         if engine == "vector":
             # Deferred import: engine.py needs this module's constants.
             from repro.hardware.engine import VectorEngine
@@ -307,8 +320,12 @@ class Platform:
     def step(self) -> IntervalSample:
         """Advance one 200 ms DVFS decision interval."""
         if self._vector_engine is not None:
-            return self._vector_engine.step()
-        return self._step_scalar()
+            sample = self._vector_engine.step()
+        else:
+            sample = self._step_scalar()
+        if self.fault_injector is not None:
+            sample = self.fault_injector.apply(sample)
+        return sample
 
     def _step_scalar(self) -> IntervalSample:
         """The reference per-slice interval loop (``engine="scalar"``)."""

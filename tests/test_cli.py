@@ -43,6 +43,57 @@ class TestCLI:
             main([])
 
 
+class TestFaultsCommand:
+    def test_faults_smoke(self, capsys):
+        assert main([
+            "faults", "--scale", "quick", "--rates", "0.0", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hardened" in out
+        assert "PASS" in out
+        assert "finished in" in out
+
+    def test_rejects_out_of_range_rates(self, capsys):
+        assert main(["faults", "--rates", "0.0", "3.0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one-line error, no traceback
+
+    def test_rejects_unknown_vf_index(self, capsys):
+        assert main(["faults", "--vf", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "no VF state with index 99" in err
+        assert "valid:" in err
+
+    def test_rejects_unknown_combination(self, capsys):
+        assert main(["faults", "--combo", "no-such-combo"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown combination 'no-such-combo'" in err
+        assert err.count("\n") == 1
+
+    def test_rejects_unwritable_cache_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("plain file\n")
+        target = str(blocker / "cache")
+        assert main(["faults", "--trace-cache", target]) == 2
+        err = capsys.readouterr().err
+        assert "not writable" in err
+        assert err.count("\n") == 1
+
+
+class TestRunCacheValidation:
+    def test_run_rejects_unwritable_cache_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("plain file\n")
+        target = str(blocker / "cache")
+        assert main([
+            "run", "table1", "--scale", "quick", "--trace-cache", target,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "not writable" in err
+        assert err.count("\n") == 1
+
+
 class TestFleetCommand:
     def test_fleet_smoke(self, capsys):
         assert main([

@@ -1,9 +1,16 @@
 """Tests for trace persistence (save/load round trip)."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.analysis.persistence import load_trace, save_trace
+from repro.analysis.persistence import (
+    load_ppep,
+    load_trace,
+    save_ppep,
+    save_trace,
+)
 from repro.analysis.trace import Trace
 from repro.hardware.microarch import FX8320_SPEC
 from repro.hardware.platform import CoreAssignment, Platform
@@ -76,3 +83,82 @@ class TestRoundTrip:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError):
             load_trace(path, FX8320_SPEC)
+
+
+def _tiny_ppep():
+    from repro.core.dynamic_power import DynamicPowerModel
+    from repro.core.idle_power import IdlePowerModel
+    from repro.core.ppep import PPEP
+    from repro.core.regression import Polynomial
+
+    return PPEP(
+        FX8320_SPEC,
+        IdlePowerModel(
+            w_idle1=Polynomial((0.01, 0.02)),
+            w_idle0=Polynomial((1.0, -0.5)),
+            voltage_range=(0.9, 1.3),
+        ),
+        DynamicPowerModel(
+            weights=tuple(0.1 * (i + 1) for i in range(9)),
+            alpha=1.2,
+            train_voltage=1.3,
+        ),
+    )
+
+
+class TestPPEPArtifacts:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        ppep = _tiny_ppep()
+        save_ppep(ppep, path)
+        loaded = load_ppep(path, FX8320_SPEC)
+        assert loaded.dynamic_model.weights == ppep.dynamic_model.weights
+        assert loaded.idle_model.w_idle1.coefficients == (0.01, 0.02)
+        assert loaded.pg_model is None
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_ppep(_tiny_ppep(), path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_ppep(path, FX8320_SPEC)
+
+    def test_wrong_chip_rejected(self, tmp_path):
+        from repro.hardware.microarch import PHENOM_II_SPEC
+
+        path = str(tmp_path / "model.npz")
+        save_ppep(_tiny_ppep(), path)
+        with pytest.raises(ValueError, match="trained on"):
+            load_ppep(path, PHENOM_II_SPEC)
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, trace, tmp_path):
+        save_trace(trace, str(tmp_path / "trace.npz"))
+        save_ppep(_tiny_ppep(), str(tmp_path / "model.npz"))
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert leftovers == []
+        assert sorted(os.listdir(tmp_path)) == ["model.npz", "trace.npz"]
+
+    def test_suffix_appended_like_savez(self, trace, tmp_path):
+        # np.savez_compressed appends .npz to bare paths; the atomic
+        # writer must match so load paths stay predictable.
+        save_trace(trace, str(tmp_path / "bare"))
+        assert (tmp_path / "bare.npz").exists()
+        loaded = load_trace(str(tmp_path / "bare.npz"), FX8320_SPEC)
+        assert len(loaded) == len(trace)
+
+    def test_failed_write_leaves_no_debris(self, tmp_path, monkeypatch):
+        from repro.analysis import persistence
+
+        def boom(handle, **arrays):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(persistence.np, "savez_compressed", boom)
+        with pytest.raises(RuntimeError):
+            persistence._atomic_savez(
+                str(tmp_path / "doomed.npz"), version=np.array(1)
+            )
+        assert os.listdir(tmp_path) == []

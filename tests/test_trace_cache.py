@@ -86,6 +86,63 @@ class TestDiskLibrary:
             for va, vb in zip(a.core_events, b.core_events):
                 assert va.as_list() == vb.as_list()
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """A half-written archive must not poison the cache forever."""
+        import os
+
+        trainer = _quick_trainer()
+        combo = spec_combinations()[0]
+        vf5 = FX8320_SPEC.vf_table.fastest
+        disk = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        original = trainer.collect_trace(combo, vf5, disk)
+        path = [
+            os.path.join(tmp_path, p) for p in os.listdir(tmp_path)
+        ][0]
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        fresh = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        recovered = trainer.collect_trace(combo, vf5, fresh)
+        assert fresh.misses == 1 and fresh.disk_hits == 0
+        assert [s.measured_power for s in recovered.samples] == [
+            s.measured_power for s in original.samples
+        ]
+        # The bad entry was evicted and re-written; a third library
+        # reads it cleanly from disk.
+        third = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        trainer.collect_trace(combo, vf5, third)
+        assert third.disk_hits == 1
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        trainer = _quick_trainer()
+        combo = spec_combinations()[0]
+        vf5 = FX8320_SPEC.vf_table.fastest
+        disk = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        key = trainer._trace_key(
+            "bench", combo.name, vf5.index, False,
+            trainer.BENCH_INTERVALS, trainer.WARMUP,
+        )
+        with open(disk.path_for(key), "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        trace = trainer.collect_trace(combo, vf5, disk)
+        assert disk.misses == 1 and disk.disk_hits == 0
+        assert len(trace.samples) > 0
+
+    def test_wrong_version_entry_is_a_miss(self, tmp_path):
+        import numpy as np
+
+        trainer = _quick_trainer()
+        combo = spec_combinations()[0]
+        vf5 = FX8320_SPEC.vf_table.fastest
+        disk = TraceLibrary(str(tmp_path), FX8320_SPEC)
+        key = trainer._trace_key(
+            "bench", combo.name, vf5.index, False,
+            trainer.BENCH_INTERVALS, trainer.WARMUP,
+        )
+        np.savez_compressed(disk.path_for(key), version=np.array(99))
+        trace = trainer.collect_trace(combo, vf5, disk)
+        assert disk.misses == 1
+        assert len(trace.samples) > 0
+
     def test_counters_and_contains(self, tmp_path):
         trainer = _quick_trainer()
         combo = spec_combinations()[0]
