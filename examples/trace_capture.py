@@ -17,7 +17,7 @@ from repro.analysis.persistence import load_trace, save_trace
 from repro.core.dynamic_power import dynamic_feature_vector, fit_dynamic_power_model
 from repro.core.idle_power import fit_idle_power_model
 from repro.core.ppep import PPEPTrainer
-from repro.hardware.platform import CoreAssignment, INTERVAL_S
+from repro.hardware.platform import CoreAssignment
 from repro.workloads.suites import spec_program
 
 
@@ -53,7 +53,7 @@ def main() -> None:
     vf5 = spec.vf_table.fastest
     rows, targets = [], []
     for sample, chip_events in zip(reloaded, reloaded.chip_events()):
-        rows.append(dynamic_feature_vector(chip_events.rates(INTERVAL_S)))
+        rows.append(dynamic_feature_vector(chip_events.rates(sample.interval_s)))
         targets.append(
             sample.measured_power - idle_model.predict(vf5.voltage, sample.temperature)
         )

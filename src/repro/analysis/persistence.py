@@ -156,6 +156,7 @@ def save_trace(trace: Trace, path: str) -> None:
         power_gating=np.array([s.power_gating for s in samples]),
         core_events=event_matrix(lambda s: s.core_events),
         true_core_events=event_matrix(lambda s: s.true_core_events),
+        interval_s=np.array([s.interval_s for s in samples]),
     )
 
 
@@ -195,6 +196,14 @@ def load_trace(path: str, spec: ChipSpec) -> Trace:
         power_gating = data["power_gating"].tolist()
         core_events = data["core_events"].tolist()
         true_core_events = data["true_core_events"].tolist()
+        # Archives written before interval_s was stamped per sample
+        # were all captured at the paper's 200 ms default.
+        if "interval_s" in data.files:
+            interval_s = data["interval_s"].tolist()
+        else:
+            from repro.hardware.platform import INTERVAL_S
+
+            interval_s = [INTERVAL_S] * n
         by_index = {}
         for row in cu_vf_indices:
             for idx in row:
@@ -223,6 +232,7 @@ def load_trace(path: str, spec: ChipSpec) -> Trace:
                     true_power=true_power[i],
                     breakdown=None,
                     nb_utilisation=nb_utilisation[i],
+                    interval_s=interval_s[i],
                 )
             )
         return Trace(samples, label=str(data["label"]))

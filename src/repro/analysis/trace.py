@@ -41,6 +41,19 @@ class Trace:
             raise ValueError("a trace needs at least one sample")
         self.samples: List[IntervalSample] = list(samples)
         self.label = label
+        first = self.samples[0].interval_s
+        for s in self.samples:
+            if s.interval_s != first:
+                raise ValueError(
+                    "trace {!r} mixes interval lengths ({} s and {} s); "
+                    "energy and rate aggregation would silently "
+                    "mis-scale".format(label, first, s.interval_s)
+                )
+
+    @property
+    def interval_s(self) -> float:
+        """The (uniform) decision-interval length of this trace, seconds."""
+        return self.samples[0].interval_s
 
     # -- basic container behaviour ------------------------------------------
 
@@ -84,14 +97,14 @@ class Trace:
 
     def total_measured_energy(self) -> float:
         """Measured energy over the whole trace, joules."""
-        return float(self.measured_power().sum() * INTERVAL_S)
+        return float(self.measured_power().sum() * self.interval_s)
 
     def total_true_energy(self) -> float:
-        return float(self.true_power().sum() * INTERVAL_S)
+        return float(self.true_power().sum() * self.interval_s)
 
     def duration(self) -> float:
         """Trace length in seconds."""
-        return len(self.samples) * INTERVAL_S
+        return len(self.samples) * self.interval_s
 
     # -- event views ----------------------------------------------------------
 

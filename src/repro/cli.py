@@ -181,6 +181,37 @@ def main(argv=None) -> int:
         "--trace-cache", default=None, metavar="DIR",
         help="persist simulated traces to DIR (see 'run --trace-cache')",
     )
+    obs_parser = sub.add_parser(
+        "obs",
+        help="replay a recorded observability ledger (JSONL events) into "
+        "a text report: per-VF error tables, drift timeline, node health",
+    )
+    obs_parser.add_argument(
+        "ledger", nargs="?", default=None,
+        help="path to a JSONL event ledger to replay",
+    )
+    obs_parser.add_argument(
+        "--demo", action="store_true",
+        help="first record the injected-drift demo scenario (a power "
+        "sensor develops a gain error mid-run), then replay its ledger",
+    )
+    obs_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="where --demo writes its ledger "
+        "(default: results/obs_demo.jsonl)",
+    )
+    obs_parser.add_argument(
+        "--scale", choices=["full", "quick"], default="quick",
+        help="training depth for the --demo model (default: quick)",
+    )
+    obs_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for the --demo simulation (default: 20141213)",
+    )
+    obs_parser.add_argument(
+        "--engine", choices=list(Platform.ENGINES), default="vector",
+        help="simulation kernel for --demo (see 'run --engine')",
+    )
     fleet_parser = sub.add_parser(
         "fleet", help="cluster-scale capping: N nodes under one power budget"
     )
@@ -237,6 +268,9 @@ def main(argv=None) -> int:
 
     if args.command == "report":
         return _assemble_report(args.results_dir, args.output)
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "fleet":
         return _run_fleet(args)
@@ -309,6 +343,51 @@ def _run_faults(args) -> int:
     )
     print(fault_resilience.format_report(result, ctx))
     print("[faults finished in {:.1f}s]".format(time.perf_counter() - started))
+    return 0
+
+
+def _run_obs(args) -> int:
+    """The ``obs`` subcommand: replay a JSONL ledger (or run the demo)."""
+    from repro.experiments import obs_drift
+    from repro.obs.report import format_report, replay_file
+
+    path = args.ledger
+    ledger_kwargs = {}
+    if args.demo:
+        # Replay with the settings the demo recorded under, so the
+        # recomputed flags match the recorded drift events one-to-one.
+        ledger_kwargs = dict(obs_drift.DEMO_LEDGER_KWARGS)
+        path = args.output or os.path.join("results", "obs_demo.jsonl")
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # A stale ledger from a previous run would double every event
+        # (EventLog appends); start the demo from an empty file.
+        if os.path.exists(path):
+            os.unlink(path)
+        ctx = common.get_context(scale=args.scale, base_seed=args.seed,
+                                 engine=args.engine)
+        started = time.perf_counter()
+        ledger, _events = obs_drift.record_demo(ctx, path=path)
+        print(
+            "recorded injected-drift demo: {} intervals, {} drift "
+            "flag(s) -> {} ({:.1f}s)\n".format(
+                sum(s["records"] for s in ledger.node_summary().values()),
+                len(ledger.drift_flags), path,
+                time.perf_counter() - started,
+            )
+        )
+    elif path is None:
+        print(
+            "error: provide a ledger path to replay, or --demo to record "
+            "the injected-drift scenario first",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(path):
+        print("error: no ledger at {!r}".format(path), file=sys.stderr)
+        return 2
+    print(format_report(replay_file(path, **ledger_kwargs)))
     return 0
 
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.hardware.events import NUM_EVENTS, Event
 from repro.hardware.microarch import ChipSpec
-from repro.hardware.platform import INTERVAL_S, IntervalSample
+from repro.hardware.platform import IntervalSample
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.ppep import PPEP
@@ -120,7 +120,8 @@ class BatchObservation:
         ds_per_inst = np.where(
             active, events[:, :, int(Event.DISPATCH_STALLS)] / safe_inst, 0.0
         )
-        cycles_available = freq * 1e9 * INTERVAL_S
+        intervals = np.array([s.interval_s for s in samples])
+        cycles_available = freq * 1e9 * intervals[:, None]
         duty = np.minimum(cycles / np.maximum(cycles_available, 1e-30), 1.0)
 
         cu_active = active.reshape(n, spec.num_cus, spec.cores_per_cu)

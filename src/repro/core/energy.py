@@ -35,6 +35,8 @@ class VFPrediction:
     idle_power: float
     #: Power attributable to the north bridge (NB-proxy terms + NB idle).
     nb_power: float
+    #: Length of the decision interval the prediction refers to, seconds.
+    interval_s: float = INTERVAL_S
 
     @property
     def chip_power(self) -> float:
@@ -48,8 +50,8 @@ class VFPrediction:
 
     @property
     def energy_per_interval(self) -> float:
-        """Predicted chip energy over one 200 ms interval, joules."""
-        return self.chip_power * INTERVAL_S
+        """Predicted chip energy over one decision interval, joules."""
+        return self.chip_power * self.interval_s
 
     @property
     def energy_per_instruction(self) -> float:

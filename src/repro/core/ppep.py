@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import logging
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -56,6 +57,7 @@ from repro.hardware.platform import (
     Platform,
 )
 from repro.hardware.vfstates import VFState
+from repro.obs.metrics import get_registry
 from repro.workloads.microbench import bench_a
 from repro.workloads.suites import BenchmarkCombination
 from repro.workloads.synthetic import make_cpu_bound
@@ -133,21 +135,24 @@ class PPEP:
         states = []
         for core_id, events in enumerate(sample.core_events):
             vf = sample.cu_vfs[self.spec.cu_of_core(core_id)]
-            states.append(CoreEventState(events, vf, INTERVAL_S))
+            states.append(CoreEventState(events, vf, sample.interval_s))
         return states
 
     # -- the Figure 5 pipeline --------------------------------------------------
 
     def analyze(self, sample: IntervalSample) -> PPEPSnapshot:
         """Run the full pipeline on one interval sample."""
-        states = self.core_states(sample)
-        predictions = {
-            vf.index: self.predict_at(
-                states, sample.temperature, vf, sample.power_gating
-            )
-            for vf in self.spec.vf_table
-        }
-        current = self.estimate_current(sample, states)
+        registry = get_registry()
+        registry.counter("ppep.analyze.intervals").inc()
+        with registry.timer("ppep.analyze.seconds"):
+            states = self.core_states(sample)
+            predictions = {
+                vf.index: self.predict_at(
+                    states, sample.temperature, vf, sample.power_gating
+                )
+                for vf in self.spec.vf_table
+            }
+            current = self.estimate_current(sample, states)
         return PPEPSnapshot(
             time=sample.time,
             temperature=sample.temperature,
@@ -185,6 +190,7 @@ class PPEP:
             dynamic_power=dynamic,
             idle_power=idle,
             nb_power=nb_power,
+            interval_s=states[0].interval_s if states else INTERVAL_S,
         )
 
     def estimate_current(
@@ -202,7 +208,7 @@ class PPEP:
         dynamic = 0.0
         for state in states:
             rates = state.per_inst * (
-                state.instructions / INTERVAL_S if state.active else 0.0
+                state.instructions / state.interval_s if state.active else 0.0
             )
             features = dynamic_feature_vector(rates)
             dynamic += self.dynamic_model.core_term(features, state.vf.voltage)
@@ -603,7 +609,7 @@ class PPEPTrainer:
         powers: List[float] = []
         temps: List[float] = []
         for sample, chip_events in zip(trace, trace.chip_events(measured=True)):
-            rates = chip_events.rates(INTERVAL_S)
+            rates = chip_events.rates(sample.interval_s)
             rows.append(dynamic_feature_vector(rates))
             powers.append(sample.measured_power)
             temps.append(sample.temperature)
@@ -752,6 +758,7 @@ class PPEPTrainer:
         library: Optional[TraceLibrary] = None,
         alpha_vf_indices: Sequence[int] = (),
         with_pg_model: bool = True,
+        events=None,
     ) -> PPEP:
         """Full training run: idle model, Eq. 3 weights, alpha, PG model.
 
@@ -759,8 +766,13 @@ class PPEPTrainer:
         passes fold subsets).  By default alpha comes from the bench_A
         calibration runs (see :meth:`estimate_alpha_from_microbench`);
         pass ``alpha_vf_indices`` to instead derive it from the training
-        suite's traces at those VF states.
+        suite's traces at those VF states.  ``events`` is an optional
+        :class:`repro.obs.events.EventLog`; a ``model_retrain`` event is
+        emitted when training completes.
         """
+        started = time.perf_counter()
+        registry = get_registry()
+        registry.counter("ppep.train.runs").inc()
         data = TrainingData()
         data.cooling = self.collect_all_cooling(library)
         idle_model = fit_idle_power_model(data.cooling)
@@ -791,6 +803,10 @@ class PPEPTrainer:
             }
             pg_model = self.fit_pg_model(sweeps)
 
+        seconds = time.perf_counter() - started
+        registry.histogram("ppep.train.seconds").observe(seconds)
+        if events is not None:
+            events.emit("model_retrain", spec=self.spec.name, seconds=seconds)
         return PPEP(self.spec, idle_model, dynamic_model, pg_model)
 
 

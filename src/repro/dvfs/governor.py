@@ -47,9 +47,7 @@ class ControlledRun:
 
     def total_energy(self) -> float:
         """Measured energy over the whole run, joules."""
-        from repro.hardware.platform import INTERVAL_S
-
-        return sum(s.measured_power for s in self.samples) * INTERVAL_S
+        return sum(s.measured_energy for s in self.samples)
 
 
 def run_controlled(

@@ -30,7 +30,7 @@ def aggregate_ipc(sample: IntervalSample) -> float:
     """Chip-aggregate IPC: instructions summed over cores per cycle of
     the (shared) core clock."""
     vf = sample.cu_vfs[0]
-    cycles_available = vf.frequency_ghz * 1e9 * INTERVAL_S
+    cycles_available = vf.frequency_ghz * 1e9 * sample.interval_s
     total_inst = sum(ev.instructions for ev in sample.core_events)
     return total_inst / cycles_available
 
@@ -56,9 +56,11 @@ class GreenGovernorsModel:
         ceff = self.effective_capacitance(ipc)
         return self.static_table[vf.index] + ceff * vf.voltage ** 2 * vf.frequency_ghz
 
-    def estimate_energy(self, ipc: float, vf: VFState) -> float:
+    def estimate_energy(
+        self, ipc: float, vf: VFState, interval_s: float = INTERVAL_S
+    ) -> float:
         """Interval energy estimate (the Figure 6 quantity), joules."""
-        return self.estimate_power(ipc, vf) * INTERVAL_S
+        return self.estimate_power(ipc, vf) * interval_s
 
     def estimate_from_sample(self, sample: IntervalSample) -> float:
         """Power estimate straight from an interval sample."""

@@ -41,7 +41,6 @@ from repro.core.ppep import PPEP
 from repro.core.regression import ordinary_least_squares
 from repro.experiments.common import ExperimentContext
 from repro.hardware.events import EventVector
-from repro.hardware.platform import INTERVAL_S
 
 __all__ = ["AblationResult", "run", "format_report"]
 
@@ -112,7 +111,9 @@ def _estimation_error(
         for sample, chip_events in zip(
             trace, trace.chip_events(measured=measured_counters)
         ):
-            features = dynamic_feature_vector(chip_events.rates(INTERVAL_S))
+            features = dynamic_feature_vector(
+                chip_events.rates(sample.interval_s)
+            )
             dynamic = model.dynamic_model.estimate(features, vf5.voltage)
             idle = model.idle_model.predict(vf5.voltage, sample.temperature)
             estimates.append(dynamic + idle)
@@ -141,7 +142,9 @@ def _sampling_interval_error(
                 temp += trace[start + k].temperature
             blocks.append((events, power / merge, temp / merge))
         for (events, _p, temp), (_e2, next_power, _t2) in zip(blocks, blocks[1:]):
-            features = dynamic_feature_vector(events.rates(merge * INTERVAL_S))
+            features = dynamic_feature_vector(
+                events.rates(merge * trace.interval_s)
+            )
             predicted = model.dynamic_model.estimate(
                 features, vf5.voltage
             ) + model.idle_model.predict(vf5.voltage, temp)

@@ -19,7 +19,6 @@ from typing import Dict, Sequence, Tuple
 from repro.core.dynamic_power import dynamic_feature_vector
 from repro.experiments.common import ExperimentContext, FixedWorkRun
 from repro.hardware.events import Event, EventVector
-from repro.hardware.platform import INTERVAL_S
 from repro.workloads.suites import spec_program
 
 __all__ = ["SweepCell", "SweepData", "run_sweep", "DEFAULT_PROGRAMS", "DEFAULT_COUNTS"]
@@ -83,21 +82,22 @@ def _attribute_energies(ctx: ExperimentContext, run: FixedWorkRun):
     mab = 0.0
     cycles = 0.0
     for sample in run.samples:
-        if sample.time > run.time_s + INTERVAL_S:
+        dt = sample.interval_s
+        if sample.time > run.time_s + dt:
             break
         chip_est = ppep.estimate_current(sample)
         total_events = EventVector.zeros()
         for events in sample.core_events:
             total_events += events
-        features = dynamic_feature_vector(total_events.rates(INTERVAL_S))
+        features = dynamic_feature_vector(total_events.rates(dt))
         nb_dyn = ppep.dynamic_model.nb_term(features)
         nb_idle = pg.nb_idle(vf) if pg is not None else 0.0
         base = pg.decomposition(vf).p_base if pg is not None else 0.0
         core = max(chip_est - nb_dyn - nb_idle - base, 0.0)
-        core_e += core * INTERVAL_S
-        nb_idle_e += nb_idle * INTERVAL_S
-        nb_dyn_e += nb_dyn * INTERVAL_S
-        base_e += base * INTERVAL_S
+        core_e += core * dt
+        nb_idle_e += nb_idle * dt
+        nb_dyn_e += nb_dyn * dt
+        base_e += base * dt
         mab += total_events[Event.MAB_WAIT_CYCLES]
         cycles += total_events[Event.CPU_CLOCKS_NOT_HALTED]
     share = mab / cycles if cycles > 0 else 0.0

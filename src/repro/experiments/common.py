@@ -27,7 +27,6 @@ from repro.core.power_gating import PGAwareIdleModel
 from repro.core.ppep import PPEP, PPEPTrainer, stable_seed
 from repro.hardware.microarch import ChipSpec, FX8320_SPEC
 from repro.hardware.platform import (
-    INTERVAL_S,
     CoreAssignment,
     IntervalSample,
     Platform,
@@ -273,9 +272,9 @@ class ExperimentContext:
         samples = platform.run_until_finished(max_intervals)
         time_s = max(platform.completion_times().values())
         energy = sum(
-            s.measured_power * INTERVAL_S
+            s.measured_energy
             for s in samples
-            if s.time <= time_s + INTERVAL_S
+            if s.time <= time_s + s.interval_s
         )
         return FixedWorkRun(
             vf_index=vf.index,

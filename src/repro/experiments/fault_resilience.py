@@ -180,7 +180,7 @@ def _capping_run(
     overshoot = float(
         np.mean([max(p - c, 0.0) / c for p, c in zip(true_powers, caps)])
     )
-    energy = sum(true_powers) * INTERVAL_S
+    energy = sum(s.true_energy for s in run_record.samples)
     instructions = run_record.total_instructions()
     holds = controller.holds if guarded else 0
     return (

@@ -84,11 +84,15 @@ def _fit_gg_for_fold(
     return fit_green_governors(static_table, rows)
 
 
-def _next_interval_errors(powers_est: List[float], energies_meas: List[float]) -> float:
+def _next_interval_errors(
+    powers_est: List[float],
+    energies_meas: List[float],
+    interval_s: float = INTERVAL_S,
+) -> float:
     """AAE of predicting interval i+1's energy from interval i's estimate."""
     errors = []
     for i in range(len(energies_meas) - 1):
-        predicted = powers_est[i] * INTERVAL_S
+        predicted = powers_est[i] * interval_s
         actual = energies_meas[i + 1]
         errors.append(abs(predicted - actual) / actual)
     return float(np.mean(errors))
@@ -116,12 +120,14 @@ def run(ctx: ExperimentContext) -> Fig6Result:
                 trace = ctx.trace(combo, vf)
                 est = [model.estimate_current(s) for s in trace]
                 meas = [s.measured_energy for s in trace]
-                aae = _next_interval_errors(est, meas)
+                aae = _next_interval_errors(est, meas, trace.interval_s)
                 per_vf[vf.index].append(aae)
                 if vf.index == vf5.index:
                     ppep_by_combo[combo.name] = aae
                     gg_est = [gg.estimate_from_sample(s) for s in trace]
-                    gg_by_combo[combo.name] = _next_interval_errors(gg_est, meas)
+                    gg_by_combo[combo.name] = _next_interval_errors(
+                        gg_est, meas, trace.interval_s
+                    )
 
     return Fig6Result(
         ppep_by_combo=ppep_by_combo,

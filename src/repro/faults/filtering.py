@@ -119,13 +119,17 @@ class TelemetryFilter:
         self.config = config or FilterConfig()
         if self.config.window < 3:
             raise ValueError("window must be >= 3")
-        cycles_per_interval = (
-            spec.vf_table.fastest.frequency_ghz * 1e9 * INTERVAL_S
-        )
-        self._max_count = cycles_per_interval * self.config.count_margin
+        self._cycles_per_s = spec.vf_table.fastest.frequency_ghz * 1e9
         self.reset()
 
     def reset(self) -> None:
+        #: Pinned to the first ingested sample's interval; the window
+        #: statistics and the counter band assume a uniform interval, so
+        #: a mid-stream change raises instead of silently mis-scaling.
+        self._interval_s: Optional[float] = None
+        self._max_count = (
+            self._cycles_per_s * INTERVAL_S * self.config.count_margin
+        )
         self._prev_signature = None
         self._history: deque = deque(maxlen=self.config.window)
         self._last_good_power: Optional[float] = None
@@ -137,6 +141,17 @@ class TelemetryFilter:
 
     def ingest(self, sample: IntervalSample) -> FilteredInterval:
         """Validate and repair one delivered interval sample."""
+        if self._interval_s is None:
+            self._interval_s = sample.interval_s
+            self._max_count = (
+                self._cycles_per_s * sample.interval_s * self.config.count_margin
+            )
+        elif sample.interval_s != self._interval_s:
+            raise ValueError(
+                "telemetry stream changed interval length mid-run "
+                "({} s -> {} s); reset() the filter for a new "
+                "stream".format(self._interval_s, sample.interval_s)
+            )
         issues: List[str] = []
         readings = list(sample.power_samples)
         signature = (
@@ -266,21 +281,85 @@ class HardenedPPEP:
     :class:`FilteredInterval` verdict.  Call exactly one of the methods
     per delivered interval (each :meth:`TelemetryFilter.ingest` consumes
     one slot of filter history).
+
+    Optional observability wiring: pass ``events`` (a
+    :class:`repro.obs.events.EventLog`) to emit a ``filter_verdict``
+    event for every interval the filter flags (REPAIRED or BAD; GOOD
+    intervals stay silent -- the prediction row carries their quality),
+    and ``ledger`` (a
+    :class:`repro.obs.ledger.PredictionLedger`) to record every
+    predicted-vs-measured power pair, which feeds the rolling-MAE and
+    CUSUM drift machinery behind ``ppep-repro obs``.
     """
 
-    def __init__(self, ppep, config: Optional[FilterConfig] = None) -> None:
+    def __init__(
+        self,
+        ppep,
+        config: Optional[FilterConfig] = None,
+        node: str = "node0",
+        events=None,
+        ledger=None,
+    ) -> None:
         self.ppep = ppep
         self.filter = TelemetryFilter(ppep.spec, config)
+        self.node = node
+        self.events = events
+        self.ledger = ledger
+        self._interval = 0
 
     def reset(self) -> None:
         self.filter.reset()
+        self._interval = 0
+
+    def _observe(self, filtered: FilteredInterval, estimate: float, predicted_cpi=None) -> None:
+        """Emit the verdict event and the ledger row for one interval."""
+        interval = self._interval
+        self._interval += 1
+        if self.events is not None and filtered.quality != GOOD:
+            self.events.emit(
+                "filter_verdict",
+                node=self.node,
+                interval=interval,
+                quality=filtered.quality,
+                issues=list(filtered.issues),
+            )
+        if self.ledger is not None and filtered.actionable:
+            # BAD intervals carry untrustworthy (possibly frozen) power
+            # readings; pairing predictions against them would corrupt
+            # the accuracy statistics, so the ledger only sees intervals
+            # the filter vouches for.
+            clean = filtered.sample
+            instructions = 0.0
+            cycles = 0.0
+            for ev in clean.core_events:
+                instructions += ev.instructions
+                cycles += ev.cycles
+            self.ledger.record(
+                node=self.node,
+                interval=interval,
+                vf_index=clean.cu_vfs[0].index,
+                predicted_power=estimate,
+                measured_power=clean.measured_power,
+                interval_s=clean.interval_s,
+                predicted_cpi=predicted_cpi,
+                realized_cpi=(cycles / instructions) if instructions > 0 else None,
+                quality=filtered.quality,
+            )
 
     def estimate_current(self, sample: IntervalSample):
         """(power estimate at the current operating point, verdict)."""
         filtered = self.filter.ingest(sample)
-        return self.ppep.estimate_current(filtered.sample), filtered
+        estimate = self.ppep.estimate_current(filtered.sample)
+        self._observe(filtered, estimate)
+        return estimate, filtered
 
     def analyze(self, sample: IntervalSample):
         """(full Figure 5 snapshot from the cleaned sample, verdict)."""
         filtered = self.filter.ingest(sample)
-        return self.ppep.analyze(filtered.sample), filtered
+        snapshot = self.ppep.analyze(filtered.sample)
+        current_vf = filtered.sample.cu_vfs[0]
+        prediction = snapshot.predictions.get(current_vf.index)
+        cpis = [c for c in prediction.core_cpis if c > 0] if prediction else []
+        predicted_cpi = sum(cpis) / len(cpis) if cpis else None
+        self._observe(filtered, snapshot.current_estimate, predicted_cpi)
+        return snapshot, filtered

@@ -41,7 +41,7 @@ from repro.dvfs.power_capping import (
     PPEPPowerCapper,
     evaluate_power_series,
 )
-from repro.faults.filtering import FilterConfig, TelemetryFilter
+from repro.faults.filtering import GOOD, FilterConfig, TelemetryFilter
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = [
@@ -199,6 +199,15 @@ class ClusterPowerManager:
     filter_config:
         Optional :class:`~repro.faults.filtering.FilterConfig` for the
         per-node filters.
+    events / ledger:
+        Optional observability sinks.  ``events`` (a
+        :class:`repro.obs.events.EventLog`) receives ``filter_verdict``,
+        ``quarantine_enter``/``quarantine_exit`` and ``cap_reallocation``
+        events; ``ledger`` (a
+        :class:`repro.obs.ledger.PredictionLedger`) records, for every
+        node and interval, the power PPEP predicted one step ahead for
+        the VF assignment the manager chose against the power the node
+        then measured -- the online Figure 7 accuracy.
     """
 
     def __init__(
@@ -211,6 +220,8 @@ class ClusterPowerManager:
         harden: bool = False,
         unhealthy_after: int = 3,
         filter_config: FilterConfig = None,
+        events=None,
+        ledger=None,
     ) -> None:
         if policy not in ALLOCATION_POLICIES:
             raise ValueError(
@@ -240,6 +251,11 @@ class ClusterPowerManager:
         self._bad_streak = [0] * len(fleet.nodes)
         self._held = [None] * len(fleet.nodes)
         self._step = 0
+        self.events = events
+        self.ledger = ledger
+        self._quarantined_since = [None] * len(fleet.nodes)
+        self._pending = [None] * len(fleet.nodes)
+        self._last_alloc = None
 
     def reset(self) -> None:
         self._step = 0
@@ -250,6 +266,9 @@ class ClusterPowerManager:
                 filt.reset()
         self._bad_streak = [0] * len(self.fleet.nodes)
         self._held = [None] * len(self.fleet.nodes)
+        self._quarantined_since = [None] * len(self.fleet.nodes)
+        self._pending = [None] * len(self.fleet.nodes)
+        self._last_alloc = None
 
     def run(self, n_intervals: int, start_fastest: bool = True) -> FleetCappingRun:
         """Run the observe/allocate/decide/apply loop.
@@ -287,9 +306,11 @@ class ClusterPowerManager:
                 filtered = None
                 healthy = [True] * len(self.fleet.nodes)
                 clean = samples
+            self._observe_interval(samples, filtered)
             prediction = self.fleet.predict(clean)
             cap = self._schedule(self._step)
             shares = self._allocate(cap, prediction, healthy)
+            self._observe_allocation(cap, healthy)
             for i, (node, budget, capper, share) in enumerate(
                 zip(self.fleet.nodes, self._budgets, self._cappers, shares)
             ):
@@ -308,6 +329,15 @@ class ClusterPowerManager:
                     self._held[i] = list(decision)
                 for cu, vf in enumerate(decision):
                     node.platform.set_cu_vf(cu, vf)
+                if self.ledger is not None:
+                    # A quarantined node's telemetry is not coming back;
+                    # pricing its pinned decision would only queue rows
+                    # that the staleness guard above discards anyway.
+                    self._pending[i] = (
+                        self._price_decision(node, clean[i], decision)
+                        if healthy[i]
+                        else None
+                    )
             record.caps.append(cap)
             record.node_powers.append([s.measured_power for s in samples])
             record.shares.append([float(s) for s in shares])
@@ -320,6 +350,93 @@ class ClusterPowerManager:
                 record.node_healthy.append(list(healthy))
             self._step += 1
         return record
+
+    def _observe_interval(self, samples, filtered) -> None:
+        """Per-interval observability: verdict events + ledger rows.
+
+        The ledger pairs the power predicted *last* interval for the VF
+        assignment the manager applied with the power the node's
+        telemetry now reports -- the one-step-ahead accuracy that the
+        Figure 7 capping property rests on.
+        """
+        if self.events is not None and filtered is not None:
+            for node, verdict in zip(self.fleet.nodes, filtered):
+                if verdict.quality == GOOD:
+                    # GOOD intervals stay silent: their quality rides on
+                    # the prediction row, and one event per node per
+                    # interval would dominate the stream.
+                    continue
+                self.events.emit(
+                    "filter_verdict",
+                    node=node.name,
+                    interval=self._step,
+                    quality=verdict.quality,
+                    issues=list(verdict.issues),
+                )
+        if self.ledger is not None:
+            for i, (node, sample) in enumerate(zip(self.fleet.nodes, samples)):
+                pending = self._pending[i]
+                if pending is None:
+                    continue
+                if filtered is not None and not filtered[i].actionable:
+                    # A dropped-out or otherwise broken stream delivers
+                    # stale readings; scoring last interval's prediction
+                    # against them would pin the ledger's error stats to
+                    # garbage, so BAD intervals record nothing.
+                    continue
+                vf_index, predicted = pending
+                self.ledger.record(
+                    node=node.name,
+                    interval=self._step,
+                    vf_index=vf_index,
+                    predicted_power=predicted,
+                    measured_power=sample.measured_power,
+                    interval_s=sample.interval_s,
+                    quality=(
+                        filtered[i].quality if filtered is not None else None
+                    ),
+                )
+
+    def _observe_allocation(self, cap, healthy) -> None:
+        """Quarantine-transition and budget-reallocation events."""
+        if self.events is None:
+            return
+        for i, node in enumerate(self.fleet.nodes):
+            if not healthy[i] and self._quarantined_since[i] is None:
+                self._quarantined_since[i] = self._step
+                self.events.emit(
+                    "quarantine_enter",
+                    node=node.name,
+                    interval=self._step,
+                    bad_streak=self._bad_streak[i],
+                )
+            elif healthy[i] and self._quarantined_since[i] is not None:
+                self.events.emit(
+                    "quarantine_exit",
+                    node=node.name,
+                    interval=self._step,
+                    quarantined_intervals=self._step - self._quarantined_since[i],
+                )
+                self._quarantined_since[i] = None
+        allocation = (float(cap), tuple(healthy))
+        if allocation != self._last_alloc:
+            self._last_alloc = allocation
+            self.events.emit(
+                "cap_reallocation",
+                node="cluster",
+                interval=self._step,
+                budget_w=float(cap),
+                healthy_nodes=int(sum(healthy)),
+                total_nodes=len(self.fleet.nodes),
+            )
+
+    def _price_decision(self, node, sample, decision):
+        """(vf_index, predicted watts) for the applied VF assignment."""
+        states = node.ppep.core_states(sample)
+        power, _rate = node.ppep.predict_mixed(
+            states, sample.temperature, decision, sample.power_gating
+        )
+        return decision[0].index, float(power)
 
     def _allocate(self, cap, prediction, healthy) -> np.ndarray:
         """Budget shares; unhealthy nodes get only their floor."""

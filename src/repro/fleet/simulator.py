@@ -29,6 +29,7 @@ from repro.faults.injection import FaultInjector, FaultSpec
 from repro.fleet.registry import ModelRegistry
 from repro.hardware.microarch import ChipSpec
 from repro.hardware.platform import CoreAssignment, IntervalSample, Platform
+from repro.obs.metrics import get_registry
 from repro.workloads.suites import spec_program
 
 __all__ = ["FleetNode", "FleetPrediction", "FleetSimulator", "make_fleet"]
@@ -102,6 +103,15 @@ class FleetSimulator:
         names = [node.name for node in nodes]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
+        intervals = {node.platform.interval_s for node in nodes}
+        if len(intervals) > 1:
+            raise ValueError(
+                "fleet nodes disagree on the decision interval ({}); "
+                "synchronized stepping needs one shared interval".format(
+                    ", ".join("{} s".format(i) for i in sorted(intervals))
+                )
+            )
+        self.interval_s = intervals.pop()
         self.nodes: List[FleetNode] = list(nodes)
         groups: Dict[int, List[int]] = {}
         for i, node in enumerate(self.nodes):
@@ -122,6 +132,7 @@ class FleetSimulator:
 
     def step(self) -> List[IntervalSample]:
         """Advance every node one synchronized 200 ms interval."""
+        get_registry().counter("obs.fleet.steps").inc()
         return [node.platform.step() for node in self.nodes]
 
     def run(self, n_intervals: int) -> List[List[IntervalSample]]:
@@ -139,18 +150,21 @@ class FleetSimulator:
         as returned by :meth:`step`).
         """
         self._check_alignment(samples)
+        registry = get_registry()
+        registry.counter("obs.fleet.predictions").inc()
         powers: List[Optional[np.ndarray]] = [None] * len(self.nodes)
         rates: List[Optional[np.ndarray]] = [None] * len(self.nodes)
         indices: List[Optional[np.ndarray]] = [None] * len(self.nodes)
-        for ppep, node_ids in self._groups:
-            batch = ppep.batched_predictor().predict_samples(
-                [samples[i] for i in node_ids]
-            )
-            chip_power = batch.chip_power
-            for row, i in enumerate(node_ids):
-                powers[i] = chip_power[row]
-                rates[i] = batch.instructions_per_second[row]
-                indices[i] = batch.vf_indices
+        with registry.timer("obs.fleet.predict_seconds"):
+            for ppep, node_ids in self._groups:
+                batch = ppep.batched_predictor().predict_samples(
+                    [samples[i] for i in node_ids]
+                )
+                chip_power = batch.chip_power
+                for row, i in enumerate(node_ids):
+                    powers[i] = chip_power[row]
+                    rates[i] = batch.instructions_per_second[row]
+                    indices[i] = batch.vf_indices
         return FleetPrediction(
             names=[node.name for node in self.nodes],
             vf_indices=indices,

@@ -288,8 +288,7 @@ class VectorEngine:
         batch decision and the mixed-slice per-core test) and returns
         the chip-wide batchable span: the min over busy cores.
         """
-        from repro.hardware.platform import SLICE_S
-
+        slice_s = self.platform.slice_s
         spans = self._spans
         insts = self._insts
         k = max_k
@@ -299,7 +298,7 @@ class VectorEngine:
                 continue
             core = self.platform.cores[c]
             cpi = row.ccpi + row.mem_ns * contention * row.f
-            inst = row.cps * SLICE_S / cpi
+            inst = row.cps * slice_s / cpi
             insts[c] = inst
             span = self._steady_slices(core, row, inst, max_k)
             spans[c] = span
@@ -312,15 +311,13 @@ class VectorEngine:
     def step(self):
         """Advance one 200 ms interval; returns an :class:`IntervalSample`
         equal (to 1e-9) to what the scalar engine would produce."""
-        from repro.hardware.platform import (
-            SLICES_PER_INTERVAL,
-            IntervalSample,
-        )
+        from repro.hardware.platform import IntervalSample
         from repro.hardware.sensor import PowerSensor
 
         p = self.platform
         spec = p.spec
         num_cores = spec.num_cores
+        slices_per_interval = p.slices_per_interval
         self._refresh_nb()
 
         # VF-transition stalls apply to the first sub-slice only (same
@@ -333,9 +330,9 @@ class VectorEngine:
         # yields the identical stream to n sequential scalar draws, so
         # RNG consumption order matches the scalar engine exactly.
         process_draws = p._process_rng.normal(
-            0.0, spec.power_process_noise, size=SLICES_PER_INTERVAL
+            0.0, spec.power_process_noise, size=slices_per_interval
         )
-        sensor_noise = p.sensor.draw_noise(SLICES_PER_INTERVAL)
+        sensor_noise = p.sensor.draw_noise(slices_per_interval)
 
         acc = _IntervalAccumulator(num_cores)
 
@@ -344,7 +341,7 @@ class VectorEngine:
         contention = 1.0
         utilisation = 0.0
         spans_valid = False
-        while s < SLICES_PER_INTERVAL:
+        while s < slices_per_interval:
             if rows is None:
                 rows = self._rows()
                 contention, utilisation = self._resolve_contention(rows)
@@ -352,7 +349,7 @@ class VectorEngine:
             k = 0
             if not (s == 0 and any_stall):
                 k = self._compute_spans(
-                    rows, contention, SLICES_PER_INTERVAL - s
+                    rows, contention, slices_per_interval - s
                 )
                 spans_valid = True
             if k >= 1:
@@ -377,8 +374,8 @@ class VectorEngine:
         # columns by total/scheduled, exactly as CounterUnit does.
         core_events = []
         scheduled_a, scheduled_b = acc.group_slices
-        scale_a = SLICES_PER_INTERVAL / scheduled_a if scheduled_a else 0.0
-        scale_b = SLICES_PER_INTERVAL / scheduled_b if scheduled_b else 0.0
+        scale_a = slices_per_interval / scheduled_a if scheduled_a else 0.0
+        scale_b = slices_per_interval / scheduled_b if scheduled_b else 0.0
         for c in range(num_cores):
             ga = acc.group_a[c]
             gb = acc.group_b[c]
@@ -402,9 +399,10 @@ class VectorEngine:
             instructions=acc.instructions,
             true_power=sum(acc.true_powers) / len(acc.true_powers),
             breakdown=PowerBreakdown(
-                *[v / SLICES_PER_INTERVAL for v in acc.bd_sums]
+                *[v / slices_per_interval for v in acc.bd_sums]
             ),
             nb_utilisation=sum(acc.utilisations) / len(acc.utilisations),
+            interval_s=p.interval_s,
         )
         p._interval_index += 1
         return sample
@@ -418,9 +416,8 @@ class VectorEngine:
     ) -> None:
         """Emit ``n`` consecutive power/thermal slices whose activity-
         driven components are constant (temperature still evolves)."""
-        from repro.hardware.platform import SLICE_S
-
         p = self.platform
+        slice_s = p.slice_s
         pm = p.power_model
         thermal = p.thermal
         sensor = p.sensor
@@ -449,8 +446,8 @@ class VectorEngine:
                 sensor.apply_noise(true_power, float(sensor_noise[i]))
             )
             acc.utilisations.append(utilisation)
-            thermal.step(true_power, SLICE_S)
-            p._time += SLICE_S
+            thermal.step(true_power, slice_s)
+            p._time += slice_s
         # Slice-constant fields, added n times at once.
         bd[0] += base * n
         bd[2] += cu_act_idle * n
@@ -503,10 +500,8 @@ class VectorEngine:
         process_draws, sensor_noise,
     ) -> None:
         """Advance ``k`` provably-steady sub-slices in one shot."""
-        from repro.hardware.platform import SLICE_S
-
         p = self.platform
-        dt = SLICE_S
+        dt = p.slice_s
         mab = p.nb.mab_distortion(utilisation)
         insts = self._insts
 
@@ -570,11 +565,9 @@ class VectorEngine:
         which is bit-identical to what ``run_slice`` would compute for
         them.
         """
-        from repro.hardware.platform import SLICE_S
-
         p = self.platform
         group = s % 2
-        dt = SLICE_S
+        dt = p.slice_s
         mab = None  # computed lazily: only steady cores need it
         busy_cores = [False] * p.spec.num_cores
         core_dyn = [0.0] * p.spec.num_cores

@@ -130,16 +130,20 @@ class IntervalSample:
     #: to this delivered sample (empty on clean delivery).  Ground truth
     #: about the corruption -- consumers must not read it online.
     faults: tuple = ()
+    #: Wall-clock length of the interval, seconds.  Event counts in this
+    #: sample accumulated over exactly this long; every per-second rate
+    #: must normalise by it rather than the module default.
+    interval_s: float = INTERVAL_S
 
     @property
     def measured_energy(self) -> float:
         """Measured chip energy over the interval, joules."""
-        return self.measured_power * INTERVAL_S
+        return self.measured_power * self.interval_s
 
     @property
     def true_energy(self) -> float:
         """Ground-truth chip energy over the interval, joules."""
-        return self.true_power * INTERVAL_S
+        return self.true_power * self.interval_s
 
     def total_instructions(self) -> float:
         return sum(self.instructions)
@@ -195,6 +199,11 @@ class Platform:
         engines are corrupted identically and no fault-free RNG stream
         is perturbed; with ``None`` (or a disabled spec) output is
         bitwise identical to an injector-free platform.
+    slices_per_interval / slice_s:
+        The decision-interval geometry.  Defaults reproduce the paper's
+        200 ms interval of ten 20 ms power samples; a platform built
+        with a different geometry stamps its ``interval_s`` on every
+        emitted sample so downstream rate normalisation stays correct.
     """
 
     ENGINES = ("vector", "scalar")
@@ -209,8 +218,17 @@ class Platform:
         vf_transition_penalty_s: float = 0.0,
         engine: str = "vector",
         fault_injector=None,
+        slices_per_interval: int = SLICES_PER_INTERVAL,
+        slice_s: float = SLICE_S,
     ) -> None:
         self.spec = spec
+        if slices_per_interval < 1:
+            raise ValueError("slices_per_interval must be at least 1")
+        if slice_s <= 0:
+            raise ValueError("slice_s must be positive")
+        self.slices_per_interval = int(slices_per_interval)
+        self.slice_s = float(slice_s)
+        self.interval_s = self.slices_per_interval * self.slice_s
         seq = np.random.SeedSequence(seed)
         child_sensor, child_process = seq.spawn(2)
         self._process_rng = np.random.default_rng(child_process)
@@ -228,7 +246,7 @@ class Platform:
         self._cu_vfs: List[VFState] = [spec.vf_table.fastest] * spec.num_cus
         if vf_transition_penalty_s < 0:
             raise ValueError("transition penalty cannot be negative")
-        self.vf_transition_penalty_s = min(vf_transition_penalty_s, SLICE_S)
+        self.vf_transition_penalty_s = min(vf_transition_penalty_s, self.slice_s)
         self._pending_stall: List[float] = [0.0] * spec.num_cus
         self._time = 0.0
         self._interval_index = 0
@@ -341,7 +359,7 @@ class Platform:
         stalls = list(self._pending_stall)
         self._pending_stall = [0.0] * spec.num_cus
 
-        for slice_index in range(SLICES_PER_INTERVAL):
+        for slice_index in range(self.slices_per_interval):
             contention, utilisation = self._resolve_contention()
             utilisations.append(utilisation)
 
@@ -350,7 +368,7 @@ class Platform:
                 cu = spec.cu_of_core(core.core_id)
                 vf = self._cu_vfs[cu]
                 stall = stalls[cu] if slice_index == 0 else 0.0
-                dt = max(SLICE_S - stall, 1e-9)
+                dt = max(self.slice_s - stall, 1e-9)
                 result = core.run_slice(
                     dt, vf, self.nb, contention, utilisation, self._time
                 )
@@ -375,8 +393,8 @@ class Platform:
             breakdowns.append(breakdown)
             true_powers.append(true_power)
             power_samples.append(self.sensor.sample(true_power))
-            self.thermal.step(true_power, SLICE_S)
-            self._time += SLICE_S
+            self.thermal.step(true_power, self.slice_s)
+            self._time += self.slice_s
 
         sample = IntervalSample(
             index=self._interval_index,
@@ -388,7 +406,7 @@ class Platform:
             measured_power=PowerSensor.interval_average(power_samples),
             temperature=self.thermal.diode_reading(),
             core_events=[
-                self.counters[c].read_interval(SLICES_PER_INTERVAL)
+                self.counters[c].read_interval(self.slices_per_interval)
                 for c in range(spec.num_cores)
             ],
             true_core_events=interval_true_events,
@@ -396,6 +414,7 @@ class Platform:
             true_power=sum(true_powers) / len(true_powers),
             breakdown=_average_breakdowns(breakdowns),
             nb_utilisation=sum(utilisations) / len(utilisations),
+            interval_s=self.interval_s,
         )
         self._interval_index += 1
         return sample

@@ -1,0 +1,157 @@
+"""Schema-versioned JSON-lines event emission.
+
+Everything noteworthy the online pipeline does becomes one JSON object
+per line: per-interval prediction records (the ledger rows), model
+retrains, VF transitions, telemetry-filter verdicts, quarantine
+enter/exit, cap reallocations, and drift flags.  Downstream tooling --
+the ``ppep-repro obs`` report, dashboards, tests -- parses these lines
+by field name, so the schema is versioned and validated at emission
+time: an unknown event type or a missing required field raises instead
+of producing a record nobody can rely on.
+
+Every event carries:
+
+- ``v``      -- the schema version (:data:`SCHEMA_VERSION`);
+- ``type``   -- one of :data:`EVENT_TYPES`;
+- ``node``   -- the emitting node's name (``"node0"`` for single-chip);
+- ``interval`` -- the decision-interval index the event belongs to;
+
+plus the per-type required fields of :data:`EVENT_FIELDS` and any extra
+keyword fields the emitter chooses to attach.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EVENT_FIELDS",
+    "EventLog",
+    "read_events",
+]
+
+SCHEMA_VERSION = 1
+
+#: Required fields per event type (beyond the common v/type/node/interval).
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # One ledger row: what PPEP predicted for this interval at the VF it
+    # chose, and what the platform then measured.
+    "prediction": (
+        "vf_index",
+        "predicted_power",
+        "measured_power",
+        "error",
+    ),
+    # A model (re)train completed for a chip SKU.
+    "model_retrain": ("spec", "seconds"),
+    # A controller moved a compute unit (or the whole chip) to a new VF.
+    "vf_transition": ("from_vf", "to_vf"),
+    # The telemetry filter flagged a delivered interval (REPAIRED/BAD).
+    # GOOD verdicts are not emitted: the per-interval prediction row
+    # already carries its quality, and events record anomalies.
+    "filter_verdict": ("quality", "issues"),
+    # A fleet node crossed the bad-streak threshold and was quarantined.
+    "quarantine_enter": ("bad_streak",),
+    # A quarantined node delivered actionable telemetry again.
+    "quarantine_exit": ("quarantined_intervals",),
+    # The cluster manager re-split the power budget across nodes.
+    "cap_reallocation": ("budget_w", "healthy_nodes", "total_nodes"),
+    # The CUSUM detector flagged online error leaving the calibration band.
+    "drift": ("statistic", "threshold", "rolling_mae"),
+}
+
+EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_FIELDS))
+
+
+class EventLog:
+    """An append-only JSONL event sink (in memory, optionally on disk).
+
+    With ``path=None`` events accumulate in :attr:`records` only --
+    the cheap configuration for tests and benchmarks.  With a path,
+    every event is additionally serialised to one line of the file;
+    the handle is opened lazily and flushed per event so a crashed run
+    still leaves a readable ledger behind.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.records: List[dict] = []
+        self._handle = None
+
+    def emit(self, type: str, node: str = "node0", interval: int = 0, **fields) -> dict:
+        """Validate, record, and (if file-backed) write one event."""
+        required = EVENT_FIELDS.get(type)
+        if required is None:
+            raise ValueError(
+                "unknown event type {!r}; known types: {}".format(
+                    type, ", ".join(EVENT_TYPES)
+                )
+            )
+        for f in required:
+            if f not in fields:
+                missing = [f for f in required if f not in fields]
+                raise ValueError(
+                    "event {!r} missing required fields: {}".format(
+                        type, ", ".join(missing)
+                    )
+                )
+        # The kwargs dict is fresh per call: stamp the common fields into
+        # it directly rather than building and merging a second dict
+        # (this runs once per decision interval on the hot path).
+        event = fields
+        event["v"] = SCHEMA_VERSION
+        event["type"] = type
+        event["node"] = node
+        event["interval"] = int(interval)
+        self.records.append(event)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a")
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self._handle.flush()
+        return event
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_type(self, type: str) -> List[dict]:
+        """The recorded events of one type, in emission order."""
+        return [e for e in self.records if e["type"] == type]
+
+
+def read_events(path: str) -> Iterator[dict]:
+    """Parse a JSONL event file; rejects records from a newer schema."""
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "{}:{}: not valid JSON ({})".format(path, line_no, exc)
+                )
+            version = event.get("v")
+            if version is None or version > SCHEMA_VERSION:
+                raise ValueError(
+                    "{}:{}: event schema version {!r} is newer than "
+                    "supported version {}".format(
+                        path, line_no, version, SCHEMA_VERSION
+                    )
+                )
+            yield event

@@ -352,6 +352,54 @@ class TestHardenedFleet:
         assert final_shares[0] > final_shares[2]
         assert run.node_quality[-1][2] == BAD
 
+    def test_permanent_dropout_never_readmitted(self, tiny_registry):
+        """Quarantine must beat the last-good fallback, permanently.
+
+        A dropped-out node's injector redelivers a frozen payload
+        forever.  The telemetry filter's last-good repair must not turn
+        that stale stream back into "good" intervals: once the bad
+        streak trips quarantine, the node has to stay quarantined for
+        the rest of the run, and the fleet ledger must not keep
+        accepting rows priced against the stale readings.
+        """
+        from repro.fleet import ClusterPowerManager, make_fleet
+        from repro.obs.events import EventLog
+        from repro.obs.ledger import PredictionLedger
+
+        fault_specs = [None, FaultSpec(dropout_after_interval=3)]
+        fleet = make_fleet([SPEC] * 2, tiny_registry, fault_specs=fault_specs)
+        events = EventLog()
+        ledger = PredictionLedger(events=events)
+        manager = ClusterPowerManager(
+            fleet,
+            140.0,
+            policy="waterfill",
+            harden=True,
+            unhealthy_after=2,
+            events=events,
+            ledger=ledger,
+        )
+        run = manager.run(30)
+
+        # Once flagged unhealthy, never re-admitted.
+        healthy = [h[1] for h in run.node_healthy]
+        first_bad = healthy.index(False)
+        assert all(h is False for h in healthy[first_bad:])
+        # Every post-dropout verdict stays BAD: the frozen payload must
+        # not be laundered back to GOOD/REPAIRED by the last-good repair.
+        qualities = [q[1] for q in run.node_quality]
+        first_bad_quality = qualities.index(BAD)
+        assert all(q == BAD for q in qualities[first_bad_quality:])
+        # The event stream agrees: one quarantine_enter, no exit.
+        enters = events.of_type("quarantine_enter")
+        assert [e["node"] for e in enters] == ["node01"]
+        assert events.of_type("quarantine_exit") == []
+        # The ledger stopped accepting rows for the dead node once its
+        # stream went bad; the healthy node kept recording all along.
+        summary = ledger.node_summary()
+        assert summary["node00"]["records"] > summary["node01"]["records"]
+        assert summary["node01"]["records"] <= first_bad_quality + 1
+
     def test_hardened_clean_fleet_matches_unhardened(self, tiny_registry):
         """With no faults the hardened manager makes the same decisions."""
         from repro.fleet import ClusterPowerManager, make_fleet
