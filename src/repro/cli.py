@@ -212,6 +212,70 @@ def main(argv=None) -> int:
         "--engine", choices=list(Platform.ENGINES), default="vector",
         help="simulation kernel for --demo (see 'run --engine')",
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running streaming prediction service: newline-JSON "
+        "telemetry in, SKU-sharded hardened pipeline workers, periodic "
+        "checkpoints with restart/resume",
+    )
+    serve_parser.add_argument(
+        "--mode", choices=["loopback", "listen", "stdin"], default="loopback",
+        help="loopback = simulated fleet streams over a real socket "
+        "(demo/bench); listen = serve the socket until SIGTERM; "
+        "stdin = ingest piped telemetry lines",
+    )
+    serve_parser.add_argument(
+        "--skus", nargs="+", choices=["fx8320", "phenom"],
+        default=["fx8320", "phenom"],
+        help="SKU shards to run (one worker process each)",
+    )
+    serve_parser.add_argument(
+        "--nodes-per-sku", type=int, default=2,
+        help="nodes on each shard's roster (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--intervals", type=int, default=100,
+        help="loopback mode: intervals streamed per node (default: 100)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded shard-queue depth; a full queue answers 'retry' "
+        "instead of buffering without limit (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="snapshot shard state here (shard-<sku>.json); restarts "
+        "resume from the last snapshot (default: no checkpointing)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=64,
+        help="processed intervals between snapshots (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--events-dir", default=None, metavar="DIR",
+        help="write per-shard JSONL event ledgers here, replayable "
+        "with 'ppep-repro obs' (default: no event logs)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (socket modes)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 lets the OS pick and prints it (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--policy", choices=["uniform", "proportional", "waterfill"],
+        default="proportional",
+        help="per-shard budget allocation policy (default: proportional)",
+    )
+    serve_parser.add_argument(
+        "--training", choices=["full", "quick"], default="quick",
+        help="per-SKU training depth (default: quick)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training and the loopback fleet",
+    )
     fleet_parser = sub.add_parser(
         "fleet", help="cluster-scale capping: N nodes under one power budget"
     )
@@ -271,6 +335,9 @@ def main(argv=None) -> int:
 
     if args.command == "obs":
         return _run_obs(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "fleet":
         return _run_fleet(args)
@@ -388,6 +455,70 @@ def _run_obs(args) -> int:
         print("error: no ledger at {!r}".format(path), file=sys.stderr)
         return 2
     print(format_report(replay_file(path, **ledger_kwargs)))
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: the streaming prediction service."""
+    from repro.fleet.registry import ModelRegistry
+    from repro.serve.service import ServeConfig, run_service
+    from repro.workloads.suites import spec_combinations
+
+    started = time.perf_counter()
+    if args.training == "quick":
+        registry = ModelRegistry(
+            combos=spec_combinations()[:3],
+            bench_intervals=4,
+            cool_intervals=20,
+            base_seed=args.seed,
+        )
+    else:
+        registry = ModelRegistry(base_seed=args.seed)
+    try:
+        config = ServeConfig(
+            skus=tuple(dict.fromkeys(args.skus)),
+            nodes_per_sku=args.nodes_per_sku,
+            intervals=args.intervals,
+            queue_size=args.queue_size,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            events_dir=args.events_dir,
+            policy=args.policy,
+            host=args.host,
+            port=args.port,
+            base_seed=args.seed,
+        )
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    report = run_service(registry, config, mode=args.mode)
+    print(
+        "serve[{}]: {} intervals processed across {} shard(s) in {:.1f}s "
+        "({:.0f} intervals/s)".format(
+            args.mode, report["processed"], len(report["shards"]),
+            report["elapsed_s"], report["intervals_per_s"],
+        )
+    )
+    for sku, stats in sorted(report["shards"].items()):
+        print(
+            "  shard {:<8} accepted {:>6}  processed {:>6}  retried {:>4}  "
+            "allocations {:>5}  restarts {}".format(
+                sku, stats["accepted"], stats["processed"], stats["retried"],
+                stats["allocations"], stats["restarts"],
+            )
+        )
+    ingest = report.get("ingest", {})
+    if ingest:
+        print(
+            "  ingest: {} lines, {} accepted, {} backpressured, "
+            "{} rejected".format(
+                ingest.get("lines", 0), ingest.get("accepted", 0),
+                ingest.get("retried", 0), ingest.get("errors", 0),
+            )
+        )
+    if args.checkpoint_dir:
+        print("  checkpoints in {}".format(args.checkpoint_dir))
+    print("[serve finished in {:.1f}s]".format(time.perf_counter() - started))
     return 0
 
 

@@ -68,6 +68,12 @@ class ExternalBudget:
     def __call__(self, _step: int) -> float:
         return self._value
 
+    def state_dict(self) -> dict:
+        return {"value": self._value}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._value = float(state["value"])
+
 
 def square_wave_cap(
     high: float, low: float, period_intervals: int
@@ -123,6 +129,26 @@ class PPEPPowerCapper(DVFSController):
         self._step = 0
         self._bias = 1.0
         self._last_predicted = None
+
+    def state_dict(self) -> dict:
+        """The controller's closed-loop state: schedule step, EWMA bias,
+        and the previous prediction the bias corrector scores against.
+        (The schedule itself is configuration, not state -- an
+        :class:`ExternalBudget` checkpoints separately.)"""
+        return {
+            "step": self._step,
+            "bias": self._bias,
+            "last_predicted": self._last_predicted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state["step"])
+        self._bias = float(state["bias"])
+        self._last_predicted = (
+            None
+            if state["last_predicted"] is None
+            else float(state["last_predicted"])
+        )
 
     def current_cap(self) -> float:
         return self._schedule(self._step)

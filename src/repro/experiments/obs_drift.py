@@ -88,10 +88,12 @@ def record_demo(
     for _ in range(warmup_intervals):
         platform.step()
 
-    events = EventLog(path)
-    ledger = PredictionLedger(events=events, **DEMO_LEDGER_KWARGS)
-    hardened = HardenedPPEP(ppep, node=node, events=events, ledger=ledger)
-    try:
+    # The context manager guarantees the buffered log is flushed and
+    # closed even when the run dies mid-loop, so a crashed demo still
+    # leaves a parseable (if truncated) JSONL ledger behind.
+    with EventLog(path) as events:
+        ledger = PredictionLedger(events=events, **DEMO_LEDGER_KWARGS)
+        hardened = HardenedPPEP(ppep, node=node, events=events, ledger=ledger)
         for k in range(n_intervals):
             sample = platform.step()
             if k >= drift_at:
@@ -103,6 +105,4 @@ def record_demo(
                     measured_power=sample.measured_power * drift_scale,
                 )
             hardened.estimate_current(sample)
-    finally:
-        events.close()
     return ledger, events

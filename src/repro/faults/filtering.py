@@ -214,6 +214,69 @@ class TelemetryFilter:
             power=power,
         )
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of every stateful stage: the
+        pinned interval length, the stale-detection signature, the
+        median-of-window history, the last-good fallbacks, and the
+        quality tallies.  Restoring it makes the next :meth:`ingest`
+        verdict bit-identical to an uninterrupted filter's."""
+        return {
+            "window": self.config.window,
+            "interval_s": self._interval_s,
+            "prev_signature": (
+                None
+                if self._prev_signature is None
+                else [
+                    self._prev_signature[0],
+                    self._prev_signature[1],
+                    list(self._prev_signature[2]),
+                ]
+            ),
+            "history": list(self._history),
+            "last_good_power": self._last_good_power,
+            "last_good_events": (
+                None
+                if self._last_good_events is None
+                else [vec.as_list() for vec in self._last_good_events]
+            ),
+            "quality_counts": dict(self.quality_counts),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["window"]) != self.config.window:
+            raise ValueError(
+                "checkpoint window {} does not match this filter's "
+                "window {}".format(state["window"], self.config.window)
+            )
+        self.reset()
+        if state["interval_s"] is not None:
+            self._interval_s = float(state["interval_s"])
+            self._max_count = (
+                self._cycles_per_s * self._interval_s * self.config.count_margin
+            )
+        if state["prev_signature"] is not None:
+            measured, temperature, readings = state["prev_signature"]
+            self._prev_signature = (
+                float(measured),
+                float(temperature),
+                tuple(float(r) for r in readings),
+            )
+        self._history = deque(
+            (float(v) for v in state["history"]), maxlen=self.config.window
+        )
+        if state["last_good_power"] is not None:
+            self._last_good_power = float(state["last_good_power"])
+        if state["last_good_events"] is not None:
+            self._last_good_events = [
+                EventVector(values) for values in state["last_good_events"]
+            ]
+        self.quality_counts = {
+            quality: int(state["quality_counts"].get(quality, 0))
+            for quality in (GOOD, REPAIRED, BAD)
+        }
+
     # -- stages ---------------------------------------------------------------
 
     def _robust_interval_power(
@@ -310,6 +373,15 @@ class HardenedPPEP:
     def reset(self) -> None:
         self.filter.reset()
         self._interval = 0
+
+    def state_dict(self) -> dict:
+        """Filter state plus the interval counter (the model itself is
+        immutable at serve time and is restored from its own artifact)."""
+        return {"filter": self.filter.state_dict(), "interval": self._interval}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.filter.load_state_dict(state["filter"])
+        self._interval = int(state["interval"])
 
     def _observe(self, filtered: FilteredInterval, estimate: float, predicted_cpi=None) -> None:
         """Emit the verdict event and the ledger row for one interval."""

@@ -270,19 +270,109 @@ class ClusterPowerManager:
         self._pending = [None] * len(self.fleet.nodes)
         self._last_alloc = None
 
-    def run(self, n_intervals: int, start_fastest: bool = True) -> FleetCappingRun:
+    def state_dict(self) -> dict:
+        """Everything a restarted manager needs to continue the loop
+        bit-identically: quarantine streaks and entry times, held VF
+        assignments, the pending one-step-ahead prices, per-node capper
+        and budget state, per-node filter state, and the last emitted
+        allocation signature (so a restart does not re-emit a duplicate
+        ``cap_reallocation`` event)."""
+        return {
+            "nodes": [node.name for node in self.fleet.nodes],
+            "step": self._step,
+            "bad_streak": list(self._bad_streak),
+            "held": [
+                None if held is None else [vf.index for vf in held]
+                for held in self._held
+            ],
+            "quarantined_since": list(self._quarantined_since),
+            "pending": [
+                None if pending is None else [pending[0], pending[1]]
+                for pending in self._pending
+            ],
+            "last_alloc": (
+                None
+                if self._last_alloc is None
+                else [self._last_alloc[0], list(self._last_alloc[1])]
+            ),
+            "budgets": [budget.state_dict() for budget in self._budgets],
+            "cappers": [capper.state_dict() for capper in self._cappers],
+            "filters": (
+                None
+                if self._filters is None
+                else [filt.state_dict() for filt in self._filters]
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        names = [node.name for node in self.fleet.nodes]
+        if list(state["nodes"]) != names:
+            raise ValueError(
+                "checkpoint was taken for nodes {} but this manager "
+                "drives {}".format(state["nodes"], names)
+            )
+        if (state["filters"] is None) != (self._filters is None):
+            raise ValueError(
+                "checkpoint hardening mode does not match this manager"
+            )
+        self._step = int(state["step"])
+        self._bad_streak = [int(s) for s in state["bad_streak"]]
+        self._held = [
+            None
+            if held is None
+            else [
+                node.spec.vf_table.by_index(int(index)) for index in held
+            ]
+            for node, held in zip(self.fleet.nodes, state["held"])
+        ]
+        self._quarantined_since = [
+            None if since is None else int(since)
+            for since in state["quarantined_since"]
+        ]
+        self._pending = [
+            None if pending is None else (int(pending[0]), float(pending[1]))
+            for pending in state["pending"]
+        ]
+        self._last_alloc = (
+            None
+            if state["last_alloc"] is None
+            else (
+                float(state["last_alloc"][0]),
+                tuple(bool(h) for h in state["last_alloc"][1]),
+            )
+        )
+        for budget, budget_state in zip(self._budgets, state["budgets"]):
+            budget.load_state_dict(budget_state)
+        for capper, capper_state in zip(self._cappers, state["cappers"]):
+            capper.load_state_dict(capper_state)
+        if self._filters is not None:
+            for filt, filter_state in zip(self._filters, state["filters"]):
+                filt.load_state_dict(filter_state)
+
+    def run(
+        self,
+        n_intervals: int,
+        start_fastest: bool = True,
+        resume: bool = False,
+    ) -> FleetCappingRun:
         """Run the observe/allocate/decide/apply loop.
 
         As in :func:`repro.dvfs.governor.run_controlled`, the decision
         made from interval *k*'s samples governs interval *k + 1* (one
         interval of actuation latency).
+
+        With ``resume=True`` the manager continues from its current
+        state (e.g. one restored via :meth:`load_state_dict`) instead of
+        resetting; node VF assignments are left wherever the platforms
+        last put them.
         """
         if n_intervals <= 0:
             raise ValueError("n_intervals must be positive")
-        self.reset()
-        if start_fastest:
-            for node in self.fleet.nodes:
-                node.platform.set_all_vf(node.spec.vf_table.fastest)
+        if not resume:
+            self.reset()
+            if start_fastest:
+                for node in self.fleet.nodes:
+                    node.platform.set_all_vf(node.spec.vf_table.fastest)
         record = FleetCappingRun(
             node_names=[node.name for node in self.fleet.nodes]
         )

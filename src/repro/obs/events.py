@@ -31,9 +31,12 @@ __all__ = [
     "EVENT_FIELDS",
     "EventLog",
     "read_events",
+    "validate_event",
 ]
 
-SCHEMA_VERSION = 1
+#: Version 2 added the ``telemetry`` ingestion event (the wire format of
+#: ``repro.serve``); version-1 files remain readable.
+SCHEMA_VERSION = 2
 
 #: Required fields per event type (beyond the common v/type/node/interval).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -61,9 +64,37 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cap_reallocation": ("budget_w", "healthy_nodes", "total_nodes"),
     # The CUSUM detector flagged online error leaving the calibration band.
     "drift": ("statistic", "threshold", "rolling_mae"),
+    # One delivered interval of per-node telemetry, as ingested by the
+    # ``repro.serve`` front-end.  ``sample`` is the wire-format payload
+    # (see :mod:`repro.serve.protocol`); ``sku`` routes it to a shard.
+    "telemetry": ("sku", "sample"),
 }
 
 EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_FIELDS))
+
+
+def validate_event(type: str, fields: dict) -> None:
+    """Raise ``ValueError`` unless ``fields`` satisfies ``type``'s schema.
+
+    Shared by :meth:`EventLog.emit` and the ``repro.serve`` ingestion
+    front-end, which validates every received telemetry line against the
+    same schema before routing it to a shard.
+    """
+    required = EVENT_FIELDS.get(type)
+    if required is None:
+        raise ValueError(
+            "unknown event type {!r}; known types: {}".format(
+                type, ", ".join(EVENT_TYPES)
+            )
+        )
+    for f in required:
+        if f not in fields:
+            missing = [f for f in required if f not in fields]
+            raise ValueError(
+                "event {!r} missing required fields: {}".format(
+                    type, ", ".join(missing)
+                )
+            )
 
 
 class EventLog:
@@ -71,33 +102,26 @@ class EventLog:
 
     With ``path=None`` events accumulate in :attr:`records` only --
     the cheap configuration for tests and benchmarks.  With a path,
-    every event is additionally serialised to one line of the file;
-    the handle is opened lazily and flushed per event so a crashed run
-    still leaves a readable ledger behind.
+    every event is additionally serialised to one line of the file; the
+    handle is opened lazily and flushed every ``flush_every`` events
+    (and always in :meth:`close`), keeping the OS syscall cost off the
+    per-interval hot path.  Pass ``flush_every=1`` to flush after every
+    event -- the crash-debugging configuration, where even a SIGKILL'd
+    run leaves every emitted line on disk.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = path
+        self.flush_every = int(flush_every)
         self.records: List[dict] = []
         self._handle = None
+        self._unflushed = 0
 
     def emit(self, type: str, node: str = "node0", interval: int = 0, **fields) -> dict:
         """Validate, record, and (if file-backed) write one event."""
-        required = EVENT_FIELDS.get(type)
-        if required is None:
-            raise ValueError(
-                "unknown event type {!r}; known types: {}".format(
-                    type, ", ".join(EVENT_TYPES)
-                )
-            )
-        for f in required:
-            if f not in fields:
-                missing = [f for f in required if f not in fields]
-                raise ValueError(
-                    "event {!r} missing required fields: {}".format(
-                        type, ", ".join(missing)
-                    )
-                )
+        validate_event(type, fields)
         # The kwargs dict is fresh per call: stamp the common fields into
         # it directly rather than building and merging a second dict
         # (this runs once per decision interval on the hot path).
@@ -111,13 +135,29 @@ class EventLog:
             if self._handle is None:
                 self._handle = open(self.path, "a")
             self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-            self._handle.flush()
+            self._unflushed += 1
+            if self._unflushed >= self.flush_every:
+                self._handle.flush()
+                self._unflushed = 0
         return event
 
+    def flush(self) -> None:
+        """Push any buffered lines to the OS."""
+        if self._handle is not None and self._unflushed:
+            self._handle.flush()
+            self._unflushed = 0
+
     def close(self) -> None:
+        """Flush and release the file handle (safe to call twice).
+
+        Always run this (or use the log as a context manager) on every
+        exit path: with the default buffered mode, the tail of the
+        stream lives in the write buffer until flushed.
+        """
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            self._unflushed = 0
 
     def __enter__(self) -> "EventLog":
         return self

@@ -72,6 +72,32 @@ class RollingStats:
         rank = min(int(math.ceil(q * len(ordered))) - 1, len(ordered) - 1)
         return ordered[max(rank, 0)]
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot; restoring it reproduces every
+        subsequent statistic bit-identically (the running ``_sum`` is
+        saved rather than recomputed, so incremental rounding history
+        survives the round trip)."""
+        return {
+            "window": self._window,
+            "values": list(self._values),
+            "sum": self._sum,
+            "count": self.count,
+            "total_sum": self.total_sum,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["window"]) != self._window:
+            raise ValueError(
+                "checkpoint window {} does not match this instance's "
+                "window {}".format(state["window"], self._window)
+            )
+        self._values = deque(
+            (float(v) for v in state["values"]), maxlen=self._window
+        )
+        self._sum = float(state["sum"])
+        self.count = int(state["count"])
+        self.total_sum = float(state["total_sum"])
+
 
 class CusumDetector:
     """One-sided CUSUM on standardized error excursions.
@@ -116,6 +142,22 @@ class CusumDetector:
             self.statistic = 0.0
             return True
         return False
+
+    def state_dict(self) -> dict:
+        return {
+            "slack": self.slack,
+            "threshold": self.threshold,
+            "mean": self.mean,
+            "std": self.std,
+            "statistic": self.statistic,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.slack = float(state["slack"])
+        self.threshold = float(state["threshold"])
+        self.mean = None if state["mean"] is None else float(state["mean"])
+        self.std = None if state["std"] is None else float(state["std"])
+        self.statistic = float(state["statistic"])
 
 
 class LedgerRecord:
@@ -381,6 +423,78 @@ class PredictionLedger:
                     rolling_mae=state.abs_stats.mean,
                 )
         return row
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All decision-relevant state as a JSON-serialisable dict.
+
+        Covers the rolling MAE / relative-error windows, per-node
+        calibration buffers, CUSUM accumulators, the per-VF aggregates,
+        and the drift-flag history -- everything a restarted service
+        needs for its *next* :meth:`record` call to behave bit-
+        identically to an uninterrupted run.  The :attr:`records` row
+        history is deliberately not included: rows already live in the
+        JSONL event stream (which survives restarts by appending).
+        """
+        return {
+            "window": self.window,
+            "calibration_intervals": self.calibration_intervals,
+            "cusum_slack": self.cusum_slack,
+            "cusum_threshold": self.cusum_threshold,
+            "nodes": {
+                name: {
+                    "abs_stats": state.abs_stats.state_dict(),
+                    "rel_stats": state.rel_stats.state_dict(),
+                    "calibration": list(state.calibration),
+                    "detector": state.detector.state_dict(),
+                    "records": state.records,
+                }
+                for name, state in self._nodes.items()
+            },
+            "per_vf": {
+                str(vf): [stats[0].state_dict(), stats[1].state_dict()]
+                for vf, stats in self._per_vf.items()
+            },
+            "drift_flags": [list(flag) for flag in self.drift_flags],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this ledger.
+
+        The ledger must have been constructed with the same window and
+        detector configuration the snapshot was taken under; a mismatch
+        raises rather than silently changing drift behaviour mid-stream.
+        """
+        for attr in (
+            "window", "calibration_intervals", "cusum_slack", "cusum_threshold"
+        ):
+            if state[attr] != getattr(self, attr):
+                raise ValueError(
+                    "checkpoint {} ({!r}) does not match this ledger's "
+                    "configuration ({!r})".format(
+                        attr, state[attr], getattr(self, attr)
+                    )
+                )
+        self._nodes = {}
+        for name, node_state in state["nodes"].items():
+            fresh = self._node(name)
+            fresh.abs_stats.load_state_dict(node_state["abs_stats"])
+            fresh.rel_stats.load_state_dict(node_state["rel_stats"])
+            fresh.calibration = [float(v) for v in node_state["calibration"]]
+            fresh.detector.load_state_dict(node_state["detector"])
+            fresh.records = int(node_state["records"])
+        self._per_vf = {}
+        for vf, (abs_state, rel_state) in state["per_vf"].items():
+            stats = (RollingStats(self.window), RollingStats(self.window))
+            stats[0].load_state_dict(abs_state)
+            stats[1].load_state_dict(rel_state)
+            self._per_vf[int(vf)] = stats
+        self.drift_flags = [
+            (str(node), int(interval), float(stat))
+            for node, interval, stat in state["drift_flags"]
+        ]
+        self.records = []
 
     # -- aggregates ----------------------------------------------------------
 

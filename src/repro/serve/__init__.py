@@ -1,0 +1,56 @@
+"""repro.serve: the long-running streaming prediction service.
+
+The online pipeline (:mod:`repro.faults`, :mod:`repro.obs`,
+:mod:`repro.fleet`) packaged as a resident service: newline-JSON
+telemetry in (socket or stdin), per-SKU worker shards running the
+hardened filter → PPEP → ledger → capping loop, periodic atomic
+checkpoints so a restart -- clean or not -- resumes with drift history,
+quarantine state, and budget allocations intact.
+
+Layout:
+
+- :mod:`~repro.serve.protocol` -- the telemetry wire format and the
+  accepted/retry/error response contract;
+- :mod:`~repro.serve.shard` -- :class:`ShardPipeline`, the per-SKU
+  engine, and the worker-process main loop;
+- :mod:`~repro.serve.manager` -- :class:`ShardManager`: bounded queues,
+  fork()ed workers, crash supervision;
+- :mod:`~repro.serve.ingest` -- the asyncio TCP front-end and the
+  stdin loop;
+- :mod:`~repro.serve.checkpoint` -- atomic snapshot plumbing;
+- :mod:`~repro.serve.service` -- configuration and the
+  ``ppep-repro serve`` entry point.
+"""
+
+from repro.serve.checkpoint import Checkpointer, read_checkpoint, write_checkpoint
+from repro.serve.ingest import Ingestor, ingest_lines
+from repro.serve.manager import ShardManager, ShardSpec
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_telemetry,
+    sample_from_wire,
+    sample_to_wire,
+    telemetry_line,
+)
+from repro.serve.service import SKU_SPECS, ServeConfig, build_shards, run_service
+from repro.serve.shard import ShardPipeline
+
+__all__ = [
+    "Checkpointer",
+    "Ingestor",
+    "ProtocolError",
+    "SKU_SPECS",
+    "ServeConfig",
+    "ShardManager",
+    "ShardPipeline",
+    "ShardSpec",
+    "build_shards",
+    "ingest_lines",
+    "parse_telemetry",
+    "read_checkpoint",
+    "run_service",
+    "sample_from_wire",
+    "sample_to_wire",
+    "telemetry_line",
+    "write_checkpoint",
+]

@@ -1,0 +1,123 @@
+"""Atomic shard checkpoints: tmp + ``os.replace``, corrupt = absent.
+
+A shard's whole resumable state -- per-node filter state, the shared
+prediction ledger's rolling windows and CUSUM accumulators, per-node
+capper/budget state, quarantine streaks, and the processed-interval
+counters -- serialises to one JSON document.  Writes go through a
+temporary file in the destination directory followed by ``os.replace``
+(the same crash-safety pattern as the npz trace cache), so a snapshot is
+either the complete previous checkpoint or the complete new one, never a
+torn hybrid.  A checkpoint that fails to parse on load is treated as
+absent (cold start) rather than fatal: the service's job is to come back
+up.
+
+JSON is the right container here: every piece of state is floats, ints,
+strings, and small lists, and Python's ``repr``-based float serialisation
+round-trips bit-exactly -- which the checkpoint/restore tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from typing import Callable, Optional
+
+__all__ = ["CHECKPOINT_VERSION", "Checkpointer", "read_checkpoint", "write_checkpoint"]
+
+logger = logging.getLogger(__name__)
+
+CHECKPOINT_VERSION = 1
+
+
+def write_checkpoint(path: str, state: dict) -> None:
+    """Atomically persist ``state`` as JSON at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = {"checkpoint_version": CHECKPOINT_VERSION}
+    payload.update(state)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_checkpoint(path: str) -> Optional[dict]:
+    """Load a checkpoint, or ``None`` when absent/unreadable/newer.
+
+    An unreadable or future-versioned checkpoint logs a warning and
+    reads as a cold start; losing one period of state is recoverable,
+    refusing to boot is not.
+    """
+    try:
+        with open(path) as handle:
+            state = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        logger.warning("discarding unreadable checkpoint %s (%s)", path, exc)
+        return None
+    version = state.get("checkpoint_version")
+    if version != CHECKPOINT_VERSION:
+        logger.warning(
+            "discarding checkpoint %s with unsupported version %r", path, version
+        )
+        return None
+    return state
+
+
+class Checkpointer:
+    """Periodic + on-demand snapshots of one shard's state.
+
+    Parameters
+    ----------
+    path:
+        Where the snapshot lives.
+    state_fn:
+        Zero-argument callable returning the state dict to persist.
+    every_intervals:
+        Snapshot after this many :meth:`tick` calls (processed
+        telemetry intervals).  The restart guarantee follows directly:
+        at most one checkpoint period of pipeline history is lost.
+    """
+
+    def __init__(
+        self, path: str, state_fn: Callable[[], dict], every_intervals: int = 64
+    ) -> None:
+        if every_intervals < 1:
+            raise ValueError("every_intervals must be >= 1")
+        self.path = path
+        self.state_fn = state_fn
+        self.every_intervals = int(every_intervals)
+        self._since_save = 0
+        #: Snapshots written over this checkpointer's lifetime.
+        self.saves = 0
+
+    def tick(self) -> bool:
+        """Count one processed interval; snapshot when the period is up."""
+        self._since_save += 1
+        if self._since_save >= self.every_intervals:
+            self.save()
+            return True
+        return False
+
+    def save(self) -> None:
+        """Snapshot now (period rollover, SIGTERM, or clean shutdown)."""
+        write_checkpoint(self.path, self.state_fn())
+        self._since_save = 0
+        self.saves += 1
+
+    def load(self) -> Optional[dict]:
+        return read_checkpoint(self.path)

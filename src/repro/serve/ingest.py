@@ -1,0 +1,192 @@
+"""Newline-JSON telemetry ingestion front-ends.
+
+Two ways into the :class:`~repro.serve.manager.ShardManager`:
+
+- :class:`Ingestor` -- an asyncio TCP server.  Each connection streams
+  ``telemetry`` lines (see :mod:`repro.serve.protocol`) and receives one
+  response line per request line: ``accepted``, ``retry`` (shard queue
+  full -- bounded-queue backpressure, the sender must resend), or
+  ``error`` (malformed / unroutable; resending is pointless).
+- :func:`ingest_lines` -- the stdin path: a synchronous loop over an
+  iterable of lines that *absorbs* backpressure by sleeping and
+  redelivering, for ``some-producer | ppep-repro serve --stdin``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Iterable, Optional
+
+from repro.serve.manager import ShardManager
+from repro.serve.protocol import (
+    ERROR,
+    RETRY,
+    ProtocolError,
+    decode_line,
+    parse_telemetry,
+    response,
+)
+
+__all__ = ["Ingestor", "ingest_lines"]
+
+logger = logging.getLogger(__name__)
+
+#: Refuse lines beyond this size instead of buffering them (a sample
+#: payload for an 8-core chip is a few KB; 1 MB is already nonsense).
+MAX_LINE_BYTES = 1 << 20
+
+
+class IngestStats:
+    """Line counters shared by both ingestion front-ends."""
+
+    def __init__(self) -> None:
+        self.lines = 0
+        self.accepted = 0
+        self.retried = 0
+        self.errors = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "lines": self.lines,
+            "accepted": self.accepted,
+            "retried": self.retried,
+            "errors": self.errors,
+        }
+
+
+def _handle_line(manager: ShardManager, line: bytes, stats: IngestStats) -> dict:
+    """Validate and route one request line; returns the response payload."""
+    stats.lines += 1
+    try:
+        event = parse_telemetry(decode_line(line))
+        payload = manager.submit(event)
+    except ProtocolError as exc:
+        stats.errors += 1
+        return {"status": ERROR, "reason": str(exc)}
+    if payload["status"] == RETRY:
+        stats.retried += 1
+    else:
+        stats.accepted += 1
+    return payload
+
+
+class Ingestor:
+    """Asyncio newline-JSON telemetry server in front of a shard manager.
+
+    Per request line the client gets exactly one JSON response line; the
+    socket stays open for the life of the stream, so a node agent holds
+    one connection and pipelines its intervals.
+    """
+
+    def __init__(
+        self,
+        manager: ShardManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.stats = IngestStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        # Port 0 means "pick one"; publish what the OS picked.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        response(ERROR, reason="line exceeds 1 MB limit")
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                payload = _handle_line(self.manager, line, self.stats)
+                writer.write(response(**payload))
+                await writer.drain()
+        except ConnectionResetError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def ingest_lines(
+    manager: ShardManager,
+    lines: Iterable[bytes],
+    max_redeliveries: int = 1000,
+    sleep=time.sleep,
+) -> IngestStats:
+    """Synchronously feed an iterable of telemetry lines (stdin mode).
+
+    There is no channel to push a retry back to a pipe, so this loop
+    owns redelivery: a backpressured line is re-submitted after the
+    shard's suggested back-off, up to ``max_redeliveries`` times.  The
+    retry counter then reflects deliveries *absorbed*, and every
+    well-formed line is eventually accepted -- the no-silent-drop
+    property, stated for pipes.
+    """
+    stats = IngestStats()
+    for raw in lines:
+        if isinstance(raw, str):
+            raw = raw.encode("utf-8")
+        if not raw.strip():
+            continue
+        stats.lines += 1
+        try:
+            event = parse_telemetry(decode_line(raw))
+        except ProtocolError as exc:
+            stats.errors += 1
+            logger.warning("rejected telemetry line: %s", exc)
+            continue
+        delivered = False
+        for _attempt in range(max_redeliveries):
+            try:
+                payload = manager.submit(event)
+            except ProtocolError as exc:
+                stats.errors += 1
+                logger.warning("unroutable telemetry line: %s", exc)
+                delivered = True
+                break
+            if payload["status"] != RETRY:
+                stats.accepted += 1
+                delivered = True
+                break
+            stats.retried += 1
+            manager.ensure_alive()
+            sleep(payload.get("retry_after_s", manager.retry_after_s))
+        if not delivered:
+            raise RuntimeError(
+                "shard queue stayed full for {} redeliveries; the worker "
+                "is stuck or dead".format(max_redeliveries)
+            )
+    return stats

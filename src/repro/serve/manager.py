@@ -1,0 +1,356 @@
+"""SKU-sharded worker processes behind bounded telemetry queues.
+
+:class:`ShardManager` owns one worker process per chip SKU.  Each worker
+runs a :class:`~repro.serve.shard.ShardPipeline` (one trained model, the
+full hardened pipeline for every node of that SKU) and drains a
+*bounded* queue: when a shard falls behind, :meth:`submit` reports
+backpressure instead of buffering without limit -- the sender gets an
+explicit retry signal and nothing is ever dropped silently.
+
+Workers are forked, so the trained models -- by far the most expensive
+state -- arrive through copy-on-write memory.  That makes supervision
+cheap: a worker that dies (OOM-killed, segfaulted, SIGKILLed by a test)
+is simply re-forked over the same queues and resumes from its shard
+checkpoint, losing at most one checkpoint period of pipeline history.
+Telemetry still sitting in the bounded queue survives the crash --- only
+the intervals the dead worker had already popped are re-lost, and those
+are covered by the checkpoint guarantee.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import ACCEPTED, RETRY, ProtocolError
+from repro.serve.shard import STOP, shard_worker_main
+
+__all__ = ["ShardManager", "ShardSpec"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ShardSpec:
+    """Configuration of one SKU shard (see :class:`~repro.serve.shard.ShardPipeline`)."""
+
+    sku: str
+    spec: object
+    ppep: object
+    node_names: List[str]
+    budget_w: Optional[float] = None
+    policy: str = "proportional"
+    unhealthy_after: int = 3
+    filter_config: object = None
+    ledger_kwargs: Optional[dict] = field(default=None)
+
+
+class _ShardHandle:
+    """One worker process plus its queue and bookkeeping."""
+
+    def __init__(self, spec: ShardSpec, config: dict, in_queue) -> None:
+        self.spec = spec
+        self.config = config
+        self.in_queue = in_queue
+        self.process = None
+        self.accepted = 0
+        self.retried = 0
+        self.restarts = 0
+        self.last_stats: dict = {}
+        self.final_stats: Optional[dict] = None
+
+
+class ShardManager:
+    """Partitions nodes across per-SKU worker processes.
+
+    Parameters
+    ----------
+    shards:
+        One :class:`ShardSpec` per SKU.  Node names must be globally
+        unique -- the node name alone routes a telemetry line.
+    queue_size:
+        Bounded depth of each shard's telemetry queue.  Full queue =
+        backpressure (:meth:`submit` returns a retry payload).
+    retry_after_s:
+        Back-off hint carried in retry responses.
+    checkpoint_dir / checkpoint_every:
+        Where shard checkpoints live (``shard-<sku>.json``) and how many
+        processed intervals between snapshots.  ``None`` disables
+        checkpointing (and therefore crash recovery).
+    events_dir:
+        Where per-shard JSONL event streams live (``shard-<sku>.jsonl``).
+    """
+
+    def __init__(
+        self,
+        shards: List[ShardSpec],
+        queue_size: int = 256,
+        retry_after_s: float = 0.05,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 64,
+        events_dir: Optional[str] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        skus = [shard.sku for shard in shards]
+        if len(set(skus)) != len(skus):
+            raise ValueError("shard SKUs must be unique")
+        self.retry_after_s = float(retry_after_s)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = int(checkpoint_every)
+        self.events_dir = events_dir
+        self._ctx = multiprocessing.get_context("fork")
+        self._out_queue = self._ctx.Queue()
+        self._queue_size = int(queue_size)
+        self._stopping = False
+        self.shards: Dict[str, _ShardHandle] = {}
+        self._node_to_sku: Dict[str, str] = {}
+        for shard in shards:
+            config = {
+                "sku": shard.sku,
+                "spec": shard.spec,
+                "ppep": shard.ppep,
+                "node_names": list(shard.node_names),
+                "budget_w": shard.budget_w,
+                "policy": shard.policy,
+                "unhealthy_after": shard.unhealthy_after,
+                "filter_config": shard.filter_config,
+                "ledger_kwargs": shard.ledger_kwargs,
+                "checkpoint_path": (
+                    None
+                    if checkpoint_dir is None
+                    else os.path.join(
+                        checkpoint_dir, "shard-{}.json".format(shard.sku)
+                    )
+                ),
+                "checkpoint_every": self.checkpoint_every,
+                "events_path": (
+                    None
+                    if events_dir is None
+                    else os.path.join(
+                        events_dir, "shard-{}.jsonl".format(shard.sku)
+                    )
+                ),
+            }
+            handle = _ShardHandle(
+                shard, config, self._ctx.Queue(maxsize=self._queue_size)
+            )
+            self.shards[shard.sku] = handle
+            for name in shard.node_names:
+                if name in self._node_to_sku:
+                    raise ValueError(
+                        "node {!r} appears on more than one shard".format(name)
+                    )
+                self._node_to_sku[name] = shard.sku
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.events_dir is not None:
+            os.makedirs(self.events_dir, exist_ok=True)
+        for handle in self.shards.values():
+            self._spawn(handle)
+
+    def _spawn(self, handle: _ShardHandle) -> None:
+        handle.process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(handle.config, handle.in_queue, self._out_queue),
+            name="shard-{}".format(handle.spec.sku),
+            daemon=True,
+        )
+        handle.process.start()
+
+    def ensure_alive(self) -> int:
+        """Restart any dead worker from its checkpoint; returns restarts.
+
+        The re-forked worker inherits the already-trained model through
+        copy-on-write memory and reloads pipeline state from the shard
+        checkpoint, so recovery costs milliseconds, not a retrain.
+
+        The dead worker's queue cannot be reused directly: a SIGKILL can
+        land while the worker holds the queue's reader lock, which a
+        killed process never releases, wedging any future reader.  The
+        replacement therefore gets a *fresh* queue, and the old queue's
+        unconsumed backlog is salvaged into it first (FIFO preserved; a
+        submit cannot race this, the manager is single-threaded).  See
+        :meth:`_salvage` for how the dead-held lock case is handled.
+        """
+        restarted = 0
+        if self._stopping:
+            return 0
+        for handle in self.shards.values():
+            process = handle.process
+            if process is not None and not process.is_alive():
+                logger.warning(
+                    "shard %s worker died (exitcode %s); restarting from "
+                    "checkpoint",
+                    handle.spec.sku,
+                    process.exitcode,
+                )
+                handle.restarts += 1
+                restarted += 1
+                old = handle.in_queue
+                fresh = self._ctx.Queue(maxsize=self._queue_size)
+                handle.in_queue = fresh
+                self._spawn(handle)
+                salvaged = self._salvage(old, fresh)
+                old.cancel_join_thread()
+                old.close()
+                if salvaged:
+                    logger.info(
+                        "shard %s: %d queued intervals survived the crash",
+                        handle.spec.sku, salvaged,
+                    )
+        return restarted
+
+    def _salvage(self, old, fresh) -> int:
+        """Move the dead worker's unconsumed backlog onto its fresh queue.
+
+        When the reader lock is free (the kill landed while the worker
+        was processing, not waiting), the normal ``get`` API drains the
+        old queue.  When the lock died held, the dead worker was the
+        only other reader, so the parent may bypass the lock and read
+        the underlying pipe directly; a torn in-flight message (the kill
+        landed mid-``recv``) ends the drain early rather than raising.
+        """
+        salvaged = 0
+        if old._rlock.acquire(block=False):
+            old._rlock.release()
+            while True:
+                try:
+                    item = old.get(timeout=0.1)
+                except queue.Empty:
+                    break
+                fresh.put(item)
+                salvaged += 1
+        else:
+            reader = old._reader
+            try:
+                while reader.poll(0.2):
+                    fresh.put(pickle.loads(reader.recv_bytes()))
+                    salvaged += 1
+            except Exception:
+                logger.warning(
+                    "salvage of the dead worker's queue ended on a torn "
+                    "message; %d intervals recovered", salvaged,
+                )
+        return salvaged
+
+    # -- ingestion -----------------------------------------------------------
+
+    def submit(self, event: dict) -> dict:
+        """Route one validated telemetry event to its shard.
+
+        Returns the response payload: ``accepted``, or ``retry`` with a
+        back-off hint when the shard queue is full (bounded-queue
+        backpressure -- the caller owns redelivery).  Raises
+        :class:`ProtocolError` for an unknown node or a node/SKU
+        mismatch: redelivering those can never succeed.
+        """
+        node = event["node"]
+        sku = self._node_to_sku.get(node)
+        if sku is None:
+            raise ProtocolError("unknown node {!r}".format(node))
+        if event.get("sku") != sku:
+            raise ProtocolError(
+                "node {!r} belongs to SKU {!r}, not {!r}".format(
+                    node, sku, event.get("sku")
+                )
+            )
+        handle = self.shards[sku]
+        try:
+            handle.in_queue.put_nowait(
+                {"node": node, "sample": event["sample"]}
+            )
+        except queue.Full:
+            handle.retried += 1
+            return {
+                "status": RETRY,
+                "retry_after_s": self.retry_after_s,
+                "shard": sku,
+            }
+        handle.accepted += 1
+        return {"status": ACCEPTED, "shard": sku}
+
+    # -- progress ------------------------------------------------------------
+
+    def poll(self) -> None:
+        """Drain worker progress reports (non-blocking)."""
+        while True:
+            try:
+                kind, sku, stats = self._out_queue.get_nowait()
+            except queue.Empty:
+                return
+            handle = self.shards.get(sku)
+            if handle is None:
+                continue
+            handle.last_stats = stats
+            if kind == "stopped":
+                handle.final_stats = stats
+
+    def stats(self) -> dict:
+        """Aggregate ingest/progress counters across shards."""
+        self.poll()
+        shards = {}
+        for sku, handle in self.shards.items():
+            stats = handle.final_stats or handle.last_stats
+            shards[sku] = {
+                "accepted": handle.accepted,
+                "retried": handle.retried,
+                "restarts": handle.restarts,
+                "processed": stats.get("processed", 0),
+                "allocations": stats.get("allocations", 0),
+                "quarantined": stats.get("quarantined", 0),
+                "drift_flags": stats.get("drift_flags", 0),
+            }
+        return {
+            "shards": shards,
+            "accepted": sum(s["accepted"] for s in shards.values()),
+            "retried": sum(s["retried"] for s in shards.values()),
+            "processed": sum(s["processed"] for s in shards.values()),
+            "restarts": sum(s["restarts"] for s in shards.values()),
+        }
+
+    def stop(self, timeout_s: float = 60.0) -> dict:
+        """Drain and stop every worker; returns final aggregate stats.
+
+        Each shard finishes everything already queued (FIFO ahead of the
+        stop sentinel), checkpoints, flushes its event stream, and
+        reports final stats.  A worker that outlives ``timeout_s`` is
+        terminated (SIGTERM -- which also checkpoints).
+        """
+        self._stopping = True
+        deadline = time.monotonic() + timeout_s
+        for handle in self.shards.values():
+            while True:
+                try:
+                    handle.in_queue.put(STOP, timeout=0.5)
+                    break
+                except queue.Full:
+                    self.poll()
+                    if time.monotonic() > deadline:
+                        break
+        for handle in self.shards.values():
+            process = handle.process
+            if process is None:
+                continue
+            while process.is_alive() and time.monotonic() < deadline:
+                self.poll()
+                process.join(timeout=0.2)
+            if process.is_alive():
+                logger.warning(
+                    "shard %s did not drain in time; terminating",
+                    handle.spec.sku,
+                )
+                process.terminate()
+                process.join(timeout=5.0)
+        self.poll()
+        return self.stats()

@@ -1,0 +1,485 @@
+"""Per-SKU shard: the hardened online pipeline behind a queue.
+
+A shard owns every node of one chip SKU.  It loads exactly one trained
+model (via the :class:`~repro.fleet.registry.ModelRegistry` the manager
+hands it) and runs the unchanged hardened pipeline per delivered
+interval: ``TelemetryFilter -> HardenedPPEP -> PredictionLedger`` per
+node, plus the cluster-capping layer (quarantine on bad-telemetry
+streaks, demand/floor pricing through the batched predictor, budget
+allocation, per-node one-step cappers) across the shard's nodes.
+
+Two layers live here:
+
+- :class:`ShardPipeline` -- the in-process engine.  Synchronous,
+  deterministic, fully checkpointable via ``state_dict()`` /
+  ``load_state_dict()``; tests drive it directly.
+- :func:`shard_worker_main` -- the process entry point: drains a
+  bounded queue of validated telemetry events into a pipeline,
+  checkpoints on a period and on SIGTERM, and reports progress to the
+  supervising :class:`~repro.serve.manager.ShardManager`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import signal
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dvfs.power_capping import ExternalBudget, PPEPPowerCapper
+from repro.faults.filtering import FilterConfig, HardenedPPEP
+from repro.fleet.cluster_cap import allocate_budget
+from repro.hardware.platform import IntervalSample
+from repro.obs.events import EventLog
+from repro.obs.ledger import PredictionLedger
+from repro.serve.checkpoint import Checkpointer
+from repro.serve.protocol import sample_from_wire
+
+__all__ = ["ShardPipeline", "shard_worker_main", "STOP"]
+
+logger = logging.getLogger(__name__)
+
+#: Queue sentinel that tells a worker to checkpoint and exit cleanly.
+STOP = "__stop__"
+
+#: Worker -> supervisor progress cadence, in processed intervals.
+PROGRESS_EVERY = 32
+
+
+class ShardPipeline:
+    """The hardened prediction pipeline for one SKU's nodes.
+
+    Parameters
+    ----------
+    sku:
+        Shard name (the SKU key telemetry lines carry).
+    spec / ppep:
+        The chip and its trained model -- one model for every node of
+        the shard, exactly as :class:`~repro.fleet.registry.ModelRegistry`
+        guarantees.
+    node_names:
+        The fixed node roster.  Budget allocation runs once per
+        *round* -- when every roster node has delivered its next
+        interval -- so the roster is part of the shard's configuration,
+        not discovered from traffic.
+    budget_w:
+        Shard power budget split across nodes every round (watts).
+    policy:
+        Allocation policy (see :func:`repro.fleet.cluster_cap.allocate_budget`).
+    unhealthy_after:
+        Consecutive BAD intervals before a node is quarantined: pinned
+        to the slowest VF decision and granted only its floor power.
+    events / ledger_kwargs / filter_config / margin / bias_gain:
+        Observability sink and pipeline tunables.
+    """
+
+    def __init__(
+        self,
+        sku: str,
+        spec,
+        ppep,
+        node_names: List[str],
+        budget_w: Optional[float] = None,
+        policy: str = "proportional",
+        unhealthy_after: int = 3,
+        filter_config: Optional[FilterConfig] = None,
+        events: Optional[EventLog] = None,
+        ledger_kwargs: Optional[dict] = None,
+        margin: float = 0.97,
+        bias_gain: float = 0.25,
+    ) -> None:
+        if not node_names:
+            raise ValueError("a shard needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("node names must be unique")
+        if unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
+        self.sku = sku
+        self.spec = spec
+        self.ppep = ppep
+        self.node_names = list(node_names)
+        self.budget_w = (
+            float(budget_w) if budget_w is not None else 90.0 * len(node_names)
+        )
+        self.policy = policy
+        self.unhealthy_after = int(unhealthy_after)
+        self.events = events
+        self.ledger = PredictionLedger(events=events, **(ledger_kwargs or {}))
+        self._budgets: Dict[str, ExternalBudget] = {}
+        self._cappers: Dict[str, PPEPPowerCapper] = {}
+        self._hardened: Dict[str, HardenedPPEP] = {}
+        for name in self.node_names:
+            budget = ExternalBudget(self.budget_w / len(self.node_names))
+            self._budgets[name] = budget
+            self._cappers[name] = PPEPPowerCapper(
+                ppep, budget, margin=margin, bias_gain=bias_gain
+            )
+            self._hardened[name] = HardenedPPEP(
+                ppep,
+                config=filter_config,
+                node=name,
+                events=events,
+                ledger=self.ledger,
+            )
+        self._bad_streak = {name: 0 for name in self.node_names}
+        self._quarantined_since: Dict[str, Optional[int]] = {
+            name: None for name in self.node_names
+        }
+        self._held: Dict[str, Optional[List[int]]] = {
+            name: None for name in self.node_names
+        }
+        #: Cleaned samples of the in-flight allocation round.
+        self._round: Dict[str, IntervalSample] = {}
+        self._last_alloc = None
+        self.processed = 0
+        self.intervals: Dict[str, int] = {name: 0 for name in self.node_names}
+        self.allocations = 0
+
+    # -- per-interval processing --------------------------------------------
+
+    def process(self, node: str, sample: IntervalSample) -> dict:
+        """Run one delivered interval through the hardened pipeline.
+
+        Returns a summary dict (quality verdict, power estimate, the VF
+        decision the service would push to the node, health).
+        """
+        if node not in self._hardened:
+            raise KeyError(
+                "node {!r} is not on shard {!r}'s roster".format(node, self.sku)
+            )
+        interval = self.intervals[node]
+        estimate, filtered = self._hardened[node].estimate_current(sample)
+        self.intervals[node] = interval + 1
+        self.processed += 1
+
+        streak = 0 if filtered.actionable else self._bad_streak[node] + 1
+        self._bad_streak[node] = streak
+        healthy = streak < self.unhealthy_after
+        self._observe_health(node, interval, healthy)
+
+        # The capper always sees the cleaned sample so its bias
+        # corrector and schedule step stay in lockstep with the stream,
+        # even when its decision is overridden below.
+        decision = [vf.index for vf in self._cappers[node].decide(filtered.sample)]
+        if not healthy:
+            decision = [self.spec.vf_table.slowest.index] * self.spec.num_cus
+            self._held[node] = None
+        elif not filtered.actionable:
+            if self._held[node] is not None:
+                decision = list(self._held[node])
+        else:
+            if (
+                self.events is not None
+                and self._held[node] is not None
+                and decision != self._held[node]
+            ):
+                self.events.emit(
+                    "vf_transition",
+                    node=node,
+                    interval=interval,
+                    from_vf=list(self._held[node]),
+                    to_vf=list(decision),
+                )
+            self._held[node] = list(decision)
+
+        if node in self._round:
+            # The node lapped a straggler: close the round with whoever
+            # delivered (an absent node's stream is dead or lagging; its
+            # budget share simply stays where the last round put it).
+            self._allocate_round()
+        self._round[node] = filtered.sample
+        if len(self._round) == len(self.node_names):
+            self._allocate_round()
+
+        return {
+            "node": node,
+            "interval": interval,
+            "quality": filtered.quality,
+            "healthy": healthy,
+            "estimate_w": float(estimate),
+            "decision": decision,
+        }
+
+    def _observe_health(self, node: str, interval: int, healthy: bool) -> None:
+        since = self._quarantined_since[node]
+        if not healthy and since is None:
+            self._quarantined_since[node] = interval
+            if self.events is not None:
+                self.events.emit(
+                    "quarantine_enter",
+                    node=node,
+                    interval=interval,
+                    bad_streak=self._bad_streak[node],
+                )
+        elif healthy and since is not None:
+            self._quarantined_since[node] = None
+            if self.events is not None:
+                self.events.emit(
+                    "quarantine_exit",
+                    node=node,
+                    interval=interval,
+                    quarantined_intervals=interval - since,
+                )
+
+    def _allocate_round(self) -> None:
+        """Split the shard budget across the round's nodes.
+
+        Demand and floor come from one batched all-VF pricing pass over
+        the round's cleaned samples (the same
+        :class:`~repro.core.batch.BatchedVFPredictor` hot path the fleet
+        simulator uses); unhealthy nodes are granted only their floor,
+        and a ``cap_reallocation`` event is emitted whenever the
+        (budget, healthy-set) signature changes.
+        """
+        names = [n for n in self.node_names if n in self._round]
+        samples = [self._round[n] for n in names]
+        self._round = {}
+        batch = self.ppep.batched_predictor().predict_samples(samples)
+        demand = np.asarray(batch.demand, dtype=float)
+        floor = np.asarray(batch.floor, dtype=float)
+        healthy = np.array(
+            [
+                self._bad_streak[n] < self.unhealthy_after
+                for n in names
+            ],
+            dtype=bool,
+        )
+        if healthy.all():
+            shares = allocate_budget(self.policy, self.budget_w, demand, floor)
+        else:
+            shares = np.zeros(len(names))
+            shares[~healthy] = floor[~healthy]
+            remaining = max(self.budget_w - float(floor[~healthy].sum()), 0.0)
+            if healthy.any():
+                shares[healthy] = allocate_budget(
+                    self.policy, remaining, demand[healthy], floor[healthy]
+                )
+        for name, share in zip(names, shares):
+            self._budgets[name].set(float(share))
+        self.allocations += 1
+        signature = (
+            self.budget_w,
+            tuple(bool(h) for h in healthy),
+            tuple(names),
+        )
+        if signature != self._last_alloc:
+            self._last_alloc = signature
+            if self.events is not None:
+                self.events.emit(
+                    "cap_reallocation",
+                    node="shard-{}".format(self.sku),
+                    interval=max(self.intervals.values()) - 1,
+                    budget_w=float(self.budget_w),
+                    healthy_nodes=int(healthy.sum()),
+                    total_nodes=len(self.node_names),
+                )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The shard's whole resumable state.
+
+        The in-flight allocation round is deliberately dropped: its
+        samples are mid-barrier, and losing them costs at most one
+        allocation -- well inside the one-checkpoint-period restart
+        guarantee.
+        """
+        return {
+            "sku": self.sku,
+            "nodes": list(self.node_names),
+            "processed": self.processed,
+            "allocations": self.allocations,
+            "intervals": dict(self.intervals),
+            "bad_streak": dict(self._bad_streak),
+            "quarantined_since": dict(self._quarantined_since),
+            "held": {
+                name: None if held is None else list(held)
+                for name, held in self._held.items()
+            },
+            "last_alloc": (
+                None
+                if self._last_alloc is None
+                else [
+                    self._last_alloc[0],
+                    list(self._last_alloc[1]),
+                    list(self._last_alloc[2]),
+                ]
+            ),
+            "budgets": {
+                name: budget.state_dict()
+                for name, budget in self._budgets.items()
+            },
+            "cappers": {
+                name: capper.state_dict()
+                for name, capper in self._cappers.items()
+            },
+            "hardened": {
+                name: hardened.state_dict()
+                for name, hardened in self._hardened.items()
+            },
+            "ledger": self.ledger.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if list(state["nodes"]) != self.node_names:
+            raise ValueError(
+                "checkpoint roster {} does not match shard roster {}".format(
+                    state["nodes"], self.node_names
+                )
+            )
+        self.processed = int(state["processed"])
+        self.allocations = int(state["allocations"])
+        self.intervals = {
+            name: int(v) for name, v in state["intervals"].items()
+        }
+        self._bad_streak = {
+            name: int(v) for name, v in state["bad_streak"].items()
+        }
+        self._quarantined_since = {
+            name: None if v is None else int(v)
+            for name, v in state["quarantined_since"].items()
+        }
+        self._held = {
+            name: None if held is None else [int(i) for i in held]
+            for name, held in state["held"].items()
+        }
+        self._last_alloc = (
+            None
+            if state["last_alloc"] is None
+            else (
+                float(state["last_alloc"][0]),
+                tuple(bool(h) for h in state["last_alloc"][1]),
+                tuple(str(n) for n in state["last_alloc"][2]),
+            )
+        )
+        for name, budget_state in state["budgets"].items():
+            self._budgets[name].load_state_dict(budget_state)
+        for name, capper_state in state["cappers"].items():
+            self._cappers[name].load_state_dict(capper_state)
+        for name, hardened_state in state["hardened"].items():
+            self._hardened[name].load_state_dict(hardened_state)
+        self.ledger.load_state_dict(state["ledger"])
+        self._round = {}
+
+    def stats(self) -> dict:
+        """A compact progress snapshot for the supervisor."""
+        return {
+            "processed": self.processed,
+            "allocations": self.allocations,
+            "quarantined": sum(
+                1 for since in self._quarantined_since.values() if since is not None
+            ),
+            "drift_flags": len(self.ledger.drift_flags),
+        }
+
+
+def shard_worker_main(config: dict, in_queue, out_queue) -> None:
+    """Worker-process entry point: queue -> pipeline -> checkpoints.
+
+    ``config`` carries the pipeline construction arguments (the trained
+    model arrives through the fork, so restarts never retrain).  The
+    worker resumes from its checkpoint when one exists, processes
+    validated telemetry events until the :data:`STOP` sentinel (or
+    SIGTERM), snapshots every ``checkpoint_every`` intervals and on
+    every exit path, and reports progress on ``out_queue``.
+
+    The shard's JSONL event stream is flushed *after* each checkpoint
+    (never in between): the on-disk event file therefore never runs
+    ahead of the on-disk state, so a restart cannot re-emit an event
+    the file already holds -- the no-duplicate-``cap_reallocation``
+    guarantee.
+    """
+    events_path = config.get("events_path")
+    events = None
+    if events_path is not None:
+        # Flush discipline is tied to checkpoints (see above): the
+        # huge flush_every disables the log's own cadence.
+        events = EventLog(events_path, flush_every=10**9)
+    pipeline = ShardPipeline(
+        sku=config["sku"],
+        spec=config["spec"],
+        ppep=config["ppep"],
+        node_names=config["node_names"],
+        budget_w=config.get("budget_w"),
+        policy=config.get("policy", "proportional"),
+        unhealthy_after=config.get("unhealthy_after", 3),
+        filter_config=config.get("filter_config"),
+        events=events,
+        ledger_kwargs=config.get("ledger_kwargs"),
+    )
+    checkpointer = None
+    checkpoint_path = config.get("checkpoint_path")
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            pipeline.state_dict,
+            every_intervals=config.get("checkpoint_every", 64),
+        )
+        state = checkpointer.load()
+        if state is not None:
+            pipeline.load_state_dict(state)
+            logger.info(
+                "shard %s resumed from %s at %d processed intervals",
+                pipeline.sku, checkpoint_path, pipeline.processed,
+            )
+
+    stopping = {"now": False}
+
+    def _on_sigterm(_signum, _frame):
+        stopping["now"] = True
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    def _snapshot():
+        if checkpointer is not None:
+            checkpointer.save()
+        if events is not None:
+            events.flush()
+
+    errors = 0
+    since_progress = 0
+    try:
+        while not stopping["now"]:
+            try:
+                item = in_queue.get(timeout=0.1)
+            except queue.Empty:
+                # Idle: push whatever progress the supervisor has not
+                # seen yet, so short bursts (< PROGRESS_EVERY) still
+                # become visible once the stream pauses.
+                if since_progress:
+                    since_progress = 0
+                    out_queue.put(("progress", pipeline.sku, pipeline.stats()))
+                continue
+            if item == STOP:
+                break
+            try:
+                sample = sample_from_wire(item["sample"], pipeline.spec)
+                pipeline.process(item["node"], sample)
+            except Exception:
+                # One bad interval must not take the shard down; it is
+                # counted and the stream continues.
+                errors += 1
+                logger.exception(
+                    "shard %s failed to process an interval", pipeline.sku
+                )
+                continue
+            if checkpointer is not None and checkpointer.tick():
+                if events is not None:
+                    events.flush()
+            since_progress += 1
+            if since_progress >= PROGRESS_EVERY:
+                since_progress = 0
+                out_queue.put(("progress", pipeline.sku, pipeline.stats()))
+    finally:
+        _snapshot()
+        if events is not None:
+            events.close()
+        stats = pipeline.stats()
+        stats["errors"] = errors
+        stats["checkpoints"] = (
+            checkpointer.saves if checkpointer is not None else 0
+        )
+        out_queue.put(("stopped", pipeline.sku, stats))

@@ -57,6 +57,10 @@ def _emit_one_of_each(events):
                 budget_w=210.0, healthy_nodes=2, total_nodes=3)
     events.emit("drift", node="node00", interval=40, statistic=8.4,
                 threshold=8.0, rolling_mae=3.2)
+    events.emit("telemetry", node="fx8320-n00", interval=41, sku="fx8320",
+                sample={"cu_vfs": [5, 5, 5, 5], "nb_vf": 5,
+                        "power_gating": True, "measured_power": 40.0,
+                        "temperature": 55.0, "interval_s": 0.2})
 
 
 class TestMetrics:
@@ -178,6 +182,109 @@ class TestEventLog:
             handle.write("not json\n")
         with pytest.raises(ValueError, match="not valid JSON"):
             list(read_events(path))
+
+
+class TestEventLogBuffering:
+    """The buffered-write mode: flush cadence, close(), crash behavior."""
+
+    @staticmethod
+    def _lines_on_disk(path):
+        if not os.path.exists(path):
+            return 0
+        with open(path) as handle:
+            return sum(1 for line in handle if line.strip())
+
+    def test_default_mode_buffers_until_threshold(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = EventLog(path, flush_every=4)
+        for k in range(3):
+            events.emit("quarantine_enter", interval=k, bad_streak=1)
+        # Three events sit in the write buffer; nothing is guaranteed on
+        # disk yet (libc may buffer the whole batch).
+        assert self._lines_on_disk(path) < 3
+        events.emit("quarantine_enter", interval=3, bad_streak=1)
+        assert self._lines_on_disk(path) == 4
+        events.close()
+
+    def test_per_event_flush_is_opt_in(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = EventLog(path, flush_every=1)
+        for k in range(3):
+            events.emit("quarantine_enter", interval=k, bad_streak=1)
+            assert self._lines_on_disk(path) == k + 1
+        events.close()
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = EventLog(path, flush_every=1000)
+        for k in range(7):
+            events.emit("quarantine_enter", interval=k, bad_streak=1)
+        events.close()
+        assert self._lines_on_disk(path) == 7
+        events.close()  # idempotent
+
+    def test_explicit_flush(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = EventLog(path, flush_every=1000)
+        events.emit("quarantine_enter", interval=0, bad_streak=1)
+        events.flush()
+        assert self._lines_on_disk(path) == 1
+        events.close()
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="flush_every"):
+            EventLog(flush_every=0)
+
+    def test_failing_run_leaves_parseable_file(self, tmp_path):
+        """A run that dies mid-loop must still leave valid JSONL behind.
+
+        This is the contract the CLI paths rely on when they wrap their
+        EventLog in ``with``: whatever was emitted before the crash is
+        flushed, and every line on disk parses.
+        """
+        path = str(tmp_path / "events.jsonl")
+        with pytest.raises(RuntimeError, match="sensor exploded"):
+            with EventLog(path, flush_every=1000) as events:
+                for k in range(5):
+                    events.emit("quarantine_enter", interval=k, bad_streak=1)
+                raise RuntimeError("sensor exploded")
+        replayed = list(read_events(path))
+        assert len(replayed) == 5
+        assert all(e["type"] == "quarantine_enter" for e in replayed)
+
+    def test_demo_crash_leaves_parseable_ledger(self, tmp_path):
+        """The ``ppep-repro obs --demo`` recorder specifically: a model
+        failure partway through the drive loop still produces a
+        replayable JSONL file (the recorder wraps its log in ``with``)."""
+        from types import SimpleNamespace
+
+        from repro.experiments import obs_drift
+        from repro.hardware.microarch import FX8320_SPEC
+
+        calls = {"n": 0}
+
+        class _BoomPPEP:
+            spec = FX8320_SPEC
+
+            def estimate_current(self, _sample):
+                calls["n"] += 1
+                if calls["n"] >= 3:
+                    raise RuntimeError("model exploded")
+                return 40.0
+
+        ctx = SimpleNamespace(
+            full_ppep=_BoomPPEP(), spec=FX8320_SPEC,
+            base_seed=20141213, engine="vector",
+        )
+        path = str(tmp_path / "demo.jsonl")
+        with pytest.raises(RuntimeError, match="model exploded"):
+            obs_drift.record_demo(
+                ctx, path=path, n_intervals=5, drift_at=1,
+                warmup_intervals=0,
+            )
+        replayed = list(read_events(path))
+        assert len(replayed) >= 2
+        assert all("type" in e and "v" in e for e in replayed)
 
 
 class TestGoldenSchema:

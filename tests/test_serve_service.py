@@ -1,0 +1,294 @@
+"""The serve stack: shard behavior, backpressure, ingestion, lifecycle.
+
+Routing and backpressure are tested against a :class:`ShardManager`
+whose workers are *not* started -- ``submit`` only enqueues, so a
+bounded queue with no consumer makes the full/retry path deterministic.
+The end-to-end tests then run the real thing: forked workers, a real
+TCP socket, checkpoints on disk, and a second service run resuming from
+them.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.obs.events import read_events
+from repro.serve.checkpoint import read_checkpoint
+from repro.serve.ingest import Ingestor, ingest_lines
+from repro.serve.manager import ShardManager, ShardSpec
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    parse_telemetry,
+    telemetry_line,
+)
+from repro.serve.service import ServeConfig, build_shards, run_service
+from repro.serve.shard import ShardPipeline
+
+
+def _shard_spec(tiny_registry, node_names=("fx8320-n00", "fx8320-n01")):
+    return ShardSpec(
+        sku="fx8320",
+        spec=FX8320_SPEC,
+        ppep=tiny_registry.get(FX8320_SPEC),
+        node_names=list(node_names),
+    )
+
+
+def _wire_events(node, sku, n, seed=51):
+    """Parsed telemetry events as the ingest front-end would hand over."""
+    from repro.hardware.platform import CoreAssignment, Platform
+    from repro.workloads.synthetic import make_cpu_bound
+
+    platform = Platform(FX8320_SPEC, seed=seed, power_gating=True)
+    platform.set_assignment(
+        CoreAssignment.packed([make_cpu_bound("serve-test")])
+    )
+    events = []
+    for k in range(n):
+        line = telemetry_line(node, sku, k, platform.step())
+        events.append(parse_telemetry(decode_line(line)))
+    return events
+
+
+class TestShardPipelineBehavior:
+    def test_quarantine_enter_and_exit(self, tiny_registry):
+        from repro.obs.events import EventLog
+
+        events = EventLog()
+        pipeline = ShardPipeline(
+            sku="fx8320", spec=FX8320_SPEC,
+            ppep=tiny_registry.get(FX8320_SPEC),
+            node_names=["solo"], unhealthy_after=2, events=events,
+        )
+        wire = _wire_events("solo", "fx8320", 8)
+        from repro.serve.protocol import sample_from_wire
+
+        samples = [sample_from_wire(e["sample"], FX8320_SPEC) for e in wire]
+        for s in samples[:3]:
+            pipeline.process("solo", s)
+        # Redeliver the same sample: stale -> BAD -> streak -> quarantine.
+        stale = samples[2]
+        r1 = pipeline.process("solo", stale)
+        r2 = pipeline.process("solo", stale)
+        assert not r1["healthy"] or not r2["healthy"]
+        assert len(events.of_type("quarantine_enter")) == 1
+        # The pinned decision is the slowest VF for every CU.
+        slowest = FX8320_SPEC.vf_table.slowest.index
+        assert r2["decision"] == [slowest] * FX8320_SPEC.num_cus
+        # Fresh telemetry readmits the node.
+        for s in samples[3:6]:
+            pipeline.process("solo", s)
+        assert len(events.of_type("quarantine_exit")) == 1
+
+    def test_unknown_node_rejected(self, tiny_registry):
+        pipeline = ShardPipeline(
+            sku="fx8320", spec=FX8320_SPEC,
+            ppep=tiny_registry.get(FX8320_SPEC), node_names=["a"],
+        )
+        with pytest.raises(KeyError, match="roster"):
+            pipeline.process("stranger", object())
+
+    def test_straggler_round_is_closed_by_lapping(self, tiny_registry):
+        """If node a delivers twice before node b delivers once, the
+        partial round is allocated rather than held forever."""
+        pipeline = ShardPipeline(
+            sku="fx8320", spec=FX8320_SPEC,
+            ppep=tiny_registry.get(FX8320_SPEC), node_names=["a", "b"],
+        )
+        from repro.serve.protocol import sample_from_wire
+
+        wire = _wire_events("a", "fx8320", 3)
+        samples = [sample_from_wire(e["sample"], FX8320_SPEC) for e in wire]
+        pipeline.process("a", samples[0])
+        assert pipeline.allocations == 0
+        pipeline.process("a", samples[1])  # b never showed: lap closes round
+        assert pipeline.allocations == 1
+
+    def test_constructor_validation(self, tiny_registry):
+        ppep = tiny_registry.get(FX8320_SPEC)
+        with pytest.raises(ValueError, match="at least one node"):
+            ShardPipeline("s", FX8320_SPEC, ppep, [])
+        with pytest.raises(ValueError, match="unique"):
+            ShardPipeline("s", FX8320_SPEC, ppep, ["a", "a"])
+        with pytest.raises(ValueError, match="unhealthy_after"):
+            ShardPipeline("s", FX8320_SPEC, ppep, ["a"], unhealthy_after=0)
+
+
+class TestManagerRouting:
+    def test_routes_and_backpressures(self, tiny_registry):
+        manager = ShardManager([_shard_spec(tiny_registry)], queue_size=2)
+        events = _wire_events("fx8320-n00", "fx8320", 3)
+        assert manager.submit(events[0])["status"] == "accepted"
+        assert manager.submit(events[1])["status"] == "accepted"
+        # No worker is draining: the third delivery must backpressure,
+        # not silently drop.
+        payload = manager.submit(events[2])
+        assert payload["status"] == "retry"
+        assert payload["retry_after_s"] > 0
+
+    def test_unknown_node_and_sku_mismatch(self, tiny_registry):
+        manager = ShardManager([_shard_spec(tiny_registry)])
+        event = _wire_events("fx8320-n00", "fx8320", 1)[0]
+        with pytest.raises(ProtocolError, match="unknown node"):
+            manager.submit(dict(event, node="who"))
+        with pytest.raises(ProtocolError, match="belongs to SKU"):
+            manager.submit(dict(event, sku="phenom"))
+
+    def test_duplicate_nodes_rejected(self, tiny_registry):
+        with pytest.raises(ValueError, match="more than one shard"):
+            ShardManager([
+                _shard_spec(tiny_registry),
+                ShardSpec(sku="fx8320b", spec=FX8320_SPEC,
+                          ppep=tiny_registry.get(FX8320_SPEC),
+                          node_names=["fx8320-n00"]),
+            ])
+
+
+class TestIngestor:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_tcp_accept_error_and_retry(self, tiny_registry):
+        async def scenario():
+            manager = ShardManager([_shard_spec(tiny_registry)], queue_size=1)
+            ingestor = Ingestor(manager)
+            await ingestor.start()
+            reader, writer = await asyncio.open_connection(
+                ingestor.host, ingestor.port
+            )
+            wire = _wire_events("fx8320-n00", "fx8320", 2)
+
+            async def ask(line):
+                writer.write(line)
+                await writer.drain()
+                return decode_line(await reader.readline())
+
+            line0 = telemetry_bytes(wire[0])
+            assert (await ask(line0))["status"] == "accepted"
+            # Queue depth 1, no worker: second line backpressures.
+            assert (await ask(telemetry_bytes(wire[1])))["status"] == "retry"
+            # Malformed JSON and unroutable nodes are errors, not retries.
+            assert (await ask(b"not json\n"))["status"] == "error"
+            bad = dict(wire[0], node="stranger")
+            assert (await ask(telemetry_bytes(bad)))["status"] == "error"
+            writer.close()
+            await writer.wait_closed()
+            await ingestor.stop()
+            assert ingestor.stats.as_dict() == {
+                "lines": 4, "accepted": 1, "retried": 1, "errors": 2,
+            }
+
+        def telemetry_bytes(event):
+            return (json.dumps(event, sort_keys=True) + "\n").encode()
+
+        self._run(scenario())
+
+    def test_ingest_lines_redelivers_until_accepted(self, tiny_registry):
+        manager = ShardManager([_shard_spec(tiny_registry)], queue_size=1)
+        wire = _wire_events("fx8320-n00", "fx8320", 2)
+        lines = [
+            (json.dumps(e, sort_keys=True) + "\n").encode() for e in wire
+        ]
+        # Fake a worker: every sleep(), drain one item off the queue.
+        handle = manager.shards["fx8320"]
+
+        def drain(_delay):
+            handle.in_queue.get()
+
+        stats = ingest_lines(manager, lines, sleep=drain)
+        assert stats.accepted == 2
+        assert stats.retried >= 1  # the bounded queue pushed back
+        assert stats.errors == 0
+
+    def test_ingest_lines_counts_bad_lines(self, tiny_registry):
+        manager = ShardManager([_shard_spec(tiny_registry)], queue_size=4)
+        stats = ingest_lines(manager, [b"garbage\n", b"", b"   \n"])
+        assert stats.lines == 1  # blank lines are skipped entirely
+        assert stats.errors == 1
+
+
+class TestServeConfig:
+    def test_rejects_unknown_sku(self):
+        with pytest.raises(ValueError, match="unknown SKUs"):
+            ServeConfig(skus=("fx8320", "epyc"))
+
+    def test_build_shards_prefixes_node_names(self, tiny_registry):
+        config = ServeConfig(skus=("fx8320", "phenom"), nodes_per_sku=2)
+        shards, fleets = build_shards(tiny_registry, config)
+        names = [n for s in shards for n in s.node_names]
+        assert names == [
+            "fx8320-n00", "fx8320-n01", "phenom-n00", "phenom-n01",
+        ]
+        assert set(fleets) == {"fx8320", "phenom"}
+
+
+class TestEndToEnd:
+    def test_loopback_processes_everything(self, tiny_registry, tmp_path):
+        config = ServeConfig(
+            skus=("fx8320",), nodes_per_sku=2, intervals=20, queue_size=8,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=16,
+            events_dir=str(tmp_path / "events"),
+        )
+        report = run_service(tiny_registry, config, mode="loopback")
+        assert report["accepted"] == 40
+        assert report["processed"] == 40
+        assert report["client"]["errors"] == 0
+        # Zero silent drops: every accepted interval was processed.
+        assert report["processed"] == report["accepted"]
+        # The shard checkpoint and event ledger are on disk and valid.
+        state = read_checkpoint(str(tmp_path / "ckpt" / "shard-fx8320.json"))
+        assert state["processed"] == 40
+        events = list(
+            read_events(str(tmp_path / "events" / "shard-fx8320.jsonl"))
+        )
+        assert any(e["type"] == "cap_reallocation" for e in events)
+        assert any(e["type"] == "prediction" for e in events)
+
+    def test_second_run_resumes_from_checkpoint(self, tiny_registry, tmp_path):
+        config = ServeConfig(
+            skus=("fx8320",), nodes_per_sku=1, intervals=10, queue_size=8,
+            checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=4,
+        )
+        run_service(tiny_registry, config, mode="loopback")
+        path = str(tmp_path / "ckpt" / "shard-fx8320.json")
+        assert read_checkpoint(path)["processed"] == 10
+        # Same checkpoint dir: the worker restores and keeps counting.
+        run_service(tiny_registry, config, mode="loopback")
+        assert read_checkpoint(path)["processed"] == 20
+
+    def test_stdin_mode(self, tiny_registry, tmp_path):
+        config = ServeConfig(
+            skus=("fx8320",), nodes_per_sku=1, intervals=5, queue_size=8,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        shards, fleets = build_shards(tiny_registry, config)
+        lines = []
+        fleet = fleets["fx8320"]
+        for k in range(5):
+            for node, sample in zip(fleet.nodes, fleet.step()):
+                lines.append(telemetry_line(node.name, "fx8320", k, sample))
+        report = run_service(
+            tiny_registry, config, mode="stdin", stdin=iter(lines)
+        )
+        assert report["ingest"]["accepted"] == 5
+        assert report["processed"] == 5
+
+
+class TestCLI:
+    def test_serve_subcommand_loopback(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--mode", "loopback", "--skus", "fx8320",
+            "--nodes-per-sku", "1", "--intervals", "5",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--training", "quick",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "5 intervals processed" in out
+        assert "shard fx8320" in out
