@@ -57,6 +57,15 @@ def main(argv=None):
         "--seed", type=int, default=20141213,
         help="base seed for training and the loopback fleet",
     )
+    parser.add_argument(
+        "--sweep-rosters", type=int, nargs="+", default=[2, 4, 8],
+        help="nodes-per-SKU roster sizes for the per-shard throughput "
+        "sweep (default: 2 4 8; pass 0 to skip)",
+    )
+    parser.add_argument(
+        "--sweep-intervals", type=int, default=150,
+        help="intervals per node in each sweep run (default: 150)",
+    )
     args = parser.parse_args(argv)
 
     from repro.fleet.registry import ModelRegistry
@@ -81,23 +90,39 @@ def main(argv=None):
     for sku in skus:
         registry.get(SKU_SPECS[sku])
 
-    workdir = tempfile.mkdtemp(prefix="bench-serve-")
-    try:
-        config = ServeConfig(
-            skus=skus,
-            nodes_per_sku=args.nodes_per_sku,
-            intervals=args.intervals,
-            queue_size=args.queue_size,
-            checkpoint_dir=os.path.join(workdir, "ckpt"),
-            checkpoint_every=args.checkpoint_every,
-            events_dir=os.path.join(workdir, "events"),
-            base_seed=args.seed,
+    def run_roster(nodes_per_sku, intervals):
+        workdir = tempfile.mkdtemp(prefix="bench-serve-")
+        try:
+            config = ServeConfig(
+                skus=skus,
+                nodes_per_sku=nodes_per_sku,
+                intervals=intervals,
+                queue_size=args.queue_size,
+                checkpoint_dir=os.path.join(workdir, "ckpt"),
+                checkpoint_every=args.checkpoint_every,
+                events_dir=os.path.join(workdir, "events"),
+                base_seed=args.seed,
+            )
+            started = time.perf_counter()
+            report = run_service(registry, config, mode="loopback")
+            return report, time.perf_counter() - started
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    report, wall_s = run_roster(args.nodes_per_sku, args.intervals)
+
+    # Per-shard throughput across roster widths: each shard worker runs
+    # the batched kernel over its whole roster, so per-shard intervals/s
+    # should hold up (not divide down) as nodes-per-SKU grows.
+    sweep = []
+    sweep_rosters = [n for n in args.sweep_rosters if n > 0]
+    for roster in sweep_rosters:
+        sweep_report, sweep_wall = run_roster(roster, args.sweep_intervals)
+        per_shard = sweep_report["intervals_per_s"] / len(
+            sweep_report["shards"]
         )
-        started = time.perf_counter()
-        report = run_service(registry, config, mode="loopback")
-        wall_s = time.perf_counter() - started
-    finally:
-        shutil.rmtree(workdir, ignore_errors=True)
+        sweep.append((roster, sweep_report["intervals_per_s"], per_shard))
+        wall_s += sweep_wall
 
     accepted = report["accepted"]
     processed = report["processed"]
@@ -123,6 +148,13 @@ def main(argv=None):
         "gate: accepted == processed (overload only ever surfaces as "
         "an explicit retry)",
     ]
+    if sweep:
+        lines.append("per-shard throughput across roster widths:")
+        for roster, total_rate, per_shard in sweep:
+            lines.append(
+                "  {:>3d} nodes/SKU: {:>6.0f} intervals/s total, "
+                "{:>6.0f}/s per shard".format(roster, total_rate, per_shard)
+            )
     report_text = "\n".join(lines)
     print(report_text)
 
@@ -133,19 +165,20 @@ def main(argv=None):
     with open(os.path.join(results_dir, "serve.txt"), "w") as handle:
         handle.write(report_text + "\n")
 
-    record_bench(
-        "serve",
-        wall_s,
-        {
-            "shards": len(report["shards"]),
-            "intervals": total,
-            "accepted": accepted,
-            "processed": processed,
-            "retried": retried,
-            "restarts": report["restarts"],
-            "intervals_per_s": round(report["intervals_per_s"], 1),
-        },
-    )
+    metrics = {
+        "shards": len(report["shards"]),
+        "intervals": total,
+        "accepted": accepted,
+        "processed": processed,
+        "retried": retried,
+        "restarts": report["restarts"],
+        "intervals_per_s": round(report["intervals_per_s"], 1),
+    }
+    for roster, total_rate, per_shard in sweep:
+        metrics["roster_{}_per_shard_intervals_per_s".format(roster)] = round(
+            per_shard, 1
+        )
+    record_bench("serve", wall_s, metrics)
 
     failures = []
     if accepted != total:

@@ -62,7 +62,14 @@ from repro.workloads.microbench import bench_a
 from repro.workloads.suites import BenchmarkCombination
 from repro.workloads.synthetic import make_cpu_bound
 
-__all__ = ["PPEP", "PPEPSnapshot", "PPEPTrainer", "TrainingData", "stable_seed"]
+__all__ = [
+    "MixedPricer",
+    "PPEP",
+    "PPEPSnapshot",
+    "PPEPTrainer",
+    "TrainingData",
+    "stable_seed",
+]
 
 # Library convention: repro.* modules log through their module logger and
 # never configure the root logger -- handlers/levels belong to the
@@ -243,6 +250,25 @@ class PPEP:
         idle = self._idle_power_mixed(states, temperature, cu_targets, power_gating)
         return dynamic + idle, inst_per_s
 
+    def mixed_pricer(
+        self,
+        states: Sequence[CoreEventState],
+        temperature: float,
+        power_gating: bool,
+    ) -> "MixedPricer":
+        """A memoizing :meth:`predict_mixed` for one observation.
+
+        The one-step capper prices dozens of per-CU VF assignments from
+        the *same* interval's states; every candidate re-derives the
+        per-core event projection even though it only depends on
+        (core state, that core's target VF).  The pricer caches those
+        per-(core, VF) terms and the idle decomposition per assignment,
+        so a greedy walk costs ``num_cores * num_states`` projections
+        total instead of per candidate.  Results are bit-identical to
+        :meth:`predict_mixed` (same per-core addition order).
+        """
+        return MixedPricer(self, states, temperature, power_gating)
+
     # -- idle power plumbing -------------------------------------------------------
 
     def _busy_cus(self, states: Sequence[CoreEventState]) -> List[bool]:
@@ -296,6 +322,129 @@ class PPEP:
         if self.pg_model is not None:
             return self.pg_model.nb_idle(vf)
         return 0.0
+
+
+class MixedPricer:
+    """Memoized mixed-VF pricing for one interval's observation.
+
+    Built by :meth:`PPEP.mixed_pricer`; :meth:`price` returns exactly
+    what :meth:`PPEP.predict_mixed` would for the same assignment.  The
+    per-core dynamic/NB/rate terms are cached by (core, target VF
+    index) and the idle power by the assignment's VF-index tuple --
+    both are pure functions of the frozen (states, temperature,
+    power_gating) this pricer was built from.
+    """
+
+    __slots__ = (
+        "_ppep",
+        "_states",
+        "_temperature",
+        "_power_gating",
+        "_cu_of_core",
+        "_num_cus",
+        "_core_terms",
+        "_uniform_idle",
+        "_mean_idle",
+        "_decomps",
+        "_busy",
+        "_any_busy",
+    )
+
+    def __init__(self, ppep, states, temperature, power_gating) -> None:
+        self._ppep = ppep
+        self._states = states
+        self._temperature = temperature
+        self._power_gating = power_gating
+        spec = ppep.spec
+        self._cu_of_core = [spec.cu_of_core(c) for c in range(len(states))]
+        self._num_cus = spec.num_cus
+        # (core_id, vf.index) -> (core term, nb term, instructions/s).
+        self._core_terms = {}
+        # The idle side of _idle_power_mixed decomposes per component,
+        # so a greedy walk's mostly-distinct assignments still hit:
+        # uniform assignments cache per vf.index, the no-PG mixed path
+        # per exact mean voltage, and the PG path per-VF decomposition
+        # rows (its per-assignment sum is replayed in the original
+        # addition order below).
+        self._uniform_idle = {}
+        self._mean_idle = {}
+        self._decomps = {}
+        self._busy = None
+        self._any_busy = False
+
+    def price(self, cu_targets: Sequence[VFState]) -> Tuple[float, float]:
+        """(chip power, chip instruction rate), as ``predict_mixed``."""
+        if len(cu_targets) != self._num_cus:
+            raise ValueError("need one target VF per CU")
+        ppep = self._ppep
+        terms = self._core_terms
+        dynamic = 0.0
+        inst_per_s = 0.0
+        for core_id, state in enumerate(self._states):
+            target = cu_targets[self._cu_of_core[core_id]]
+            key = (core_id, target.index)
+            cached = terms.get(key)
+            if cached is None:
+                predicted = ppep.event_predictor.predict(state, target)
+                features = dynamic_feature_vector(predicted.rates)
+                cached = (
+                    ppep.dynamic_model.core_term(features, target.voltage),
+                    ppep.dynamic_model.nb_term(features),
+                    predicted.instructions_per_second,
+                )
+                terms[key] = cached
+            # Two separate additions, exactly as predict_mixed performs
+            # them -- (d + a) + b is not (d + (a + b)) in floating point.
+            dynamic += cached[0]
+            dynamic += cached[1]
+            inst_per_s += cached[2]
+        return dynamic + self._idle(cu_targets), inst_per_s
+
+    def _idle(self, cu_targets: Sequence[VFState]) -> float:
+        """``PPEP._idle_power_mixed`` with per-component memoization."""
+        ppep = self._ppep
+        distinct = {vf.index for vf in cu_targets}
+        if len(distinct) == 1:
+            index = cu_targets[0].index
+            idle = self._uniform_idle.get(index)
+            if idle is None:
+                idle = ppep._idle_power(
+                    self._states,
+                    self._temperature,
+                    cu_targets[0],
+                    self._power_gating,
+                )
+                self._uniform_idle[index] = idle
+            return idle
+        if ppep.pg_model is None:
+            mean_v = sum(vf.voltage for vf in cu_targets) / len(cu_targets)
+            idle = self._mean_idle.get(mean_v)
+            if idle is None:
+                idle = ppep.idle_model.predict(mean_v, self._temperature)
+                self._mean_idle[mean_v] = idle
+            return idle
+        if self._busy is None:
+            self._busy = ppep._busy_cus(self._states)
+            self._any_busy = any(self._busy)
+        busy = self._busy
+        power_gating = self._power_gating
+        decomps = self._decomps
+        d0 = decomps.get(cu_targets[0].index)
+        if d0 is None:
+            d0 = decomps[cu_targets[0].index] = ppep.pg_model.decomposition(
+                cu_targets[0]
+            )
+        total = 0.0
+        total += d0.p_base
+        if self._any_busy or not power_gating:
+            total += d0.p_nb
+        for cu, vf in enumerate(cu_targets):
+            if busy[cu] or not power_gating:
+                d = decomps.get(vf.index)
+                if d is None:
+                    d = decomps[vf.index] = ppep.pg_model.decomposition(vf)
+                total += d.p_cu
+        return total
 
 
 @dataclass

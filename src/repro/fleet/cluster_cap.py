@@ -41,7 +41,12 @@ from repro.dvfs.power_capping import (
     PPEPPowerCapper,
     evaluate_power_series,
 )
-from repro.faults.filtering import GOOD, FilterConfig, TelemetryFilter
+from repro.faults.filtering import (
+    GOOD,
+    BatchTelemetryFilter,
+    FilterConfig,
+    TelemetryFilter,
+)
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = [
@@ -222,6 +227,7 @@ class ClusterPowerManager:
         filter_config: FilterConfig = None,
         events=None,
         ledger=None,
+        batched: bool = True,
     ) -> None:
         if policy not in ALLOCATION_POLICIES:
             raise ValueError(
@@ -233,22 +239,39 @@ class ClusterPowerManager:
             raise ValueError("unhealthy_after must be >= 1")
         self.fleet = fleet
         self.policy = policy
+        #: Batched mode (the default) runs the struct-of-arrays
+        #: pipeline: cached mixed-assignment pricing in the node
+        #: cappers, one BatchTelemetryFilter pass instead of N ingests,
+        #: and columnar ledger recording.  ``batched=False`` is the
+        #: per-node legacy path the equivalence suite compares against.
+        self.batched = bool(batched)
         self._schedule = (
             cap_schedule if callable(cap_schedule) else (lambda _s: float(cap_schedule))
         )
         self._budgets = [ExternalBudget() for _ in fleet.nodes]
         self._cappers = [
-            PPEPPowerCapper(node.ppep, budget, margin=margin, bias_gain=bias_gain)
+            PPEPPowerCapper(
+                node.ppep,
+                budget,
+                margin=margin,
+                bias_gain=bias_gain,
+                use_pricer=self.batched,
+            )
             for node, budget in zip(fleet.nodes, self._budgets)
         ]
         self.harden = bool(harden)
         self.unhealthy_after = int(unhealthy_after)
-        self._filters = (
-            [TelemetryFilter(node.spec, filter_config) for node in fleet.nodes]
-            if self.harden
-            else None
-        )
-        self._bad_streak = [0] * len(fleet.nodes)
+        if not self.harden:
+            self._filters = None
+        elif self.batched:
+            self._filters = BatchTelemetryFilter(
+                [node.spec for node in fleet.nodes], filter_config
+            )
+        else:
+            self._filters = [
+                TelemetryFilter(node.spec, filter_config) for node in fleet.nodes
+            ]
+        self._bad_streak = np.zeros(len(fleet.nodes), dtype=np.int64)
         self._held = [None] * len(fleet.nodes)
         self._step = 0
         self.events = events
@@ -262,9 +285,12 @@ class ClusterPowerManager:
         for capper in self._cappers:
             capper.reset()
         if self._filters is not None:
-            for filt in self._filters:
-                filt.reset()
-        self._bad_streak = [0] * len(self.fleet.nodes)
+            if self.batched:
+                self._filters.reset()
+            else:
+                for filt in self._filters:
+                    filt.reset()
+        self._bad_streak = np.zeros(len(self.fleet.nodes), dtype=np.int64)
         self._held = [None] * len(self.fleet.nodes)
         self._quarantined_since = [None] * len(self.fleet.nodes)
         self._pending = [None] * len(self.fleet.nodes)
@@ -280,7 +306,7 @@ class ClusterPowerManager:
         return {
             "nodes": [node.name for node in self.fleet.nodes],
             "step": self._step,
-            "bad_streak": list(self._bad_streak),
+            "bad_streak": [int(s) for s in self._bad_streak],
             "held": [
                 None if held is None else [vf.index for vf in held]
                 for held in self._held
@@ -297,10 +323,17 @@ class ClusterPowerManager:
             ),
             "budgets": [budget.state_dict() for budget in self._budgets],
             "cappers": [capper.state_dict() for capper in self._cappers],
+            # Always one TelemetryFilter-format dict per node, whichever
+            # filtering mode produced it, so batched and per-node
+            # managers restore each other's checkpoints.
             "filters": (
                 None
                 if self._filters is None
-                else [filt.state_dict() for filt in self._filters]
+                else (
+                    self._filters.node_state_dicts()
+                    if self.batched
+                    else [filt.state_dict() for filt in self._filters]
+                )
             ),
         }
 
@@ -316,7 +349,9 @@ class ClusterPowerManager:
                 "checkpoint hardening mode does not match this manager"
             )
         self._step = int(state["step"])
-        self._bad_streak = [int(s) for s in state["bad_streak"]]
+        self._bad_streak = np.array(
+            [int(s) for s in state["bad_streak"]], dtype=np.int64
+        )
         self._held = [
             None
             if held is None
@@ -346,8 +381,11 @@ class ClusterPowerManager:
         for capper, capper_state in zip(self._cappers, state["cappers"]):
             capper.load_state_dict(capper_state)
         if self._filters is not None:
-            for filt, filter_state in zip(self._filters, state["filters"]):
-                filt.load_state_dict(filter_state)
+            if self.batched:
+                self._filters.load_node_state_dicts(list(state["filters"]))
+            else:
+                for filt, filter_state in zip(self._filters, state["filters"]):
+                    filt.load_state_dict(filter_state)
 
     def run(
         self,
@@ -379,17 +417,17 @@ class ClusterPowerManager:
         for _ in range(n_intervals):
             samples = self.fleet.step()
             if self.harden:
-                filtered = [
-                    filt.ingest(sample)
-                    for filt, sample in zip(self._filters, samples)
-                ]
-                for i, verdict in enumerate(filtered):
-                    if verdict.actionable:
-                        self._bad_streak[i] = 0
-                    else:
-                        self._bad_streak[i] += 1
+                filtered = self._ingest(samples)
+                actionable = np.fromiter(
+                    (verdict.actionable for verdict in filtered),
+                    dtype=bool,
+                    count=len(filtered),
+                )
+                self._bad_streak = np.where(
+                    actionable, 0, self._bad_streak + 1
+                )
                 healthy = [
-                    streak < self.unhealthy_after for streak in self._bad_streak
+                    bool(h) for h in self._bad_streak < self.unhealthy_after
                 ]
                 clean = [verdict.sample for verdict in filtered]
             else:
@@ -441,6 +479,15 @@ class ClusterPowerManager:
             self._step += 1
         return record
 
+    def _ingest(self, samples):
+        """One interval of telemetry filtering, batched or per node."""
+        if self.batched:
+            return self._filters.ingest_many(list(samples))
+        return [
+            filt.ingest(sample)
+            for filt, sample in zip(self._filters, samples)
+        ]
+
     def _observe_interval(self, samples, filtered) -> None:
         """Per-interval observability: verdict events + ledger rows.
 
@@ -464,6 +511,7 @@ class ClusterPowerManager:
                     issues=list(verdict.issues),
                 )
         if self.ledger is not None:
+            rows = []
             for i, (node, sample) in enumerate(zip(self.fleet.nodes, samples)):
                 pending = self._pending[i]
                 if pending is None:
@@ -475,17 +523,24 @@ class ClusterPowerManager:
                     # garbage, so BAD intervals record nothing.
                     continue
                 vf_index, predicted = pending
-                self.ledger.record(
-                    node=node.name,
-                    interval=self._step,
-                    vf_index=vf_index,
-                    predicted_power=predicted,
-                    measured_power=sample.measured_power,
-                    interval_s=sample.interval_s,
-                    quality=(
-                        filtered[i].quality if filtered is not None else None
-                    ),
+                rows.append(
+                    dict(
+                        node=node.name,
+                        interval=self._step,
+                        vf_index=vf_index,
+                        predicted_power=predicted,
+                        measured_power=sample.measured_power,
+                        interval_s=sample.interval_s,
+                        quality=(
+                            filtered[i].quality if filtered is not None else None
+                        ),
+                    )
                 )
+            if self.batched:
+                self.ledger.record_many(rows)
+            else:
+                for row in rows:
+                    self.ledger.record(**row)
 
     def _observe_allocation(self, cap, healthy) -> None:
         """Quarantine-transition and budget-reallocation events."""

@@ -97,12 +97,14 @@ class FleetSimulator:
     guarantees one per SKU) is priced in one batched call.
     """
 
-    def __init__(self, nodes: Sequence[FleetNode]) -> None:
+    def __init__(self, nodes: Sequence[FleetNode], batched: bool = True) -> None:
         if not nodes:
             raise ValueError("a fleet needs at least one node")
         names = [node.name for node in nodes]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
+        # All stepping invariants are checked once here, at
+        # construction; step() itself touches no derived per-call state.
         intervals = {node.platform.interval_s for node in nodes}
         if len(intervals) > 1:
             raise ValueError(
@@ -120,6 +122,13 @@ class FleetSimulator:
         self._groups = [
             (self.nodes[idx[0]].ppep, idx) for idx in groups.values()
         ]
+        self.batched = bool(batched)
+        if self.batched:
+            from repro.fleet.engine import FleetEngine
+
+            self._engine = FleetEngine(self.nodes)
+        else:
+            self._engine = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -131,8 +140,18 @@ class FleetSimulator:
     # -- simulation ---------------------------------------------------------
 
     def step(self) -> List[IntervalSample]:
-        """Advance every node one synchronized 200 ms interval."""
-        get_registry().counter("obs.fleet.steps").inc()
+        """Advance every node one synchronized 200 ms interval.
+
+        With ``batched=True`` (the default) all whole-interval-steady
+        same-SKU nodes advance through one
+        :class:`~repro.fleet.engine.FleetEngine` struct-of-arrays pass,
+        bit-identical to per-node ``platform.step()`` calls.
+        """
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("obs.fleet.steps").inc()
+        if self._engine is not None:
+            return self._engine.step()
         return [node.platform.step() for node in self.nodes]
 
     def run(self, n_intervals: int) -> List[List[IntervalSample]]:
@@ -241,6 +260,7 @@ def make_fleet(
     programs: Sequence[str] = _DEFAULT_PROGRAMS,
     busy_cus: Optional[Sequence[int]] = None,
     fault_specs: Optional[Sequence[FaultSpec]] = None,
+    batched: bool = True,
 ) -> FleetSimulator:
     """Build a ready-to-run fleet: one node per entry of ``specs``.
 
@@ -285,4 +305,4 @@ def make_fleet(
         nodes.append(
             FleetNode("node{:02d}".format(i), platform, ppep)
         )
-    return FleetSimulator(nodes)
+    return FleetSimulator(nodes, batched=batched)

@@ -49,6 +49,8 @@ class ShardSpec:
     unhealthy_after: int = 3
     filter_config: object = None
     ledger_kwargs: Optional[dict] = field(default=None)
+    #: Run the shard pipeline on the batched pricing kernel (default on).
+    batched: bool = True
 
 
 class _ShardHandle:
@@ -124,6 +126,7 @@ class ShardManager:
                 "unhealthy_after": shard.unhealthy_after,
                 "filter_config": shard.filter_config,
                 "ledger_kwargs": shard.ledger_kwargs,
+                "batched": shard.batched,
                 "checkpoint_path": (
                     None
                     if checkpoint_dir is None

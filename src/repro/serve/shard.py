@@ -90,6 +90,7 @@ class ShardPipeline:
         ledger_kwargs: Optional[dict] = None,
         margin: float = 0.97,
         bias_gain: float = 0.25,
+        batched: bool = True,
     ) -> None:
         if not node_names:
             raise ValueError("a shard needs at least one node")
@@ -100,6 +101,13 @@ class ShardPipeline:
         self.sku = sku
         self.spec = spec
         self.ppep = ppep
+        #: Run the per-node cappers on the cached struct-of-arrays
+        #: pricing kernel (bit-identical decisions; the legacy
+        #: ``batched=False`` path re-prices every trial assignment from
+        #: scratch).  Nodes deliver intervals asynchronously, so the
+        #: shard's cross-node batching stays at the allocation round;
+        #: the per-interval kernel win is the cached pricer.
+        self.batched = bool(batched)
         self.node_names = list(node_names)
         self.budget_w = (
             float(budget_w) if budget_w is not None else 90.0 * len(node_names)
@@ -115,7 +123,11 @@ class ShardPipeline:
             budget = ExternalBudget(self.budget_w / len(self.node_names))
             self._budgets[name] = budget
             self._cappers[name] = PPEPPowerCapper(
-                ppep, budget, margin=margin, bias_gain=bias_gain
+                ppep,
+                budget,
+                margin=margin,
+                bias_gain=bias_gain,
+                use_pricer=self.batched,
             )
             self._hardened[name] = HardenedPPEP(
                 ppep,
@@ -409,6 +421,7 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
         filter_config=config.get("filter_config"),
         events=events,
         ledger_kwargs=config.get("ledger_kwargs"),
+        batched=config.get("batched", True),
     )
     checkpointer = None
     checkpoint_path = config.get("checkpoint_path")
