@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Chaos-storm gate: exactly-once delivery under service-level faults.
+
+Runs the three-way chaos-storm experiment
+(:mod:`repro.experiments.chaos_storm`) -- a chaos-free baseline, a
+disabled-harness transparency control, and the reference storm
+(connection resets, fragmented/duplicated/reordered lines, dropped
+acks, SIGKILL/SIGSTOP worker storms, checkpoint ENOSPC / torn writes)
+-- and enforces the delivery contract:
+
+- zero accepted-then-lost and zero double-applied intervals;
+- the storm's applied decision stream bit-identical to the baseline's;
+- a disabled harness byte-identical to no harness at all;
+- every shard recovered within the configured bound, with all three
+  fault boundaries demonstrably exercised.
+
+Plain script on purpose (CI runs it as a smoke gate)::
+
+    python benchmarks/bench_chaos.py --intervals 30
+
+Writes ``results/chaos.txt`` and a ``BENCH_results.json`` entry; any
+violated gate prints ``FAIL:`` lines and exits non-zero.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import record_bench  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--intervals", type=int, default=30,
+        help="intervals per node (default: 30; with 2 SKUs x 2 nodes "
+        "that is 120 lines through the storm)",
+    )
+    parser.add_argument(
+        "--nodes-per-sku", type=int, default=2,
+        help="fleet width per shard (default: 2)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiplier on every reference-storm fault rate (default: 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training and the loopback fleets",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=7,
+        help="seed for the chaos schedules and client jitter (default: 7)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="intervals between shard checkpoints (default: 4, small so "
+        "the storm crosses many checkpoint boundaries)",
+    )
+    parser.add_argument(
+        "--training", choices=["full", "quick"], default="quick",
+        help="per-SKU training depth (default: quick)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.chaos_storm import (
+        StormParams,
+        format_report,
+        run_storm,
+    )
+    from repro.fleet.registry import ModelRegistry
+    from repro.serve.service import SKU_SPECS
+    from repro.workloads.suites import spec_combinations
+
+    params = StormParams(
+        intervals=args.intervals,
+        nodes_per_sku=args.nodes_per_sku,
+        seed=args.seed,
+        chaos_seed=args.chaos_seed,
+        scale=args.scale,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.training == "quick":
+        registry = ModelRegistry(
+            combos=spec_combinations()[:3],
+            bench_intervals=4,
+            cool_intervals=20,
+            base_seed=args.seed,
+        )
+    else:
+        registry = ModelRegistry(base_seed=args.seed)
+    # Train before the clock starts: the gate scores the service under
+    # fire, not model construction.
+    for sku in params.skus:
+        registry.get(SKU_SPECS[sku])
+
+    started = time.perf_counter()
+    result = run_storm(registry, params)
+    wall_s = time.perf_counter() - started
+
+    report_text = format_report(result)
+    print(report_text)
+
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "chaos.txt"), "w") as handle:
+        handle.write(report_text + "\n")
+
+    storm = result["runs"]["storm"]
+    recovery = result["checks"]["bounded_recovery"]
+    record_bench(
+        "chaos",
+        wall_s,
+        {
+            "expected": result["expected"],
+            "processed": storm["processed"],
+            "accepted": storm["accepted"],
+            "duplicates_absorbed": storm["duplicates"],
+            "sheds": storm["sheds"],
+            "restarts": storm["restarts"],
+            "kills": recovery["kills"],
+            "stops": recovery["stops"],
+            "net_faults": recovery["net_faults"],
+            "checkpoint_failures": recovery["checkpoint_failures"],
+            "recovery_s_max": round(recovery["recovery_s_max"], 3),
+            "client_redeliveries": storm["client"].get("redeliveries", 0),
+            "passed": result["passed"],
+        },
+    )
+
+    if result["failures"]:
+        for failure in result["failures"]:
+            print("FAIL: " + failure)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""repro.chaos -- seed-deterministic service-level fault injection.
+
+The service sibling of :mod:`repro.faults`: where the fault injector
+corrupts telemetry *samples*, this package attacks the serve stack's
+three operational boundaries -- network (a chaos TCP proxy), process
+(SIGKILL/SIGSTOP storms), and disk (checkpoint ENOSPC / torn writes) --
+from blake2b-keyed schedules that are pure functions of ``(spec, seed,
+index)``.  A disabled :class:`ChaosSpec` is bitwise-identical to no
+chaos at all.
+"""
+
+from repro.chaos.disk import DiskChaos
+from repro.chaos.harness import ChaosHarness
+from repro.chaos.network import ChaosProxy
+from repro.chaos.process import ProcessChaos
+from repro.chaos.spec import ChaosSpec, chaos_rng
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosProxy",
+    "ChaosSpec",
+    "DiskChaos",
+    "ProcessChaos",
+    "chaos_rng",
+]

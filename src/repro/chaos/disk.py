@@ -1,0 +1,72 @@
+"""Deterministic checkpoint-write failpoints (ENOSPC, torn tmp files).
+
+:class:`DiskChaos` hooks the single choke point of shard persistence --
+:func:`repro.serve.checkpoint.write_checkpoint` -- and makes saves fail
+the two ways real disks fail under a crash/full-disk storm:
+
+- **enospc**: the temporary file fills partially, then the write raises
+  ``OSError(ENOSPC)``.  The writer's cleanup unlinks the partial tmp and
+  the previous checkpoint survives untouched (an older watermark, which
+  the manager's in-flight ledger must cover with longer redelivery).
+- **torn**: the process "crashes" between writing the tmp file and
+  ``os.replace`` -- a torn tmp file is left littering the directory and
+  the real checkpoint is never replaced.  Cold starts must shrug at the
+  litter, and :func:`~repro.serve.checkpoint.read_checkpoint` must treat
+  any truncated document as absent.
+
+Schedules are keyed per checkpoint file by save index through
+:func:`~repro.chaos.spec.chaos_rng`, so every shard worker (each forked
+with its own copy of this object) draws an independent, reproducible
+failure sequence.  A disabled spec consumes no randomness and injects
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.chaos.spec import ChaosSpec, chaos_rng
+
+__all__ = ["DiskChaos"]
+
+
+class DiskChaos:
+    """Draws per-save failure decisions for checkpoint writes.
+
+    ``counts`` tallies injected failures by tag.  Instances are carried
+    into forked shard workers inside the worker config; each fork's
+    private save counter keys that shard's schedule.
+    """
+
+    def __init__(self, spec: ChaosSpec, seed=None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else int(seed)
+        self.counts: Dict[str, int] = {}
+        self._saves: Dict[str, int] = {}
+
+    def _count(self, tag: str) -> None:
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+
+    def draw(self, name: str) -> Optional[Tuple[str, float]]:
+        """The failure (if any) for ``name``'s next checkpoint save.
+
+        Returns ``None`` (save normally), or ``("enospc", fraction)`` /
+        ``("torn", fraction)`` where ``fraction`` is how much of the
+        payload lands on disk before the failure.
+        """
+        if not self.spec.disk_enabled:
+            return None
+        index = self._saves.get(name, 0)
+        self._saves[name] = index + 1
+        rng = chaos_rng("disk|{}".format(name), self.seed, index)
+        # Fixed draw order, independent of outcomes.
+        enospc = rng.random() < self.spec.enospc_rate
+        torn = rng.random() < self.spec.torn_tmp_rate
+        fraction = float(rng.uniform(0.05, 0.95))
+        if enospc:
+            self._count("enospc")
+            return ("enospc", fraction)
+        if torn:
+            self._count("torn")
+            return ("torn", fraction)
+        return None

@@ -1,0 +1,61 @@
+"""The assembled chaos harness: one spec, three boundary injectors.
+
+:class:`ChaosHarness` bundles the network proxy, the process storm, and
+the disk failpoints for one storm run so experiments wire a single
+object::
+
+    harness = ChaosHarness(ChaosSpec.reference(seed=7))
+    manager = ShardManager(shards, ..., disk_chaos=harness.disk)
+    host, port = await harness.network.start(ingest_host, ingest_port)
+    ...                      # supervision loop calls harness.process.tick
+    harness.process.resume_all()
+
+With a disabled spec every component exists but injects nothing and
+consumes no randomness, so a disabled harness is bitwise-identical to
+running without one -- the property the chaos-storm experiment gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.chaos.disk import DiskChaos
+from repro.chaos.network import ChaosProxy
+from repro.chaos.process import ProcessChaos
+from repro.chaos.spec import ChaosSpec
+
+__all__ = ["ChaosHarness"]
+
+
+class ChaosHarness:
+    """All three boundary injectors derived from one spec + seed."""
+
+    def __init__(self, spec: ChaosSpec, seed: Optional[int] = None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else int(seed)
+        self.network = ChaosProxy(spec, seed=self.seed)
+        self.process = ProcessChaos(spec, seed=self.seed)
+        self.disk = DiskChaos(spec, seed=self.seed)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any boundary can ever inject a fault."""
+        return self.spec.enabled
+
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault tallies across all three boundaries.
+
+        Disk counts live in the forked workers' copies of
+        :class:`~repro.chaos.disk.DiskChaos`, so the parent-side disk
+        tallies here stay zero; workers report ``checkpoint_failures``
+        through their heartbeats instead.
+        """
+        merged: Dict[str, int] = {}
+        for prefix, counts in (
+            ("net", self.network.counts),
+            ("proc", self.process.counts),
+            ("disk", self.disk.counts),
+        ):
+            for tag, count in counts.items():
+                merged["{}_{}".format(prefix, tag)] = count
+        return merged

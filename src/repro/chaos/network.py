@@ -1,0 +1,220 @@
+"""A deterministic chaos TCP proxy for newline-framed protocols.
+
+:class:`ChaosProxy` sits between a telemetry sender and the
+:class:`~repro.serve.ingest.Ingestor`, forwarding newline-terminated
+request lines upstream and response lines back -- while injecting the
+network faults of a :class:`~repro.chaos.spec.ChaosSpec`:
+
+- **reset**: the line is truncated mid-write and both sides of the
+  connection are torn down (the server sees a partial line at EOF, the
+  client sees a reset and must reconnect + redeliver);
+- **fragment**: the line reaches the server in two writes with a pause
+  between them (exercises the server's line reassembly);
+- **delay**: the line is held for a fixed pause before forwarding;
+- **duplicate**: the line is forwarded twice back-to-back (the second
+  copy must be deduplicated server-side);
+- **reorder**: the line is held and forwarded after its successor (or
+  flushed after ``reorder_hold_s`` so lockstep senders cannot deadlock);
+- **ack_drop**: a response line is dropped instead of relayed (the
+  sender times out and redelivers an already-accepted request).
+
+Fault schedules are keyed by a global request-line index (response
+faults by a response-line index) through
+:func:`~repro.chaos.spec.chaos_rng`, so with a lockstep sender the storm
+is a pure function of ``(spec, seed)``.  Draws happen in a fixed order
+for every line regardless of which faults fire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Dict, Optional, Tuple
+
+from repro.chaos.spec import ChaosSpec, chaos_rng
+
+__all__ = ["ChaosProxy"]
+
+logger = logging.getLogger(__name__)
+
+
+class _Reset(Exception):
+    """Internal signal: tear down this proxied connection pair."""
+
+
+class ChaosProxy:
+    """Man-in-the-middle proxy applying a chaos spec to a line protocol.
+
+    Usage::
+
+        proxy = ChaosProxy(spec, seed=7)
+        host, port = await proxy.start(server_host, server_port)
+        # point clients at (host, port) instead of the server
+        ...
+        await proxy.stop()
+
+    ``counts`` tallies injected faults by tag for reports and tests.
+    """
+
+    def __init__(self, spec: ChaosSpec, seed: Optional[int] = None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else int(seed)
+        self.counts: Dict[str, int] = {}
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._upstream: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._lines = 0
+        self._acks = 0
+
+    def _count(self, tag: str) -> None:
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+
+    async def start(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> Tuple[str, int]:
+        """Listen on ``(host, port)`` and forward to the upstream server."""
+        self._upstream = (upstream_host, int(upstream_port))
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections (existing pairs die with their peers)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection plumbing --------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """Proxy one client connection through the fault schedule."""
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self._upstream)
+        except OSError:
+            writer.close()
+            return
+        try:
+            done, pending = await asyncio.wait(
+                [
+                    asyncio.ensure_future(
+                        self._pump_requests(reader, up_writer)
+                    ),
+                    asyncio.ensure_future(
+                        self._pump_responses(up_reader, writer)
+                    ),
+                ],
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            for task in done:
+                exc = task.exception()
+                if exc is not None and not isinstance(exc, _Reset):
+                    logger.debug("proxy pump ended: %r", exc)
+        finally:
+            for w in (writer, up_writer):
+                try:
+                    w.close()
+                except Exception:
+                    pass
+
+    async def _pump_requests(self, reader, up_writer) -> None:
+        """Client -> server: apply per-request-line faults."""
+        spec = self.spec
+        held: Optional[bytes] = None
+        while True:
+            if held is not None:
+                # A reordered line is waiting for its successor; flush it
+                # after reorder_hold_s so a lockstep sender (which will
+                # not send again until it gets a response) makes progress.
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=spec.reorder_hold_s
+                    )
+                except asyncio.TimeoutError:
+                    up_writer.write(held)
+                    await up_writer.drain()
+                    held = None
+                    continue
+            else:
+                line = await reader.readline()
+            if not line:
+                if held is not None:
+                    up_writer.write(held)
+                    await up_writer.drain()
+                up_writer.write_eof()
+                return
+            index = self._lines
+            self._lines += 1
+            rng = chaos_rng("net", self.seed, index)
+            # Fixed draw order, independent of outcomes.
+            reset = rng.random() < spec.reset_rate
+            duplicate = rng.random() < spec.duplicate_rate
+            reorder = rng.random() < spec.reorder_rate
+            fragment = rng.random() < spec.fragment_rate
+            delay = rng.random() < spec.delay_rate
+            cut = int(rng.integers(1, max(len(line), 2)))
+            if reset:
+                self._count("reset")
+                up_writer.write(line[:cut])
+                try:
+                    await up_writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                raise _Reset()
+            if delay:
+                self._count("delay")
+                await asyncio.sleep(spec.delay_s)
+            if reorder and held is None:
+                self._count("reorder")
+                held = line
+                continue
+            out = [line]
+            if held is not None:
+                # The successor goes first; the held line follows.
+                out.append(held)
+                held = None
+            if duplicate:
+                self._count("duplicate")
+                out.append(line)
+            for data in out:
+                if fragment and len(data) > 1:
+                    self._count("fragment")
+                    mid = 1 + (cut % (len(data) - 1))
+                    up_writer.write(data[:mid])
+                    await up_writer.drain()
+                    await asyncio.sleep(0.001)
+                    up_writer.write(data[mid:])
+                else:
+                    up_writer.write(data)
+                await up_writer.drain()
+
+    async def _pump_responses(self, up_reader, writer) -> None:
+        """Server -> client: apply per-response-line ack drops."""
+        spec = self.spec
+        while True:
+            line = await up_reader.readline()
+            if not line:
+                return
+            index = self._acks
+            self._acks += 1
+            rng = chaos_rng("ack", self.seed, index)
+            if rng.random() < spec.ack_drop_rate:
+                self._count("ack_drop")
+                continue
+            writer.write(line)
+            await writer.drain()

@@ -1,0 +1,104 @@
+"""Deterministic SIGKILL / SIGSTOP storms against shard workers.
+
+:class:`ProcessChaos` is driven by the supervision loop: every call to
+:meth:`ProcessChaos.tick` is one storm tick, with its own generator
+keyed by ``("proc", seed, tick)`` -- so the kill/stop schedule is a pure
+function of ``(spec, seed, tick count)`` and independent of timing.
+
+- A **kill** burst SIGKILLs ``kill_burst`` distinct workers.  The
+  manager's supervision re-forks them from their checkpoints and
+  redelivers the in-flight ledger -- under the exactly-once contract no
+  accepted interval may be lost.
+- A **stop** SIGSTOPs one worker for ``stop_ticks`` ticks.  The worker
+  stops heartbeating, the manager marks the shard degraded and sheds
+  load with held decisions, and recovery is measured from SIGCONT.
+
+:meth:`resume_all` must run before draining or stopping the manager: a
+stopped worker can neither drain its queue nor handle SIGTERM.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Dict
+
+from repro.chaos.spec import ChaosSpec, chaos_rng
+
+__all__ = ["ProcessChaos"]
+
+
+class ProcessChaos:
+    """Applies a :class:`~repro.chaos.spec.ChaosSpec`'s process faults.
+
+    ``counts`` tallies ``kill``/``stop``/``cont`` signals delivered.
+    """
+
+    def __init__(self, spec: ChaosSpec, seed=None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else int(seed)
+        self.counts: Dict[str, int] = {}
+        self._ticks = 0
+        #: pid -> tick at which to SIGCONT.
+        self._stopped: Dict[int, int] = {}
+
+    def _count(self, tag: str) -> None:
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+
+    def _signal(self, pid: int, signum: int) -> bool:
+        """Deliver one signal; a pid that already exited is not an error."""
+        try:
+            os.kill(pid, signum)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
+    def tick(self, manager) -> None:
+        """One storm tick against ``manager``'s current workers.
+
+        ``manager`` needs only a ``worker_pids()`` method returning a
+        ``{shard_key: pid}`` mapping of live workers.
+        """
+        index = self._ticks
+        self._ticks += 1
+        for pid, due in sorted(self._stopped.items()):
+            if index >= due:
+                if self._signal(pid, signal.SIGCONT):
+                    self._count("cont")
+                del self._stopped[pid]
+        if not self.spec.process_enabled:
+            return
+        pids = {
+            key: pid
+            for key, pid in manager.worker_pids().items()
+            if pid is not None
+        }
+        if not pids:
+            return
+        keys = sorted(pids)
+        rng = chaos_rng("proc", self.seed, index)
+        # Fixed draw order, independent of outcomes.
+        kill = rng.random() < self.spec.kill_rate
+        burst = min(self.spec.kill_burst, len(keys))
+        kill_victims = rng.choice(len(keys), size=burst, replace=False)
+        stop = rng.random() < self.spec.stop_rate
+        stop_victim = int(rng.integers(0, len(keys)))
+        if kill:
+            for victim in kill_victims:
+                if self._signal(pids[keys[int(victim)]], signal.SIGKILL):
+                    self._count("kill")
+        if stop:
+            pid = pids[keys[stop_victim]]
+            if pid not in self._stopped and self._signal(pid, signal.SIGSTOP):
+                self._count("stop")
+                self._stopped[pid] = index + self.spec.stop_ticks
+
+    def resume_all(self) -> int:
+        """SIGCONT every still-stopped worker; returns how many."""
+        resumed = 0
+        for pid in list(self._stopped):
+            if self._signal(pid, signal.SIGCONT):
+                self._count("cont")
+                resumed += 1
+            del self._stopped[pid]
+        return resumed

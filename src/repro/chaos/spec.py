@@ -1,0 +1,185 @@
+"""Seed-deterministic chaos schedules for the serve stack.
+
+:class:`ChaosSpec` is the service-level sibling of
+:class:`~repro.faults.injection.FaultSpec`: where the fault injector
+corrupts *telemetry*, the chaos harness attacks the *service* at its
+three real-world boundaries --
+
+- **network** (:class:`~repro.chaos.network.ChaosProxy`): connection
+  resets with partial writes, fragmented writes, delayed / duplicated /
+  reordered request lines, and dropped response acks;
+- **process** (:class:`~repro.chaos.process.ProcessChaos`): worker
+  SIGKILL and SIGSTOP storms beyond the single-kill supervision tests;
+- **disk** (:class:`~repro.chaos.disk.DiskChaos`): checkpoint writes
+  that fail with a simulated ENOSPC or tear mid-``os.replace``.
+
+The same two determinism guarantees as the fault injector hold, and the
+tests pin both:
+
+1. **A disabled spec is bitwise-identical to no chaos.**  Every
+   injector no-ops (and consumes no randomness) when its boundary's
+   rates are all zero, so a run wrapped in a disabled harness produces
+   byte-identical event streams to a run without the harness.
+2. **Same seed + same spec => same storm.**  Every draw comes from a
+   fresh generator keyed by ``(tag, seed, index)`` through
+   :func:`chaos_rng`, in a fixed order independent of earlier outcomes,
+   so the schedule is a pure function of the spec, the seed, and the
+   index sequence (request lines, supervision ticks, checkpoint saves).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChaosSpec", "chaos_rng"]
+
+
+def chaos_rng(tag: str, seed: int, index: int) -> np.random.Generator:
+    """A fresh generator for one ``(tag, seed, index)`` draw site.
+
+    Mirrors the fault injector's blake2b keying: the schedule at index
+    ``i`` never depends on how many draws earlier indices consumed.
+    """
+    text = "chaos|{}|{}|{}".format(tag, seed, index)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return np.random.default_rng(int.from_bytes(digest, "little"))
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Fault rates and shapes for one chaos storm.
+
+    Network probabilities are per request line (``ack_drop_rate`` per
+    response line), process probabilities per supervision tick, disk
+    probabilities per checkpoint save.  The default spec is fully
+    disabled.
+    """
+
+    # -- network boundary (per request line) --------------------------------
+    #: P(the line is truncated mid-write and the connection reset).
+    reset_rate: float = 0.0
+    #: P(the line is delivered in two writes with a pause between).
+    fragment_rate: float = 0.0
+    #: P(the line is held for ``delay_s`` before forwarding).
+    delay_rate: float = 0.0
+    #: Added latency for a delayed line, seconds.
+    delay_s: float = 0.005
+    #: P(the line is forwarded twice back-to-back).
+    duplicate_rate: float = 0.0
+    #: P(the line is held and forwarded after the next line).
+    reorder_rate: float = 0.0
+    #: How long a held (reordered) line waits for a successor before it
+    #: is flushed anyway -- keeps lockstep senders from deadlocking.
+    reorder_hold_s: float = 0.02
+    #: P(a response line is dropped instead of relayed -- the sender
+    #: times out and must redeliver, exercising the dedup window).
+    ack_drop_rate: float = 0.0
+
+    # -- process boundary (per supervision tick) ----------------------------
+    #: P(a SIGKILL burst fires this tick).
+    kill_rate: float = 0.0
+    #: Workers killed per burst.
+    kill_burst: int = 1
+    #: P(one worker is SIGSTOPped this tick).
+    stop_rate: float = 0.0
+    #: Ticks until a stopped worker gets SIGCONT.
+    stop_ticks: int = 4
+
+    # -- disk boundary (per checkpoint save) --------------------------------
+    #: P(the checkpoint write fails with a simulated ENOSPC).
+    enospc_rate: float = 0.0
+    #: P(the write crashes before ``os.replace``, littering a torn tmp).
+    torn_tmp_rate: float = 0.0
+
+    #: Base seed the per-index generators derive from.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate rates, durations, and burst sizes."""
+        for name in (
+            "reset_rate",
+            "fragment_rate",
+            "delay_rate",
+            "duplicate_rate",
+            "reorder_rate",
+            "ack_drop_rate",
+            "kill_rate",
+            "stop_rate",
+            "enospc_rate",
+            "torn_tmp_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "{} must lie in [0, 1], got {}".format(name, value)
+                )
+        if self.delay_s < 0 or self.reorder_hold_s < 0:
+            raise ValueError("delays cannot be negative")
+        if self.kill_burst < 1:
+            raise ValueError("kill_burst must be >= 1")
+        if self.stop_ticks < 1:
+            raise ValueError("stop_ticks must be >= 1")
+
+    # -- boundary gates ------------------------------------------------------
+
+    @property
+    def network_enabled(self) -> bool:
+        """Whether any network fault can ever fire."""
+        return (
+            self.reset_rate > 0
+            or self.fragment_rate > 0
+            or self.delay_rate > 0
+            or self.duplicate_rate > 0
+            or self.reorder_rate > 0
+            or self.ack_drop_rate > 0
+        )
+
+    @property
+    def process_enabled(self) -> bool:
+        """Whether any process fault can ever fire."""
+        return self.kill_rate > 0 or self.stop_rate > 0
+
+    @property
+    def disk_enabled(self) -> bool:
+        """Whether any disk fault can ever fire."""
+        return self.enospc_rate > 0 or self.torn_tmp_rate > 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault at any boundary can ever fire."""
+        return self.network_enabled or self.process_enabled or self.disk_enabled
+
+    @classmethod
+    def reference(cls, seed: int = 0, scale: float = 1.0) -> "ChaosSpec":
+        """The acceptance storm: every boundary fires, none dominates.
+
+        Rates are sized so a ~300-line run sees a handful of resets,
+        duplicated and delayed lines, dropped acks, several SIGKILLs, at
+        least one SIGSTOP episode, and repeated checkpoint failures --
+        while still finishing in seconds.  ``scale`` multiplies every
+        probability (capped at 1) for heavier or lighter storms.
+        """
+
+        def p(rate: float) -> float:
+            return min(rate * scale, 1.0)
+
+        return cls(
+            reset_rate=p(0.02),
+            fragment_rate=p(0.10),
+            delay_rate=p(0.05),
+            delay_s=0.002,
+            duplicate_rate=p(0.06),
+            reorder_rate=p(0.04),
+            reorder_hold_s=0.01,
+            ack_drop_rate=p(0.03),
+            kill_rate=p(0.04),
+            kill_burst=1,
+            stop_rate=p(0.03),
+            stop_ticks=4,
+            enospc_rate=p(0.25),
+            torn_tmp_rate=p(0.15),
+            seed=seed,
+        )

@@ -276,6 +276,40 @@ def main(argv=None) -> int:
         "--seed", type=int, default=20141213,
         help="base seed for training and the loopback fleet",
     )
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="chaos-storm acceptance run: the serve stack under network/"
+        "process/disk fault injection, gated on exactly-once delivery "
+        "and bit-identical decisions",
+    )
+    chaos_parser.add_argument(
+        "--intervals", type=int, default=30,
+        help="intervals per node through the storm (default: 30)",
+    )
+    chaos_parser.add_argument(
+        "--nodes-per-sku", type=int, default=2,
+        help="fleet width per SKU shard (default: 2)",
+    )
+    chaos_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiplier on every reference-storm fault rate (default: 1)",
+    )
+    chaos_parser.add_argument(
+        "--chaos-seed", type=int, default=7,
+        help="seed for the chaos schedules and client jitter (default: 7)",
+    )
+    chaos_parser.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="intervals between shard checkpoints (default: 4)",
+    )
+    chaos_parser.add_argument(
+        "--training", choices=["full", "quick"], default="quick",
+        help="per-SKU training depth (default: quick)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training and the loopback fleets",
+    )
     fleet_parser = sub.add_parser(
         "fleet", help="cluster-scale capping: N nodes under one power budget"
     )
@@ -338,6 +372,9 @@ def main(argv=None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     if args.command == "fleet":
         return _run_fleet(args)
@@ -520,6 +557,43 @@ def _run_serve(args) -> int:
         print("  checkpoints in {}".format(args.checkpoint_dir))
     print("[serve finished in {:.1f}s]".format(time.perf_counter() - started))
     return 0
+
+
+def _run_chaos(args) -> int:
+    """The ``chaos`` subcommand: the gated chaos-storm acceptance run."""
+    from repro.experiments.chaos_storm import (
+        StormParams,
+        format_report,
+        run_storm,
+    )
+    from repro.fleet.registry import ModelRegistry
+    from repro.serve.service import SKU_SPECS
+    from repro.workloads.suites import spec_combinations
+
+    started = time.perf_counter()
+    if args.training == "quick":
+        registry = ModelRegistry(
+            combos=spec_combinations()[:3],
+            bench_intervals=4,
+            cool_intervals=20,
+            base_seed=args.seed,
+        )
+    else:
+        registry = ModelRegistry(base_seed=args.seed)
+    params = StormParams(
+        intervals=args.intervals,
+        nodes_per_sku=args.nodes_per_sku,
+        seed=args.seed,
+        chaos_seed=args.chaos_seed,
+        scale=args.scale,
+        checkpoint_every=args.checkpoint_every,
+    )
+    for sku in params.skus:
+        registry.get(SKU_SPECS[sku])
+    result = run_storm(registry, params)
+    print(format_report(result))
+    print("[chaos finished in {:.1f}s]".format(time.perf_counter() - started))
+    return 0 if result["passed"] else 1
 
 
 def _run_fleet(args) -> int:

@@ -1,0 +1,576 @@
+"""The chaos-storm acceptance experiment: exactly-once under fire.
+
+The headline claim of the service-resilience layer, stated as one
+gated experiment.  Three identical loopback serve runs -- same trained
+models, same simulated fleets, same interleaved telemetry stream, a
+lockstep :class:`~repro.serve.client.ResilientClient` driving a real
+TCP socket into forked shard workers:
+
+- **baseline** -- no chaos harness at all;
+- **disabled** -- wrapped in a :class:`~repro.chaos.ChaosHarness` whose
+  spec is all-zeros (the bitwise-transparency control);
+- **storm** -- the :meth:`~repro.chaos.ChaosSpec.reference` storm:
+  connection resets mid-line, fragmented/delayed/duplicated/reordered
+  request lines, dropped acks, worker SIGKILL bursts and SIGSTOP
+  stalls, and checkpoint writes failing with ENOSPC or tearing before
+  ``os.replace``.
+
+Gates (all must hold, checked by :func:`run_storm` and enforced by
+``benchmarks/bench_chaos.py`` in CI):
+
+1. **Zero accepted-then-lost, zero duplicates.**  Under the storm every
+   one of the ``intervals x nodes`` telemetry lines is applied exactly
+   once: processed == accepted == expected, and per node the applied
+   ``decision`` events cover interval ``0..N-1`` with no repeats.
+2. **Bit-identical decisions.**  The storm run's post-dedup decision
+   stream (node, interval, VF decision, delivery index -- in applied
+   order, per shard) equals the baseline's exactly.
+3. **Transparency.**  The disabled run's shard event files and final
+   checkpoints are *byte-identical* to the baseline's: a disabled
+   harness is indistinguishable from no harness.
+4. **Bounded recovery.**  After the storm the service converges: no
+   shard still degraded, worst degraded episode within the configured
+   bound, and the storm demonstrably exercised all three boundaries
+   (kills and a SIGSTOP episode happened, network faults fired, at
+   least one checkpoint write failed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos import ChaosHarness, ChaosSpec
+from repro.obs.events import read_events
+from repro.serve.client import ResilientClient
+from repro.serve.ingest import Ingestor
+from repro.serve.manager import ShardManager
+from repro.serve.service import ServeConfig, build_shards, make_sources
+
+__all__ = ["StormParams", "StormRun", "format_report", "run_storm"]
+
+
+@dataclass
+class StormParams:
+    """Knobs for one storm experiment (defaults size the CI smoke run)."""
+
+    #: Intervals per node; total lines = intervals x nodes x SKUs.
+    intervals: int = 30
+    nodes_per_sku: int = 2
+    skus: Tuple[str, ...] = ("fx8320", "phenom")
+    #: Seed for training fleets / telemetry (the service side).
+    seed: int = 20141213
+    #: Seed for the chaos schedules and client jitter (the storm side).
+    chaos_seed: int = 7
+    #: Multiplier on every reference-storm rate.
+    scale: float = 1.0
+    queue_size: int = 32
+    #: Small period so the storm crosses many checkpoint boundaries.
+    checkpoint_every: int = 4
+    heartbeat_timeout_s: float = 0.5
+    #: Supervision cadence; also the process-chaos tick.
+    watchdog_period_s: float = 0.05
+    #: Gate: worst degraded episode must recover within this bound.
+    recovery_bound_s: float = 10.0
+    #: The storm keeps ticking until at least this many SIGKILLs and
+    #: one SIGSTOP landed -- the schedule is deterministic per tick,
+    #: but how many ticks the send phase spans is not, so the exercise
+    #: requirement is enforced by construction instead of by luck.
+    min_kills: int = 2
+    min_stops: int = 1
+    drain_timeout_s: float = 120.0
+
+
+@dataclass
+class StormRun:
+    """Everything one serve run leaves behind for gating."""
+
+    name: str
+    #: Final ``ShardManager.stop()`` aggregate stats.
+    report: dict
+    #: ``ShardManager.health()`` captured after convergence, before stop.
+    health: dict
+    #: ``ResilientClient.stats`` plus a ``drained`` flag.
+    client: dict
+    #: Per SKU: applied (node, interval, vf tuple, delivery index) in order.
+    decisions: Dict[str, List[tuple]]
+    #: Per SKU: raw bytes of the shard's JSONL event stream.
+    event_bytes: Dict[str, bytes] = field(repr=False, default_factory=dict)
+    #: Per SKU: raw bytes of the shard's final checkpoint.
+    checkpoint_bytes: Dict[str, bytes] = field(repr=False, default_factory=dict)
+    #: Injected-fault tallies (empty for the baseline run).
+    chaos: Dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+
+async def _drive(
+    name: str,
+    registry,
+    params: StormParams,
+    harness: Optional[ChaosHarness],
+) -> StormRun:
+    """One full serve lifecycle, optionally wrapped in a chaos harness."""
+    workdir = tempfile.mkdtemp(prefix="chaos-{}-".format(name))
+    started = time.perf_counter()
+    try:
+        config = ServeConfig(
+            skus=params.skus,
+            nodes_per_sku=params.nodes_per_sku,
+            intervals=params.intervals,
+            queue_size=params.queue_size,
+            checkpoint_dir=os.path.join(workdir, "ckpt"),
+            checkpoint_every=params.checkpoint_every,
+            events_dir=os.path.join(workdir, "events"),
+            base_seed=params.seed,
+        )
+        shards, fleets = build_shards(registry, config)
+        manager = ShardManager(
+            shards,
+            queue_size=params.queue_size,
+            retry_after_s=0.01,
+            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_every=params.checkpoint_every,
+            events_dir=config.events_dir,
+            heartbeat_timeout_s=params.heartbeat_timeout_s,
+            disk_chaos=None if harness is None else harness.disk,
+        )
+        # Materialise the stream up front: all three runs then feed the
+        # byte-identical line sequence, which is what makes the
+        # decision-stream and transparency comparisons meaningful.
+        lines = list(make_sources(fleets, params.intervals))
+        expected = len(lines)
+        manager.start()
+        ingestor = Ingestor(manager)
+        await ingestor.start()
+        host, port = ingestor.host, ingestor.port
+        if harness is not None:
+            host, port = await harness.network.start(ingestor.host, ingestor.port)
+
+        storm = {"active": harness is not None}
+        client_done = asyncio.Event()
+        done = asyncio.Event()
+
+        def _storm_satisfied() -> bool:
+            counts = harness.process.counts
+            return (
+                counts.get("kill", 0) >= params.min_kills
+                and counts.get("stop", 0) >= params.min_stops
+            )
+
+        async def watchdog() -> None:
+            """Supervision + storm ticks on one deterministic cadence."""
+            while not done.is_set():
+                manager.ensure_alive()
+                manager.poll()
+                manager.check_heartbeats()
+                if storm["active"]:
+                    harness.process.tick(manager)
+                    if (
+                        client_done.is_set()
+                        and (
+                            not harness.spec.process_enabled
+                            or _storm_satisfied()
+                        )
+                    ):
+                        storm["active"] = False
+                        harness.process.resume_all()
+                await asyncio.sleep(params.watchdog_period_s)
+
+        watchdog_task = asyncio.ensure_future(watchdog())
+
+        def send_all() -> dict:
+            client = ResilientClient(
+                host,
+                port,
+                seed=params.chaos_seed,
+                timeout_s=1.0,
+                max_redeliveries=100000,
+                backoff_base_s=0.01,
+                backoff_max_s=0.25,
+            )
+            try:
+                for line in lines:
+                    client.send_wire(line)
+                drained = client.drain(timeout_s=params.drain_timeout_s)
+            finally:
+                client.close()
+            stats = dict(client.stats)
+            stats["drained"] = drained
+            return stats
+
+        loop = asyncio.get_running_loop()
+        try:
+            client_stats = await loop.run_in_executor(None, send_all)
+        finally:
+            client_done.set()
+
+        # Converge: storm spent (watchdog deactivates it once the
+        # minimum fault counts landed), every accepted interval
+        # processed, no shard left degraded.
+        deadline = time.monotonic() + params.drain_timeout_s
+        while time.monotonic() < deadline:
+            if (
+                not storm["active"]
+                and manager.stats()["processed"] >= expected
+                and manager.health()["degraded"] == 0
+            ):
+                break
+            await asyncio.sleep(params.watchdog_period_s)
+        health = manager.health()
+        done.set()
+        await watchdog_task
+        if harness is not None:
+            harness.process.resume_all()
+        report = manager.stop()
+        await ingestor.stop()
+        if harness is not None:
+            await harness.network.stop()
+        # Let per-connection handler tasks see EOF and finish before
+        # asyncio.run tears the loop down -- otherwise their cancellation
+        # prints spurious CancelledError tracebacks at shutdown.
+        await asyncio.sleep(0.05)
+
+        decisions: Dict[str, List[tuple]] = {}
+        event_bytes: Dict[str, bytes] = {}
+        checkpoint_bytes: Dict[str, bytes] = {}
+        for sku in params.skus:
+            events_path = os.path.join(
+                config.events_dir, "shard-{}.jsonl".format(sku)
+            )
+            with open(events_path, "rb") as fh:
+                event_bytes[sku] = fh.read()
+            decisions[sku] = [
+                (
+                    event["node"],
+                    event["interval"],
+                    tuple(event["vf_index"]),
+                    event["delivery_index"],
+                )
+                for event in read_events(events_path)
+                if event["type"] == "decision"
+            ]
+            ckpt_path = os.path.join(
+                config.checkpoint_dir, "shard-{}.json".format(sku)
+            )
+            with open(ckpt_path, "rb") as fh:
+                checkpoint_bytes[sku] = fh.read()
+        return StormRun(
+            name=name,
+            report=report,
+            health=health,
+            client=client_stats,
+            decisions=decisions,
+            event_bytes=event_bytes,
+            checkpoint_bytes=checkpoint_bytes,
+            chaos={} if harness is None else harness.stats(),
+            wall_s=time.perf_counter() - started,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _gate_exactly_once(
+    storm: StormRun, params: StormParams, expected: int, failures: List[str]
+) -> dict:
+    """Gate 1: every line applied exactly once despite the storm."""
+    report = storm.report
+    checks = {
+        "expected": expected,
+        "accepted": report["accepted"],
+        "processed": report["processed"],
+        "duplicates_absorbed": report["duplicates"],
+        "client": storm.client,
+    }
+    if report["accepted"] != expected:
+        failures.append(
+            "storm: accepted {} of {} lines".format(report["accepted"], expected)
+        )
+    if report["processed"] != expected:
+        failures.append(
+            "storm: processed {} != accepted {} -- an accepted interval "
+            "was lost or double-applied".format(report["processed"], expected)
+        )
+    if not storm.client.get("drained", False):
+        failures.append("storm: client spool did not drain")
+    if storm.client.get("errors", 0):
+        failures.append(
+            "storm: client saw {} error responses".format(storm.client["errors"])
+        )
+    delivered = storm.client.get("accepted", 0) + storm.client.get(
+        "duplicates", 0
+    )
+    if delivered != expected:
+        failures.append(
+            "storm: client terminally delivered {} of {} lines".format(
+                delivered, expected
+            )
+        )
+    for sku, stream in storm.decisions.items():
+        per_node: Dict[str, List[int]] = {}
+        for node, interval, _vf, _di in stream:
+            per_node.setdefault(node, []).append(interval)
+        for node, intervals in per_node.items():
+            if sorted(intervals) != list(range(params.intervals)):
+                failures.append(
+                    "storm: node {} applied intervals {} (want exactly "
+                    "0..{} once each)".format(
+                        node, sorted(intervals)[:10], params.intervals - 1
+                    )
+                )
+    return checks
+
+
+def _gate_decisions(storm: StormRun, baseline: StormRun, failures: List[str]) -> dict:
+    """Gate 2: the storm's applied decision stream equals the baseline's."""
+    checks = {}
+    for sku in baseline.decisions:
+        same = storm.decisions.get(sku) == baseline.decisions[sku]
+        checks[sku] = bool(same)
+        if not same:
+            base, under = baseline.decisions[sku], storm.decisions.get(sku, [])
+            divergence = next(
+                (
+                    i
+                    for i, (a, b) in enumerate(zip(base, under))
+                    if a != b
+                ),
+                min(len(base), len(under)),
+            )
+            failures.append(
+                "storm: shard {} decision stream diverges from baseline at "
+                "applied index {} (baseline {} vs storm {})".format(
+                    sku,
+                    divergence,
+                    base[divergence] if divergence < len(base) else "<end>",
+                    under[divergence] if divergence < len(under) else "<end>",
+                )
+            )
+    return checks
+
+
+def _gate_transparency(
+    disabled: StormRun, baseline: StormRun, failures: List[str]
+) -> dict:
+    """Gate 3: a disabled harness is byte-identical to no harness."""
+    checks = {}
+    for sku in baseline.event_bytes:
+        events_same = disabled.event_bytes.get(sku) == baseline.event_bytes[sku]
+        ckpt_same = (
+            disabled.checkpoint_bytes.get(sku) == baseline.checkpoint_bytes[sku]
+        )
+        checks[sku] = {"events": bool(events_same), "checkpoint": bool(ckpt_same)}
+        if not events_same:
+            failures.append(
+                "disabled harness: shard {} event stream differs from the "
+                "no-harness baseline".format(sku)
+            )
+        if not ckpt_same:
+            failures.append(
+                "disabled harness: shard {} final checkpoint differs from "
+                "the no-harness baseline".format(sku)
+            )
+    return checks
+
+
+def _gate_recovery(
+    storm: StormRun, params: StormParams, failures: List[str]
+) -> dict:
+    """Gate 4: bounded recovery, and the storm actually happened."""
+    health = storm.health
+    net_faults = sum(
+        count for tag, count in storm.chaos.items() if tag.startswith("net_")
+    )
+    checkpoint_failures = sum(
+        shard.get("checkpoint_failures", 0)
+        for shard in storm.report["shards"].values()
+    )
+    checks = {
+        "degraded_at_end": health["degraded"],
+        "restarts": health["restarts"],
+        "recoveries": health["recoveries"],
+        "recovery_s_max": health["recovery_s_max"],
+        "kills": storm.chaos.get("proc_kill", 0),
+        "stops": storm.chaos.get("proc_stop", 0),
+        "net_faults": net_faults,
+        "checkpoint_failures": checkpoint_failures,
+    }
+    if health["degraded"]:
+        failures.append(
+            "storm: {} shard(s) still degraded after the storm".format(
+                health["degraded"]
+            )
+        )
+    if health["recovery_s_max"] > params.recovery_bound_s:
+        failures.append(
+            "storm: worst degraded episode lasted {:.2f}s "
+            "(bound {:.2f}s)".format(
+                health["recovery_s_max"], params.recovery_bound_s
+            )
+        )
+    if checks["kills"] < params.min_kills:
+        failures.append(
+            "storm under-exercised: only {} SIGKILLs landed "
+            "(want >= {})".format(checks["kills"], params.min_kills)
+        )
+    if checks["stops"] < params.min_stops:
+        failures.append(
+            "storm under-exercised: only {} SIGSTOP episodes "
+            "(want >= {})".format(checks["stops"], params.min_stops)
+        )
+    if net_faults < 1:
+        failures.append("storm under-exercised: no network faults fired")
+    if checkpoint_failures < 1:
+        failures.append(
+            "storm under-exercised: no checkpoint write ever failed"
+        )
+    return checks
+
+
+def run_storm(registry, params: Optional[StormParams] = None) -> dict:
+    """Run baseline / disabled / storm and evaluate every gate.
+
+    ``registry`` is a trained :class:`~repro.fleet.registry.ModelRegistry`
+    covering ``params.skus`` (train before calling -- the clock and the
+    chaos schedules should measure the service, not model fitting).
+    Returns a result dict with per-run summaries, per-gate check
+    details, the failure list, and ``passed``.
+    """
+    params = params or StormParams()
+    baseline = asyncio.run(_drive("baseline", registry, params, None))
+    disabled = asyncio.run(
+        _drive(
+            "disabled",
+            registry,
+            params,
+            ChaosHarness(ChaosSpec(seed=params.chaos_seed)),
+        )
+    )
+    storm = asyncio.run(
+        _drive(
+            "storm",
+            registry,
+            params,
+            ChaosHarness(
+                ChaosSpec.reference(seed=params.chaos_seed, scale=params.scale)
+            ),
+        )
+    )
+    expected = params.intervals * params.nodes_per_sku * len(params.skus)
+    failures: List[str] = []
+    checks = {
+        "exactly_once": _gate_exactly_once(storm, params, expected, failures),
+        "decisions_bit_identical": _gate_decisions(storm, baseline, failures),
+        "disabled_transparent": _gate_transparency(disabled, baseline, failures),
+        "bounded_recovery": _gate_recovery(storm, params, failures),
+    }
+    runs = {}
+    for run in (baseline, disabled, storm):
+        runs[run.name] = {
+            "wall_s": run.wall_s,
+            "processed": run.report["processed"],
+            "accepted": run.report["accepted"],
+            "duplicates": run.report["duplicates"],
+            "sheds": run.report["sheds"],
+            "restarts": run.report["restarts"],
+            "client": run.client,
+            "chaos": run.chaos,
+            "health": {
+                "recoveries": run.health["recoveries"],
+                "recovery_s_max": run.health["recovery_s_max"],
+            },
+        }
+    return {
+        "expected": expected,
+        "params": {
+            "intervals": params.intervals,
+            "nodes_per_sku": params.nodes_per_sku,
+            "skus": list(params.skus),
+            "seed": params.seed,
+            "chaos_seed": params.chaos_seed,
+            "scale": params.scale,
+            "checkpoint_every": params.checkpoint_every,
+            "recovery_bound_s": params.recovery_bound_s,
+        },
+        "runs": runs,
+        "checks": checks,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+def format_report(result: dict) -> str:
+    """Human-readable storm report (what ``bench_chaos`` prints)."""
+    runs = result["runs"]
+    storm = runs["storm"]
+    recovery = result["checks"]["bounded_recovery"]
+    lines = [
+        "Chaos storm: exactly-once delivery under service-level faults",
+        "=============================================================",
+        "stream: {} telemetry lines ({} intervals x {} nodes x {} SKUs)".format(
+            result["expected"],
+            result["params"]["intervals"],
+            result["params"]["nodes_per_sku"],
+            len(result["params"]["skus"]),
+        ),
+        "storm: {} SIGKILLs, {} SIGSTOPs, {} network faults, "
+        "{} checkpoint write failures".format(
+            recovery["kills"],
+            recovery["stops"],
+            recovery["net_faults"],
+            recovery["checkpoint_failures"],
+        ),
+        "storm run: processed {} / accepted {} (duplicates absorbed: {}, "
+        "sheds: {}, restarts: {})".format(
+            storm["processed"],
+            storm["accepted"],
+            storm["duplicates"],
+            storm["sheds"],
+            storm["restarts"],
+        ),
+        "client: {} accepted, {} duplicate-converged, {} timeouts, "
+        "{} reconnects, {} redeliveries".format(
+            storm["client"].get("accepted", 0),
+            storm["client"].get("duplicates", 0),
+            storm["client"].get("timeouts", 0),
+            storm["client"].get("reconnects", 0),
+            storm["client"].get("redeliveries", 0),
+        ),
+        "recovery: {} degraded episodes, worst {:.3f}s (bound {:.1f}s)".format(
+            recovery["recoveries"],
+            recovery["recovery_s_max"],
+            result["params"]["recovery_bound_s"],
+        ),
+        "gates: exactly-once={}, decisions-bit-identical={}, "
+        "disabled-transparent={}, bounded-recovery={}".format(
+            "PASS" if storm["processed"] == result["expected"] else "FAIL",
+            "PASS"
+            if all(result["checks"]["decisions_bit_identical"].values())
+            else "FAIL",
+            "PASS"
+            if all(
+                check["events"] and check["checkpoint"]
+                for check in result["checks"]["disabled_transparent"].values()
+            )
+            else "FAIL",
+            "PASS" if not result["failures"] else "FAIL",
+        ),
+        "wall: baseline {:.1f}s, disabled {:.1f}s, storm {:.1f}s".format(
+            runs["baseline"]["wall_s"],
+            runs["disabled"]["wall_s"],
+            runs["storm"]["wall_s"],
+        ),
+    ]
+    if result["failures"]:
+        lines.append("FAILURES:")
+        lines.extend("  - " + failure for failure in result["failures"])
+    else:
+        lines.append(
+            "verdict: zero accepted-then-lost, zero double-applied, "
+            "decision stream bit-identical to the chaos-free run"
+        )
+    return "\n".join(lines)

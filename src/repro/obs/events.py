@@ -35,8 +35,10 @@ __all__ = [
 ]
 
 #: Version 2 added the ``telemetry`` ingestion event (the wire format of
-#: ``repro.serve``); version-1 files remain readable.
-SCHEMA_VERSION = 2
+#: ``repro.serve``); version 3 added the service-resilience events
+#: (``decision``, ``shard_restart``, ``shard_degraded``,
+#: ``shard_recovered``).  Older files remain readable.
+SCHEMA_VERSION = 3
 
 #: Required fields per event type (beyond the common v/type/node/interval).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -68,6 +70,17 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # ``repro.serve`` front-end.  ``sample`` is the wire-format payload
     # (see :mod:`repro.serve.protocol`); ``sku`` routes it to a shard.
     "telemetry": ("sku", "sample"),
+    # One applied VF decision for a delivered interval -- the unit of
+    # the exactly-once contract: under chaos the post-dedup decision
+    # stream must be bit-identical to the chaos-free run.
+    "decision": ("sku", "vf_index", "delivery_index"),
+    # A shard worker died (SIGKILL, crash) and the manager re-forked it.
+    "shard_restart": ("sku", "restarts", "inflight_requeued"),
+    # A shard stopped heartbeating / backlogged: the service holds each
+    # node's last-safe VF decision and sheds load until it recovers.
+    "shard_degraded": ("sku", "reason"),
+    # A degraded shard caught back up; normal admission resumed.
+    "shard_recovered": ("sku", "degraded_s"),
 }
 
 EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_FIELDS))

@@ -17,13 +17,23 @@ Layout:
   fork()ed workers, crash supervision;
 - :mod:`~repro.serve.ingest` -- the asyncio TCP front-end and the
   stdin loop;
+- :mod:`~repro.serve.client` -- :class:`ResilientClient`, the
+  exactly-once sender (seq numbers, retries, reconnects, spooling);
 - :mod:`~repro.serve.checkpoint` -- atomic snapshot plumbing;
 - :mod:`~repro.serve.service` -- configuration and the
   ``ppep-repro serve`` entry point.
+
+Delivery semantics: every accepted interval is applied exactly once.
+Acceptance enters it into an in-flight ledger that survives worker
+crashes (redelivered from the durable checkpoint watermark), per-node
+``seq`` dedup absorbs client redeliveries, and degraded shards shed
+load with the node's last-safe decision instead of dropping or
+stalling.  :mod:`repro.chaos` exists to prove all of this under fire.
 """
 
 from repro.serve.checkpoint import Checkpointer, read_checkpoint, write_checkpoint
-from repro.serve.ingest import Ingestor, ingest_lines
+from repro.serve.client import DeliveryError, ResilientClient
+from repro.serve.ingest import Ingestor, ingest_lines, ingest_lines_async
 from repro.serve.manager import ShardManager, ShardSpec
 from repro.serve.protocol import (
     ProtocolError,
@@ -37,8 +47,10 @@ from repro.serve.shard import ShardPipeline
 
 __all__ = [
     "Checkpointer",
+    "DeliveryError",
     "Ingestor",
     "ProtocolError",
+    "ResilientClient",
     "SKU_SPECS",
     "ServeConfig",
     "ShardManager",
@@ -46,6 +58,7 @@ __all__ = [
     "ShardSpec",
     "build_shards",
     "ingest_lines",
+    "ingest_lines_async",
     "parse_telemetry",
     "read_checkpoint",
     "run_service",

@@ -1,0 +1,380 @@
+"""Exactly-once resilient telemetry client.
+
+:class:`ResilientClient` is the sender half of the service's delivery
+contract.  The server deduplicates on a per-node monotonic ``seq``
+(:mod:`repro.serve.manager`), which turns the client's only safe retry
+policy -- *when in doubt, resend* -- into exactly-once application:
+
+- every line gets a per-node monotonic sequence number exactly once, at
+  submission; redeliveries reuse it, so a resend after a lost ack comes
+  back ``duplicate`` instead of being applied twice;
+- lines are sent in lockstep (one outstanding request): allocation
+  rounds depend on cross-node arrival order, so global delivery order
+  must be preserved, not just per-node order;
+- ``retry``/``shed`` responses back the client off (seeded exponential
+  backoff with deterministic jitter) and resend, bounded by
+  ``max_redeliveries``;
+- a response timeout resends the same line on the same connection --
+  the server may or may not have applied it, and dedup makes both
+  outcomes safe; stray late responses are recognised by their echoed
+  ``seq`` and discarded;
+- transport failures (reset, refused connect) reconnect with capped
+  exponential backoff; while the transport is down, submissions spool
+  into a bounded offline outbox that :meth:`drain` (or any later send)
+  flushes in order.
+
+Backoff jitter comes from a blake2b counter keyed on the client seed --
+the same determinism idiom as :mod:`repro.chaos`, but implemented
+locally so the client stays importable without numpy or the chaos
+package (it is the one piece meant to run *outside* the service).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import socket
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.hardware.platform import IntervalSample
+from repro.serve.protocol import (
+    ACCEPTED,
+    DUPLICATE,
+    ERROR,
+    RETRY,
+    SHED,
+    ProtocolError,
+    decode_line,
+    encode,
+    telemetry_line,
+)
+
+__all__ = ["DeliveryError", "ResilientClient"]
+
+logger = logging.getLogger(__name__)
+
+
+class DeliveryError(RuntimeError):
+    """A line the client will not redeliver (rejected or out of budget)."""
+
+
+class _TransportDown(Exception):
+    """Internal: reconnect attempts exhausted; spool instead of failing."""
+
+
+class ResilientClient:
+    """Lockstep exactly-once sender for the line-JSON telemetry service.
+
+    Parameters
+    ----------
+    host / port:
+        The ingestion listener (or a chaos proxy in front of it).
+    seed:
+        Keys the deterministic backoff jitter.
+    timeout_s:
+        Socket timeout: both connect and per-response wait.
+    connect_attempts:
+        Consecutive failed connects before the transport is declared
+        down and submissions start spooling.
+    max_redeliveries:
+        Per-line budget of retry/shed/timeout redeliveries before
+        :class:`DeliveryError`.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff envelope for reconnects and retry waits.
+    spool_limit:
+        Bounded offline outbox depth; overflowing it raises
+        :class:`DeliveryError` rather than buffering without limit.
+    sleep:
+        Injectable clock for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        seed: int = 0,
+        timeout_s: float = 1.0,
+        connect_attempts: int = 8,
+        max_redeliveries: int = 1000,
+        backoff_base_s: float = 0.02,
+        backoff_max_s: float = 1.0,
+        spool_limit: int = 4096,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if connect_attempts < 1:
+            raise ValueError("connect_attempts must be >= 1")
+        if spool_limit < 1:
+            raise ValueError("spool_limit must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.seed = int(seed)
+        self.timeout_s = float(timeout_s)
+        self.connect_attempts = int(connect_attempts)
+        self.max_redeliveries = int(max_redeliveries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.spool_limit = int(spool_limit)
+        self.sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+        self._seqs: Dict[str, int] = {}
+        self._jitter_index = 0
+        self._connected_once = False
+        #: (node, seq, line) entries not yet acknowledged, in order.
+        self._outbox: Deque[Tuple[Optional[str], Optional[int], bytes]] = deque()
+        self.stats = {
+            "accepted": 0,
+            "duplicates": 0,
+            "retries": 0,
+            "sheds": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "reconnects": 0,
+            "redeliveries": 0,
+            "stray_responses": 0,
+            "spooled": 0,
+        }
+
+    # -- determinism ---------------------------------------------------------
+
+    def _jitter(self) -> float:
+        """Deterministic uniform draw in ``[0.5, 1.5)`` for backoff."""
+        key = "client|{}|{}".format(self.seed, self._jitter_index).encode()
+        self._jitter_index += 1
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return 0.5 + int.from_bytes(digest, "little") / 2.0**64
+
+    def _backoff(self, attempt: int) -> float:
+        return (
+            min(self.backoff_base_s * 2.0**attempt, self.backoff_max_s)
+            * self._jitter()
+        )
+
+    # -- transport -----------------------------------------------------------
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._buf = b""
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        for attempt in range(self.connect_attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+            except OSError:
+                self.sleep(self._backoff(attempt))
+                continue
+            sock.settimeout(self.timeout_s)
+            self._sock = sock
+            self._buf = b""
+            if self._connected_once:
+                self.stats["reconnects"] += 1
+            self._connected_once = True
+            return sock
+        raise _TransportDown()
+
+    def _read_line(self) -> bytes:
+        sock = self._sock
+        assert sock is not None
+        while b"\n" not in self._buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise OSError("server closed the connection")
+            self._buf += chunk
+        line, _sep, self._buf = self._buf.partition(b"\n")
+        return line
+
+    def _transact(self, line: bytes, seq: Optional[int], budget: list) -> dict:
+        """Send one line and return its (seq-matched) response.
+
+        ``budget`` is the shared one-element redelivery counter for this
+        line; timeouts consume it (each timeout is one redelivery).
+        Raises :class:`_TransportDown` when reconnects run out.
+        """
+        while True:
+            sock = self._ensure_connected()
+            try:
+                sock.sendall(line)
+                while True:
+                    resp = decode_line(self._read_line())
+                    rseq = resp.get("seq")
+                    if seq is not None and rseq is not None and rseq != seq:
+                        # A late response to an earlier incarnation of
+                        # this connection; dedup upstream makes it moot.
+                        self.stats["stray_responses"] += 1
+                        continue
+                    return resp
+            except socket.timeout:
+                self.stats["timeouts"] += 1
+                self._bump_redelivery(budget, line)
+                # The server may or may not have applied the line; with
+                # seq dedup, resending is safe either way.
+                continue
+            except (OSError, ProtocolError):
+                self._drop_connection()
+                self._bump_redelivery(budget, line)
+
+    def _bump_redelivery(self, budget: list, line: bytes) -> None:
+        budget[0] += 1
+        self.stats["redeliveries"] += 1
+        if budget[0] > self.max_redeliveries:
+            raise DeliveryError(
+                "gave up after {} redeliveries of {!r}".format(
+                    budget[0] - 1, line[:80]
+                )
+            )
+
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver(
+        self, node: Optional[str], seq: Optional[int], line: bytes
+    ) -> dict:
+        """Drive one line to an accepted/duplicate/error outcome."""
+        budget = [0]
+        retry_round = 0
+        while True:
+            resp = self._transact(line, seq, budget)
+            status = resp.get("status")
+            if status == ACCEPTED:
+                self.stats["accepted"] += 1
+                return resp
+            if status == DUPLICATE:
+                # An earlier incarnation of this send got through; the
+                # delivery contract (applied exactly once) is met.
+                self.stats["duplicates"] += 1
+                return resp
+            if status in (RETRY, SHED):
+                if status == SHED:
+                    self.stats["sheds"] += 1
+                else:
+                    self.stats["retries"] += 1
+                self._bump_redelivery(budget, line)
+                hint = float(resp.get("retry_after_s", self.backoff_base_s))
+                self.sleep(
+                    min(
+                        max(hint, self.backoff_base_s) * 2.0**retry_round,
+                        self.backoff_max_s,
+                    )
+                    * self._jitter()
+                )
+                retry_round += 1
+                continue
+            if status == ERROR:
+                self.stats["errors"] += 1
+                raise DeliveryError(
+                    "server rejected line: {}".format(
+                        resp.get("reason", "unknown reason")
+                    )
+                )
+            raise DeliveryError("unknown response status {!r}".format(status))
+
+    def _flush_outbox(self) -> dict:
+        """Deliver spooled lines in order; stop (spooled) if transport dies."""
+        last: dict = {"status": "spooled", "spooled": len(self._outbox)}
+        while self._outbox:
+            node, seq, line = self._outbox[0]
+            try:
+                last = self._deliver(node, seq, line)
+            except _TransportDown:
+                self.stats["spooled"] += 1
+                return {"status": "spooled", "spooled": len(self._outbox)}
+            except DeliveryError:
+                # A rejected line must not wedge the lines queued
+                # behind it; drop it and let the error surface.
+                self._outbox.popleft()
+                raise
+            self._outbox.popleft()
+        return last
+
+    # -- public API ----------------------------------------------------------
+
+    def send(
+        self, node: str, sku: str, interval: int, sample: IntervalSample
+    ) -> dict:
+        """Submit one node interval; returns the final response payload.
+
+        ``{"status": "accepted"}`` / ``{"status": "duplicate"}`` mean the
+        interval is applied exactly once; ``{"status": "spooled"}`` means
+        the transport is down and the line waits in the outbox (flushed
+        by the next send or an explicit :meth:`drain`).  Raises
+        :class:`DeliveryError` for a rejected line, an exhausted
+        redelivery budget, or an overflowing spool.
+        """
+        return self.send_wire(telemetry_line(node, sku, interval, sample))
+
+    def send_wire(self, line: bytes) -> dict:
+        """Submit one already-encoded telemetry line (seq is injected).
+
+        The per-node sequence number is assigned here, exactly once;
+        every redelivery of the line reuses it.  A line that already
+        carries a ``seq`` keeps it (replaying a recorded wire stream
+        stays exactly-once).
+        """
+        try:
+            obj = decode_line(line if isinstance(line, bytes) else line.encode())
+        except ProtocolError:
+            obj = None
+        node: Optional[str] = None
+        seq: Optional[int] = None
+        if obj is not None:
+            raw_node = obj.get("node")
+            node = raw_node if isinstance(raw_node, str) and raw_node else None
+            if node is not None:
+                if isinstance(obj.get("seq"), int):
+                    seq = obj["seq"]
+                    self._seqs[node] = max(self._seqs.get(node, -1), seq)
+                else:
+                    seq = self._seqs.get(node, -1) + 1
+                    self._seqs[node] = seq
+                    obj["seq"] = seq
+                line = encode(obj)
+        if len(self._outbox) >= self.spool_limit:
+            raise DeliveryError(
+                "offline spool overflow ({} lines)".format(len(self._outbox))
+            )
+        self._outbox.append((node, seq, line))
+        return self._flush_outbox()
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Retry the offline outbox until empty or ``timeout_s`` elapses.
+
+        Returns whether the outbox drained completely.
+        """
+        deadline = time.monotonic() + timeout_s
+        attempt = 0
+        while self._outbox:
+            self._flush_outbox()
+            if not self._outbox:
+                break
+            if time.monotonic() >= deadline:
+                return False
+            self.sleep(self._backoff(attempt))
+            attempt += 1
+        return True
+
+    @property
+    def spooled(self) -> int:
+        """Lines waiting in the offline outbox."""
+        return len(self._outbox)
+
+    def close(self) -> None:
+        """Drop the connection (spooled lines stay in the outbox)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

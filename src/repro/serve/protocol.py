@@ -26,6 +26,23 @@ Every request line gets exactly one JSON response line:
   backpressure, never a silent drop);
 - ``{"status": "error", "reason": ...}`` -- the line failed schema
   validation or named an unknown node/SKU; resending it is pointless.
+
+Two further statuses support the exactly-once resilient client
+(:mod:`repro.serve.client`):
+
+- ``{"status": "duplicate", ...}`` -- the line carried a ``seq`` the
+  server already accepted from that node; it was **not** re-applied.
+  Redelivery after a lost ack therefore converges to exactly-once.
+- ``{"status": "shed", "held_decision": ...}`` -- the owning shard is
+  degraded (worker re-forking, heartbeat stall) and the service is
+  load-shedding: the interval was not applied, and the response carries
+  the node's last-safe VF decision (GuardedController semantics lifted
+  to service level) so the sender can keep operating while it retries.
+
+Requests may carry an optional ``"seq"`` field -- a per-node monotonic
+non-negative integer assigned by the client.  Every response echoes the
+request's ``seq`` (when present) so a client that reconnects mid-flight
+can discard stray responses to requests it no longer tracks.
 """
 
 from __future__ import annotations
@@ -40,8 +57,10 @@ from repro.obs.events import SCHEMA_VERSION, validate_event
 
 __all__ = [
     "ACCEPTED",
+    "DUPLICATE",
     "ERROR",
     "RETRY",
+    "SHED",
     "ProtocolError",
     "decode_line",
     "encode",
@@ -56,6 +75,8 @@ __all__ = [
 ACCEPTED = "accepted"
 RETRY = "retry"
 ERROR = "error"
+DUPLICATE = "duplicate"
+SHED = "shed"
 
 #: ``sample`` payload fields a sender must provide.
 REQUIRED_SAMPLE_FIELDS = (
@@ -211,6 +232,12 @@ def parse_telemetry(obj: dict) -> dict:
         raise ProtocolError("'sample' must be an object")
     if not isinstance(obj.get("node"), str) or not obj["node"]:
         raise ProtocolError("'node' must be a non-empty string")
+    seq = obj.get("seq")
+    if seq is not None:
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+            raise ProtocolError(
+                "'seq' must be a non-negative integer, got {!r}".format(seq)
+            )
     return obj
 
 

@@ -39,9 +39,16 @@ from repro.core.ppep import stable_seed
 from repro.fleet.registry import ModelRegistry
 from repro.fleet.simulator import FleetSimulator, make_fleet
 from repro.hardware.microarch import FX8320_SPEC, PHENOM_II_SPEC
-from repro.serve.ingest import Ingestor, ingest_lines
+from repro.serve.ingest import Ingestor, ingest_lines_async
 from repro.serve.manager import ShardManager, ShardSpec
-from repro.serve.protocol import ACCEPTED, RETRY, decode_line, telemetry_line
+from repro.serve.protocol import (
+    ACCEPTED,
+    DUPLICATE,
+    RETRY,
+    SHED,
+    decode_line,
+    telemetry_line,
+)
 
 __all__ = ["SKU_SPECS", "ServeConfig", "build_shards", "make_sources", "run_service"]
 
@@ -149,9 +156,12 @@ async def stream_lines(
 ) -> dict:
     """Send lines over TCP, honoring per-line responses.
 
-    A ``retry`` response backs off for the server's suggested delay and
-    redelivers the same line -- the client half of the bounded-queue
-    contract.  Returns delivery counters.
+    A ``retry`` (or ``shed``) response backs off for the server's
+    suggested delay and redelivers the same line -- the client half of
+    the bounded-queue contract.  A ``duplicate`` counts as delivered:
+    the server already holds that interval.  Returns delivery counters.
+    (For reconnects, spooling, and exactly-once across transport faults,
+    use :class:`repro.serve.client.ResilientClient` instead.)
     """
     reader, writer = await asyncio.open_connection(host, port)
     sent = accepted = retried = errors = 0
@@ -165,10 +175,10 @@ async def stream_lines(
                 sent += 1
                 payload = decode_line(await reader.readline())
                 status = payload.get("status")
-                if status == ACCEPTED:
+                if status in (ACCEPTED, DUPLICATE):
                     accepted += 1
                     break
-                if status == RETRY:
+                if status in (RETRY, SHED):
                     retried += 1
                     await asyncio.sleep(payload.get("retry_after_s", 0.05))
                     continue
@@ -234,13 +244,34 @@ async def _run_listen(manager: ShardManager, config: ServeConfig) -> dict:
     return {"ingest": ingestor.stats.as_dict()}
 
 
+async def _run_stdin(manager: ShardManager, source) -> dict:
+    """The stdin lifecycle: feed lines with the watchdog co-scheduled.
+
+    ``ingest_lines_async`` waits with ``await asyncio.sleep`` on
+    backpressure, so the watchdog keeps restarting dead workers and
+    checking heartbeats while a full queue drains -- the property that
+    makes the stdin path survive a worker crash mid-pipe.
+    """
+    stop_event = asyncio.Event()
+    _install_stop_handlers(stop_event)
+    watchdog = asyncio.ensure_future(_watch_workers(manager, stop_event))
+    try:
+        stats = await ingest_lines_async(manager, source)
+    finally:
+        stop_event.set()
+        await watchdog
+    return {"ingest": stats.as_dict()}
+
+
 async def _watch_workers(
     manager: ShardManager, stop_event: asyncio.Event, period_s: float = 0.5
 ) -> None:
-    """Supervision loop: restart dead workers, drain progress reports."""
+    """Supervision loop: restart dead workers, drain progress reports,
+    and degrade shards whose heartbeats have stalled."""
     while not stop_event.is_set():
         manager.ensure_alive()
         manager.poll()
+        manager.check_heartbeats()
         try:
             await asyncio.wait_for(stop_event.wait(), timeout=period_s)
         except asyncio.TimeoutError:
@@ -285,7 +316,7 @@ def run_service(
     try:
         if mode == "stdin":
             source = stdin if stdin is not None else sys.stdin.buffer
-            front = {"ingest": ingest_lines(manager, source).as_dict()}
+            front = asyncio.run(_run_stdin(manager, source))
         elif mode == "listen":
             front = asyncio.run(_run_listen(manager, config))
         else:

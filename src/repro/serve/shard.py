@@ -25,6 +25,7 @@ import logging
 import os
 import queue
 import signal
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -47,6 +48,11 @@ STOP = "__stop__"
 
 #: Worker -> supervisor progress cadence, in processed intervals.
 PROGRESS_EVERY = 32
+
+#: Worker -> supervisor heartbeat cadence, seconds.  A worker that
+#: misses the manager's ``heartbeat_timeout_s`` is considered stalled
+#: (SIGSTOP, livelock) and its shard degrades to load-shedding.
+HEARTBEAT_EVERY_S = 0.15
 
 
 class ShardPipeline:
@@ -205,6 +211,22 @@ class ShardPipeline:
         self._round[node] = filtered.sample
         if len(self._round) == len(self.node_names):
             self._allocate_round()
+
+        if self.events is not None:
+            # The applied-decision record is the unit of the service's
+            # exactly-once contract: under chaos the post-dedup decision
+            # stream must be bit-identical to the chaos-free run, and
+            # the flush-after-checkpoint discipline keeps this stream
+            # duplicate-free across worker restarts.
+            self.events.emit(
+                "decision",
+                node=node,
+                interval=interval,
+                sku=self.sku,
+                vf_index=list(decision),
+                delivery_index=self.processed - 1,
+                quality=filtered.quality,
+            )
 
         return {
             "node": node,
@@ -376,6 +398,30 @@ class ShardPipeline:
         self.ledger.load_state_dict(state["ledger"])
         self._round = {}
 
+    @property
+    def mid_round(self) -> bool:
+        """Whether an allocation round is currently mid-barrier.
+
+        Checkpoints must wait for round boundaries: ``state_dict``
+        drops the in-flight round, so a snapshot taken here would make
+        a crash-restore close its next round with samples from mixed
+        intervals and diverge from the uninterrupted decision stream.
+        """
+        return bool(self._round)
+
+    def held_decisions(self) -> Dict[str, Optional[List[int]]]:
+        """Per-node last-safe VF decision (``None`` before the first).
+
+        The manager mirrors this map so that while the shard is
+        degraded (worker re-forking, SIGSTOPped) it can answer ``shed``
+        responses with the node's held decision -- GuardedController
+        semantics lifted to the service level.
+        """
+        return {
+            name: None if held is None else list(held)
+            for name, held in self._held.items()
+        }
+
     def stats(self) -> dict:
         """A compact progress snapshot for the supervisor."""
         return {
@@ -398,11 +444,23 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
     SIGTERM), snapshots every ``checkpoint_every`` intervals and on
     every exit path, and reports progress on ``out_queue``.
 
-    The shard's JSONL event stream is flushed *after* each checkpoint
-    (never in between): the on-disk event file therefore never runs
-    ahead of the on-disk state, so a restart cannot re-emit an event
-    the file already holds -- the no-duplicate-``cap_reallocation``
-    guarantee.
+    The shard's JSONL event stream is flushed *after* each successful
+    checkpoint (never in between): the on-disk event file therefore
+    never runs ahead of the on-disk state, so a restart cannot re-emit
+    an event the file already holds -- the
+    no-duplicate-``cap_reallocation`` guarantee, extended to the
+    ``decision`` stream.
+
+    Beyond the pipeline counters, the worker maintains a **delivered**
+    counter -- every item popped from the queue, error paths included --
+    which is persisted inside the checkpoint.  That counter is the
+    exactly-once watermark: the manager's in-flight ledger redelivers
+    precisely the items at or past the last durable ``delivered`` after
+    a crash, so no accepted interval is ever lost and (state restore
+    being bit-identical) none is ever applied twice.  Heartbeats carry
+    the live watermarks, the per-node held decisions, and the worker's
+    fork epoch so the manager can ignore messages from a dead
+    incarnation.
     """
     events_path = config.get("events_path")
     events = None
@@ -423,21 +481,52 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
         ledger_kwargs=config.get("ledger_kwargs"),
         batched=config.get("batched", True),
     )
+    epoch = int(config.get("epoch", 0))
+    delivered = 0
+    checkpointed = 0
+    last_save_t = time.monotonic()
+
+    def _state() -> dict:
+        state = pipeline.state_dict()
+        state["delivered"] = delivered
+        return state
+
     checkpointer = None
     checkpoint_path = config.get("checkpoint_path")
     if checkpoint_path is not None:
         checkpointer = Checkpointer(
             checkpoint_path,
-            pipeline.state_dict,
+            _state,
             every_intervals=config.get("checkpoint_every", 64),
+            chaos=config.get("disk_chaos"),
         )
         state = checkpointer.load()
         if state is not None:
             pipeline.load_state_dict(state)
+            delivered = int(state.get("delivered", pipeline.processed))
+            checkpointed = delivered
             logger.info(
-                "shard %s resumed from %s at %d processed intervals",
-                pipeline.sku, checkpoint_path, pipeline.processed,
+                "shard %s resumed from %s at %d delivered items",
+                pipeline.sku, checkpoint_path, delivered,
             )
+
+    errors = 0
+
+    def _report_stats() -> dict:
+        stats = pipeline.stats()
+        stats["epoch"] = epoch
+        stats["errors"] = errors
+        stats["delivered"] = delivered
+        stats["checkpointed_delivered"] = checkpointed
+        stats["held"] = pipeline.held_decisions()
+        stats["checkpoints"] = (
+            checkpointer.saves if checkpointer is not None else 0
+        )
+        stats["checkpoint_failures"] = (
+            checkpointer.failures if checkpointer is not None else 0
+        )
+        stats["since_checkpoint_s"] = time.monotonic() - last_save_t
+        return stats
 
     stopping = {"now": False}
 
@@ -447,15 +536,21 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
     signal.signal(signal.SIGTERM, _on_sigterm)
 
     def _snapshot():
-        if checkpointer is not None:
-            checkpointer.save()
+        nonlocal checkpointed, last_save_t
+        if checkpointer is not None and checkpointer.save():
+            checkpointed = delivered
+            last_save_t = time.monotonic()
         if events is not None:
             events.flush()
 
-    errors = 0
     since_progress = 0
+    last_heartbeat_t = 0.0
     try:
         while not stopping["now"]:
+            now = time.monotonic()
+            if now - last_heartbeat_t >= HEARTBEAT_EVERY_S:
+                last_heartbeat_t = now
+                out_queue.put(("heartbeat", pipeline.sku, _report_stats()))
             try:
                 item = in_queue.get(timeout=0.1)
             except queue.Empty:
@@ -464,7 +559,7 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
                 # become visible once the stream pauses.
                 if since_progress:
                     since_progress = 0
-                    out_queue.put(("progress", pipeline.sku, pipeline.stats()))
+                    out_queue.put(("progress", pipeline.sku, _report_stats()))
                 continue
             if item == STOP:
                 break
@@ -478,21 +573,22 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
                 logger.exception(
                     "shard %s failed to process an interval", pipeline.sku
                 )
-                continue
-            if checkpointer is not None and checkpointer.tick():
+            # Error paths count too: the watermark tracks queue items
+            # consumed, and a poison item must not be redelivered.
+            delivered += 1
+            if checkpointer is not None and checkpointer.tick(
+                aligned=not pipeline.mid_round
+            ):
+                checkpointed = delivered
+                last_save_t = time.monotonic()
                 if events is not None:
                     events.flush()
             since_progress += 1
             if since_progress >= PROGRESS_EVERY:
                 since_progress = 0
-                out_queue.put(("progress", pipeline.sku, pipeline.stats()))
+                out_queue.put(("progress", pipeline.sku, _report_stats()))
     finally:
         _snapshot()
         if events is not None:
             events.close()
-        stats = pipeline.stats()
-        stats["errors"] = errors
-        stats["checkpoints"] = (
-            checkpointer.saves if checkpointer is not None else 0
-        )
-        out_queue.put(("stopped", pipeline.sku, stats))
+        out_queue.put(("stopped", pipeline.sku, _report_stats()))

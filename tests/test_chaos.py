@@ -1,0 +1,349 @@
+"""The chaos harness itself: specs, schedules, and the three injectors.
+
+The harness carries the same two determinism contracts as the fault
+injector, and everything else rides on them:
+
+1. a disabled spec injects nothing and consumes no randomness, so a
+   disabled harness is bitwise-identical to running without one;
+2. the storm is a pure function of ``(spec, seed, index)`` -- two
+   injectors built from the same spec deliver the same faults in the
+   same order, regardless of timing.
+
+Process faults are tested against a monkeypatched ``os.kill`` (no real
+signals), disk faults against real checkpoint files on ``tmp_path``,
+and the network proxy against a tiny asyncio echo server.
+"""
+
+import asyncio
+import errno
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    ChaosHarness,
+    ChaosProxy,
+    ChaosSpec,
+    DiskChaos,
+    ProcessChaos,
+    chaos_rng,
+)
+from repro.serve.checkpoint import (
+    Checkpointer,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+class TestChaosSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="reset_rate"):
+            ChaosSpec(reset_rate=1.5)
+        with pytest.raises(ValueError, match="kill_rate"):
+            ChaosSpec(kill_rate=-0.1)
+        with pytest.raises(ValueError, match="delays"):
+            ChaosSpec(delay_s=-1.0)
+        with pytest.raises(ValueError, match="kill_burst"):
+            ChaosSpec(kill_burst=0)
+        with pytest.raises(ValueError, match="stop_ticks"):
+            ChaosSpec(stop_ticks=0)
+
+    def test_boundary_gates(self):
+        assert not ChaosSpec().enabled
+        assert ChaosSpec(duplicate_rate=0.1).network_enabled
+        assert not ChaosSpec(duplicate_rate=0.1).process_enabled
+        assert ChaosSpec(stop_rate=0.1).process_enabled
+        assert ChaosSpec(torn_tmp_rate=0.1).disk_enabled
+        assert ChaosSpec(enospc_rate=0.1).enabled
+
+    def test_reference_storm_hits_every_boundary(self):
+        spec = ChaosSpec.reference(seed=3)
+        assert spec.network_enabled
+        assert spec.process_enabled
+        assert spec.disk_enabled
+        assert spec.seed == 3
+
+    def test_reference_scale_caps_probabilities(self):
+        spec = ChaosSpec.reference(scale=100.0)
+        assert spec.enospc_rate == 1.0
+        assert spec.kill_rate == 1.0
+
+
+class TestChaosRng:
+    def test_same_key_same_stream(self):
+        a = chaos_rng("net", 7, 12).random(4)
+        b = chaos_rng("net", 7, 12).random(4)
+        assert list(a) == list(b)
+
+    def test_index_and_tag_and_seed_all_matter(self):
+        base = chaos_rng("net", 7, 12).random()
+        assert chaos_rng("net", 7, 13).random() != base
+        assert chaos_rng("proc", 7, 12).random() != base
+        assert chaos_rng("net", 8, 12).random() != base
+
+
+class _FakeWorkers:
+    """A manager stand-in: two live worker pids."""
+
+    def __init__(self, pids=None):
+        self.pids = pids if pids is not None else {"fx8320": 101, "phenom": 202}
+
+    def worker_pids(self):
+        return dict(self.pids)
+
+
+@pytest.fixture
+def signal_log(monkeypatch):
+    """Capture ``(pid, signum)`` instead of delivering real signals."""
+    log = []
+    monkeypatch.setattr(
+        "repro.chaos.process.os.kill",
+        lambda pid, signum: log.append((pid, signum)),
+    )
+    return log
+
+
+class TestProcessChaos:
+    def test_disabled_spec_delivers_nothing(self, signal_log):
+        chaos = ProcessChaos(ChaosSpec(seed=5))
+        for _ in range(50):
+            chaos.tick(_FakeWorkers())
+        assert signal_log == []
+        assert chaos.counts == {}
+
+    def test_schedule_is_deterministic(self, signal_log):
+        spec = ChaosSpec(kill_rate=0.5, stop_rate=0.3, stop_ticks=2, seed=11)
+        first = ProcessChaos(spec)
+        for _ in range(40):
+            first.tick(_FakeWorkers())
+        first_log = list(signal_log)
+        assert first_log  # at those rates 40 ticks always fire something
+        del signal_log[:]
+        second = ProcessChaos(spec)
+        for _ in range(40):
+            second.tick(_FakeWorkers())
+        assert signal_log == first_log
+        assert second.counts == first.counts
+
+    def test_stop_gets_continued_after_stop_ticks(self, signal_log):
+        import signal as _signal
+
+        chaos = ProcessChaos(ChaosSpec(stop_rate=1.0, stop_ticks=2, seed=0))
+        workers = _FakeWorkers({"fx8320": 101})
+        chaos.tick(workers)  # tick 0: SIGSTOP
+        assert signal_log == [(101, _signal.SIGSTOP)]
+        chaos.tick(workers)  # tick 1: still stopped, no double-stop
+        assert chaos.counts["stop"] == 1
+        chaos.tick(workers)  # tick 2: due -> SIGCONT
+        assert (101, _signal.SIGCONT) in signal_log
+        assert chaos.counts["cont"] == 1
+
+    def test_resume_all_continues_everything(self, signal_log):
+        import signal as _signal
+
+        chaos = ProcessChaos(ChaosSpec(stop_rate=1.0, stop_ticks=100, seed=0))
+        chaos.tick(_FakeWorkers({"fx8320": 101}))
+        assert chaos.resume_all() == 1
+        assert (101, _signal.SIGCONT) in signal_log
+        assert chaos.resume_all() == 0  # nothing left stopped
+
+    def test_exited_pid_is_not_an_error(self, monkeypatch):
+        def vanished(pid, signum):
+            raise ProcessLookupError(pid)
+
+        monkeypatch.setattr("repro.chaos.process.os.kill", vanished)
+        chaos = ProcessChaos(ChaosSpec(kill_rate=1.0, seed=0))
+        chaos.tick(_FakeWorkers({"fx8320": 101}))
+        assert chaos.counts.get("kill", 0) == 0  # nothing actually delivered
+
+
+class TestDiskChaos:
+    def test_disabled_spec_never_fires(self):
+        chaos = DiskChaos(ChaosSpec(seed=9))
+        assert all(chaos.draw("shard-a.json") is None for _ in range(30))
+        assert chaos.counts == {}
+
+    def test_schedule_deterministic_and_per_file(self):
+        spec = ChaosSpec(enospc_rate=0.3, torn_tmp_rate=0.3, seed=21)
+        a = [DiskChaos(spec).draw("x.json") for _ in range(1)]  # fresh each: index 0
+        b = DiskChaos(spec)
+        draws_b = [b.draw("x.json") for _ in range(20)]
+        draws_c = [DiskChaos(spec).draw("x.json") for _ in range(1)][0]
+        assert draws_b[0] == a[0] == draws_c
+        # Same spec, fresh instance: the whole sequence replays.
+        replay = DiskChaos(spec)
+        assert [replay.draw("x.json") for _ in range(20)] == draws_b
+        # A different file keys an independent schedule.
+        other = DiskChaos(spec)
+        assert [other.draw("y.json") for _ in range(20)] != draws_b
+
+    def test_enospc_cleans_tmp_and_keeps_previous(self, tmp_path):
+        path = str(tmp_path / "shard.json")
+        write_checkpoint(path, {"processed": 7})
+        chaos = DiskChaos(ChaosSpec(enospc_rate=1.0, seed=0))
+        with pytest.raises(OSError) as exc_info:
+            write_checkpoint(path, {"processed": 8}, chaos=chaos)
+        assert exc_info.value.errno == errno.ENOSPC
+        assert chaos.counts == {"enospc": 1}
+        # The failed write cleaned its tmp and the old snapshot survives.
+        assert [p.name for p in tmp_path.iterdir()] == ["shard.json"]
+        assert read_checkpoint(path)["processed"] == 7
+
+    def test_torn_write_litters_tmp_but_checkpoint_survives(self, tmp_path):
+        path = str(tmp_path / "shard.json")
+        write_checkpoint(path, {"processed": 7})
+        chaos = DiskChaos(ChaosSpec(torn_tmp_rate=1.0, seed=0))
+        with pytest.raises(OSError):
+            write_checkpoint(path, {"processed": 8}, chaos=chaos)
+        assert chaos.counts == {"torn": 1}
+        litter = [
+            p for p in tmp_path.iterdir()
+            if p.name.startswith("shard.json.") and p.name.endswith(".tmp")
+        ]
+        assert len(litter) == 1
+        # The torn tmp holds a strict prefix of the intended document.
+        torn = litter[0].read_text()
+        assert 0 < len(torn) < len(
+            json.dumps({"checkpoint_version": 1, "processed": 8}, sort_keys=True)
+        )
+        # The real checkpoint was never replaced; cold start shrugs at
+        # the litter.
+        assert read_checkpoint(path)["processed"] == 7
+
+    def test_checkpointer_absorbs_injected_failures(self, tmp_path):
+        path = str(tmp_path / "shard.json")
+        ckpt = Checkpointer(
+            path,
+            lambda: {"processed": 1},
+            every_intervals=1,
+            chaos=DiskChaos(ChaosSpec(enospc_rate=1.0, seed=0)),
+        )
+        assert ckpt.tick() is False
+        assert ckpt.failures == 1
+        assert ckpt.saves == 0
+        assert read_checkpoint(path) is None
+        # Without chaos the same checkpointer saves fine.
+        ckpt.chaos = None
+        assert ckpt.tick() is True
+        assert read_checkpoint(path)["processed"] == 1
+
+
+async def _echo_upstream(received):
+    """A line server recording requests and acking ``{"n": i}``."""
+
+    async def handler(reader, writer):
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            received.append(line.rstrip(b"\n"))
+            writer.write(
+                json.dumps({"n": len(received)}).encode() + b"\n"
+            )
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestChaosProxy:
+    def _roundtrip(self, spec, lines, reads_per_line=1):
+        """Send ``lines`` through a proxied echo server; return
+        (requests seen upstream, responses seen by the client, proxy)."""
+
+        async def scenario():
+            received = []
+            server, host, port = await _echo_upstream(received)
+            proxy = ChaosProxy(spec)
+            proxy_host, proxy_port = await proxy.start(host, port)
+            reader, writer = await asyncio.open_connection(
+                proxy_host, proxy_port
+            )
+            responses = []
+            for line in lines:
+                writer.write(line + b"\n")
+                await writer.drain()
+                for _ in range(reads_per_line):
+                    responses.append(
+                        await asyncio.wait_for(reader.readline(), timeout=5.0)
+                    )
+            writer.close()
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+            return received, responses, proxy
+
+        return asyncio.run(scenario())
+
+    def test_disabled_spec_is_transparent(self):
+        lines = [b'{"i": %d}' % i for i in range(5)]
+        received, responses, proxy = self._roundtrip(ChaosSpec(seed=4), lines)
+        assert received == lines
+        assert len(responses) == 5
+        assert proxy.counts == {}
+
+    def test_duplicate_forwards_each_line_twice(self):
+        lines = [b'{"i": 0}', b'{"i": 1}']
+        received, responses, proxy = self._roundtrip(
+            ChaosSpec(duplicate_rate=1.0, seed=4), lines, reads_per_line=2
+        )
+        assert received == [lines[0], lines[0], lines[1], lines[1]]
+        assert proxy.counts["duplicate"] == 2
+
+    def test_fragmented_lines_reassemble_upstream(self):
+        lines = [b'{"payload": "' + b"x" * 64 + b'"}']
+        received, _responses, proxy = self._roundtrip(
+            ChaosSpec(fragment_rate=1.0, seed=4), lines
+        )
+        assert received == lines  # TCP reassembly is the server's job
+        assert proxy.counts["fragment"] == 1
+
+    def test_reset_tears_the_connection_down(self):
+        async def scenario():
+            received = []
+            server, host, port = await _echo_upstream(received)
+            proxy = ChaosProxy(ChaosSpec(reset_rate=1.0, seed=4))
+            proxy_host, proxy_port = await proxy.start(host, port)
+            reader, writer = await asyncio.open_connection(
+                proxy_host, proxy_port
+            )
+            writer.write(b'{"i": 0}\n')
+            await writer.drain()
+            # The proxy truncated the line and dropped both sides: the
+            # client sees EOF (or a reset) instead of a response.
+            got = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            writer.close()
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+            return got, proxy
+
+        got, proxy = asyncio.run(scenario())
+        assert got == b""  # EOF, never an ack
+        assert proxy.counts["reset"] == 1
+
+
+class TestChaosHarness:
+    def test_bundles_all_three_boundaries(self):
+        harness = ChaosHarness(ChaosSpec.reference(seed=2))
+        assert harness.enabled
+        assert harness.network.seed == 2
+        assert harness.process.seed == 2
+        assert harness.disk.seed == 2
+
+    def test_stats_merge_with_boundary_prefixes(self):
+        harness = ChaosHarness(ChaosSpec(seed=0))
+        harness.network.counts["duplicate"] = 3
+        harness.process.counts["kill"] = 1
+        harness.disk.counts["torn"] = 2
+        assert harness.stats() == {
+            "net_duplicate": 3,
+            "proc_kill": 1,
+            "disk_torn": 2,
+        }
+
+    def test_disabled_harness_reports_disabled(self):
+        assert not ChaosHarness(ChaosSpec(seed=0)).enabled

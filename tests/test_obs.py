@@ -61,6 +61,14 @@ def _emit_one_of_each(events):
                 sample={"cu_vfs": [5, 5, 5, 5], "nb_vf": 5,
                         "power_gating": True, "measured_power": 40.0,
                         "temperature": 55.0, "interval_s": 0.2})
+    events.emit("decision", node="fx8320-n00", interval=41, sku="fx8320",
+                vf_index=4, delivery_index=83, quality="good")
+    events.emit("shard_restart", node="shard-fx8320", interval=42,
+                sku="fx8320", restarts=1, inflight_requeued=5)
+    events.emit("shard_degraded", node="shard-fx8320", interval=42,
+                sku="fx8320", reason="heartbeat_stall")
+    events.emit("shard_recovered", node="shard-fx8320", interval=44,
+                sku="fx8320", degraded_s=0.75)
 
 
 class TestMetrics:

@@ -350,3 +350,69 @@ class TestHardenedPPEPRoundTrip:
         est_u, verdict_u = hardened.estimate_current(samples[7])
         assert est_r == est_u
         assert verdict_r.quality == verdict_u.quality
+
+
+class TestTornCheckpointTruncation:
+    """A checkpoint torn at *any* byte boundary must read as absent.
+
+    ``os.replace`` makes torn on-disk checkpoints impossible in normal
+    operation, but a torn tmp file can survive a crash (see
+    :class:`repro.chaos.disk.DiskChaos`) and an operator can copy one
+    over the real path by mistake.  ``read_checkpoint`` must treat every
+    proper prefix of a valid document as a cold start -- never a crash,
+    never a half-restored pipeline.
+    """
+
+    def _document(self, tmp_path):
+        from repro.serve.checkpoint import write_checkpoint
+
+        path = tmp_path / "shard.json"
+        write_checkpoint(
+            str(path),
+            {"processed": 12, "intervals": {"a": 6, "b": 6}, "x": 0.1 + 0.2},
+        )
+        return path, path.read_bytes()
+
+    def test_every_byte_boundary_reads_as_cold_start(self, tmp_path):
+        from repro.serve.checkpoint import read_checkpoint
+
+        path, document = self._document(tmp_path)
+        for cut in range(len(document)):
+            path.write_bytes(document[:cut])
+            assert read_checkpoint(str(path)) is None, (
+                "prefix of {} bytes parsed as a checkpoint".format(cut)
+            )
+        # The full document still round-trips after all that abuse.
+        path.write_bytes(document)
+        assert read_checkpoint(str(path))["processed"] == 12
+
+    def test_torn_tmp_litter_does_not_shadow_the_checkpoint(self, tmp_path):
+        """A crash between tmp write and replace leaves litter next to
+        the real file; reads keep going to the intact checkpoint."""
+        from repro.chaos import ChaosSpec, DiskChaos
+        from repro.serve.checkpoint import read_checkpoint, write_checkpoint
+
+        path, _document = self._document(tmp_path)
+        chaos = DiskChaos(ChaosSpec(torn_tmp_rate=1.0, seed=3))
+        for _ in range(3):
+            with pytest.raises(OSError):
+                write_checkpoint(str(path), {"processed": 99}, chaos=chaos)
+        litter = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert len(litter) == 3
+        assert read_checkpoint(str(path))["processed"] == 12
+        # The next healthy save replaces cleanly despite the litter.
+        write_checkpoint(str(path), {"processed": 13})
+        assert read_checkpoint(str(path))["processed"] == 13
+
+    def test_torn_tmp_contents_read_as_cold_start(self, tmp_path):
+        """Even the torn tmp file itself -- a strict prefix of a valid
+        document -- reads as absent if something tries to load it."""
+        from repro.chaos import ChaosSpec, DiskChaos
+        from repro.serve.checkpoint import read_checkpoint, write_checkpoint
+
+        path = tmp_path / "shard.json"
+        chaos = DiskChaos(ChaosSpec(torn_tmp_rate=1.0, seed=3))
+        with pytest.raises(OSError):
+            write_checkpoint(str(path), {"processed": 99}, chaos=chaos)
+        (litter,) = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert read_checkpoint(str(litter)) is None

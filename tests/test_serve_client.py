@@ -1,0 +1,294 @@
+"""The resilient client: exactly-once delivery from the sender's side.
+
+These tests run :class:`~repro.serve.client.ResilientClient` against a
+scripted in-process TCP server so every server behavior -- accept,
+backpressure, shed, withheld ack, rejection, dropped connection -- is
+deterministic.  The server dedups by ``(node, seq)`` exactly like the
+real :class:`~repro.serve.manager.ShardManager`, which is what makes
+"resend on any doubt" safe; the assertions pin that no script ever
+leads to a line being applied zero times or twice.
+"""
+
+import json
+import socket
+import threading
+from collections import deque
+
+import pytest
+
+from repro.serve.client import DeliveryError, ResilientClient
+from repro.serve.protocol import encode
+
+
+class _ScriptedServer:
+    """A line server whose behavior per received line is scripted.
+
+    ``script`` is a queue of actions consulted once per received line
+    (falling back to ``"accept"`` when empty):
+
+    - ``accept``: apply the line (dedup-aware) and ack it;
+    - ``retry`` / ``shed``: refuse with the matching backpressure status;
+    - ``error``: reject the line outright;
+    - ``drop``: read the line, apply nothing, send nothing (the client
+      times out and redelivers);
+    - ``apply_drop``: apply the line but withhold the ack -- the lost-ack
+      race the dedup window exists for;
+    - ``close``: drop the connection without a response.
+
+    ``applied`` records each line applied exactly once, in order.
+    """
+
+    def __init__(self, script=(), port=0):
+        self.script = deque(script)
+        self.applied = []
+        self.received = []
+        self.seen = set()
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", port))
+        self.sock.listen(8)
+        self.sock.settimeout(0.05)
+        self.port = self.sock.getsockname()[1]
+        self._stop = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _respond(self, conn, status, seq):
+        payload = {"status": status, "seq": seq}
+        if status in ("retry", "shed"):
+            payload["retry_after_s"] = 0.0
+        if status == "error":
+            payload["reason"] = "scripted rejection"
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+
+    def _apply(self, conn, obj, seq):
+        key = (obj.get("node"), seq)
+        if seq is not None and key in self.seen:
+            self._respond(conn, "duplicate", seq)
+            return
+        self.seen.add(key)
+        self.applied.append(obj)
+        self._respond(conn, "accepted", seq)
+
+    def _serve(self, conn):
+        conn.settimeout(0.05)
+        buf = b""
+        while not self._stop:
+            if b"\n" not in buf:
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buf += chunk
+                continue
+            line, _sep, buf = buf.partition(b"\n")
+            obj = json.loads(line)
+            seq = obj.get("seq")
+            self.received.append(obj)
+            action = self.script.popleft() if self.script else "accept"
+            if action == "accept":
+                self._apply(conn, obj, seq)
+            elif action in ("retry", "shed", "error"):
+                self._respond(conn, action, seq)
+            elif action == "drop":
+                pass
+            elif action == "apply_drop":
+                key = (obj.get("node"), seq)
+                self.seen.add(key)
+                self.applied.append(obj)
+            elif action == "close":
+                conn.close()
+                return
+            else:  # pragma: no cover - script typo guard
+                raise AssertionError("unknown action " + action)
+
+    def _run(self):
+        while not self._stop:
+            try:
+                conn, _addr = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._serve(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._stop = True
+        self._thread.join(timeout=5.0)
+        self.sock.close()
+
+
+@pytest.fixture
+def server():
+    srv = _ScriptedServer()
+    yield srv
+    srv.stop()
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("timeout_s", 0.3)
+    kwargs.setdefault("sleep", lambda _s: None)  # no real backoff waits
+    return ResilientClient("127.0.0.1", server.port, **kwargs)
+
+
+def _line(node, i):
+    return encode({"type": "telemetry", "node": node, "interval": i})
+
+
+class TestSequenceNumbers:
+    def test_seq_is_per_node_monotonic(self, server):
+        with _client(server) as client:
+            for i in range(3):
+                client.send_wire(_line("a", i))
+            for i in range(2):
+                client.send_wire(_line("b", i))
+        by_node = {}
+        for obj in server.received:
+            by_node.setdefault(obj["node"], []).append(obj["seq"])
+        assert by_node == {"a": [0, 1, 2], "b": [0, 1]}
+
+    def test_preassigned_seq_is_kept_and_advances_the_counter(self, server):
+        with _client(server) as client:
+            client.send_wire(encode({"node": "a", "seq": 41}))
+            client.send_wire(_line("a", 1))  # fresh assignment continues
+        assert [o["seq"] for o in server.received] == [41, 42]
+
+
+class TestRedelivery:
+    def test_retry_redelivers_same_seq_until_accepted(self, server):
+        server.script.extend(["retry", "retry", "accept"])
+        with _client(server) as client:
+            resp = client.send_wire(_line("a", 0))
+        assert resp["status"] == "accepted"
+        assert client.stats["retries"] == 2
+        assert client.stats["redeliveries"] == 2
+        # Every redelivery reused seq 0; the line applied exactly once.
+        assert [o["seq"] for o in server.received] == [0, 0, 0]
+        assert len(server.applied) == 1
+
+    def test_shed_is_redelivered_like_retry(self, server):
+        server.script.extend(["shed", "accept"])
+        with _client(server) as client:
+            resp = client.send_wire(_line("a", 0))
+        assert resp["status"] == "accepted"
+        assert client.stats["sheds"] == 1
+        assert len(server.applied) == 1
+
+    def test_withheld_ack_converges_to_duplicate(self, server):
+        """The lost-ack race: the server applied the line but the ack
+        never arrived.  The client must redeliver and the pair must
+        converge on applied-exactly-once."""
+        server.script.append("apply_drop")
+        with _client(server) as client:
+            resp = client.send_wire(_line("a", 0))
+        assert resp["status"] == "duplicate"
+        assert client.stats["timeouts"] >= 1
+        assert client.stats["duplicates"] == 1
+        assert client.stats["accepted"] == 0
+        assert len(server.applied) == 1  # never applied twice
+
+    def test_dropped_connection_reconnects_and_redelivers(self, server):
+        server.script.append("close")
+        with _client(server) as client:
+            resp = client.send_wire(_line("a", 0))
+        assert resp["status"] == "accepted"
+        assert client.stats["reconnects"] == 1
+        assert len(server.applied) == 1
+
+    def test_redelivery_budget_exhaustion_raises(self, server):
+        # Budget 2 allows exactly 3 deliveries of the line (initial +
+        # two redeliveries); the third refusal exhausts it.
+        server.script.extend(["retry"] * 3)
+        with _client(server, max_redeliveries=2) as client:
+            with pytest.raises(DeliveryError, match="redeliveries"):
+                client.send_wire(_line("a", 0))
+            # The poisoned line was dropped from the outbox: the next
+            # line is not wedged behind it.
+            assert client.spooled == 0
+            assert client.send_wire(_line("a", 1))["status"] == "accepted"
+
+
+class TestRejection:
+    def test_error_status_raises_and_does_not_redeliver(self, server):
+        server.script.append("error")
+        with _client(server) as client:
+            with pytest.raises(DeliveryError, match="scripted rejection"):
+                client.send_wire(_line("a", 0))
+            assert client.stats["errors"] == 1
+            assert client.stats["redeliveries"] == 0
+        assert server.applied == []
+
+
+class TestSpooling:
+    def _dead_port(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_offline_sends_spool_then_drain_delivers_in_order(self):
+        port = self._dead_port()
+        client = ResilientClient(
+            "127.0.0.1", port, timeout_s=0.2, connect_attempts=1,
+            sleep=lambda _s: None,
+        )
+        for i in range(3):
+            assert client.send_wire(_line("a", i))["status"] == "spooled"
+        assert client.spooled == 3
+        server = _ScriptedServer(port=port)
+        try:
+            assert client.drain(timeout_s=10.0)
+            assert client.spooled == 0
+            assert [o["seq"] for o in server.applied] == [0, 1, 2]
+        finally:
+            client.close()
+            server.stop()
+
+    def test_spool_overflow_raises_instead_of_buffering(self):
+        port = self._dead_port()
+        client = ResilientClient(
+            "127.0.0.1", port, timeout_s=0.2, connect_attempts=1,
+            spool_limit=1, sleep=lambda _s: None,
+        )
+        assert client.send_wire(_line("a", 0))["status"] == "spooled"
+        with pytest.raises(DeliveryError, match="spool overflow"):
+            client.send_wire(_line("a", 1))
+        client.close()
+
+
+class TestDeterminism:
+    def test_jitter_is_a_pure_function_of_the_seed(self):
+        a = ResilientClient("127.0.0.1", 1, seed=9)
+        b = ResilientClient("127.0.0.1", 1, seed=9)
+        c = ResilientClient("127.0.0.1", 1, seed=10)
+        seq_a = [a._jitter() for _ in range(6)]
+        seq_b = [b._jitter() for _ in range(6)]
+        seq_c = [c._jitter() for _ in range(6)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+        assert all(0.5 <= j < 1.5 for j in seq_a + seq_c)
+
+    def test_backoff_is_capped(self):
+        client = ResilientClient(
+            "127.0.0.1", 1, seed=0, backoff_base_s=0.02, backoff_max_s=0.1
+        )
+        assert client._backoff(20) <= 0.1 * 1.5
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            ResilientClient("h", 1, timeout_s=0.0)
+        with pytest.raises(ValueError, match="connect_attempts"):
+            ResilientClient("h", 1, connect_attempts=0)
+        with pytest.raises(ValueError, match="spool_limit"):
+            ResilientClient("h", 1, spool_limit=0)

@@ -1,0 +1,339 @@
+"""Service degradation: dedup, shedding with held decisions, recovery.
+
+The resilience contract at manager level, tested with real forked
+workers and real signals:
+
+- a redelivered, already-accepted ``seq`` answers ``duplicate`` and is
+  never applied twice;
+- a SIGSTOPped worker stops heartbeating, the shard degrades, new
+  submissions are shed *with the node's last-safe VF decision*, and
+  SIGCONT ends the episode with a measured recovery;
+- a SIGKILLed worker with checkpointing restarts to **exact** zero
+  loss: every accepted interval is processed exactly once (the
+  in-flight ledger redelivers the checkpoint gap, and each applied
+  interval's ``decision`` event carries a unique delivery index);
+- :meth:`ShardManager.health` exposes the whole picture.
+
+The ``slow_kill`` storm at the bottom repeats the crash cycle several
+times in one run (deselect with ``-m 'not slow_kill'``).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.hardware.microarch import FX8320_SPEC
+from repro.obs.events import read_events
+from repro.serve.manager import ShardManager, ShardSpec
+from repro.serve.protocol import decode_line, parse_telemetry, telemetry_line
+
+NODES = ["fx8320-n00", "fx8320-n01"]
+
+
+def _wire_stream(n_per_node, seed=83, with_seq=False):
+    from repro.hardware.platform import CoreAssignment, Platform
+    from repro.workloads.synthetic import make_cpu_bound, make_memory_bound
+
+    platforms = {
+        NODES[0]: Platform(FX8320_SPEC, seed=seed, power_gating=True),
+        NODES[1]: Platform(FX8320_SPEC, seed=seed + 1, power_gating=True),
+    }
+    platforms[NODES[0]].set_assignment(
+        CoreAssignment.packed([make_cpu_bound("deg-cpu")])
+    )
+    platforms[NODES[1]].set_assignment(
+        CoreAssignment.packed([make_memory_bound("deg-mem")])
+    )
+    events = []
+    for k in range(n_per_node):
+        for node, platform in platforms.items():
+            line = telemetry_line(node, "fx8320", k, platform.step())
+            event = parse_telemetry(decode_line(line))
+            if with_seq:
+                event["seq"] = k
+            events.append(event)
+    return events
+
+
+def _manager(tiny_registry, tmp_path, heartbeat_timeout_s=60.0, **kwargs):
+    kwargs.setdefault("queue_size", 64)
+    kwargs.setdefault("checkpoint_dir", str(tmp_path / "ckpt"))
+    kwargs.setdefault("checkpoint_every", 4)
+    kwargs.setdefault("events_dir", str(tmp_path / "events"))
+    return ShardManager(
+        [
+            ShardSpec(
+                sku="fx8320",
+                spec=FX8320_SPEC,
+                ppep=tiny_registry.get(FX8320_SPEC),
+                node_names=list(NODES),
+                budget_w=160.0,
+            )
+        ],
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        **kwargs,
+    )
+
+
+def _submit_all(manager, events):
+    for event in events:
+        while manager.submit(event)["status"] in ("retry", "shed"):
+            manager.ensure_alive()
+            manager.poll()
+            time.sleep(0.01)
+
+
+def _wait(predicate, timeout_s=15.0, what="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    pytest.fail("timed out waiting for " + what)
+
+
+class TestDedupWindow:
+    def test_redelivered_seq_is_not_applied_twice(self, tiny_registry):
+        # Routing only (no worker): submit just enqueues.
+        manager = ShardManager(
+            [
+                ShardSpec(
+                    sku="fx8320",
+                    spec=FX8320_SPEC,
+                    ppep=tiny_registry.get(FX8320_SPEC),
+                    node_names=list(NODES),
+                )
+            ],
+            queue_size=8,
+        )
+        event = _wire_stream(1, with_seq=True)[0]
+        handle = manager.shards["fx8320"]
+        assert manager.submit(event)["status"] == "accepted"
+        assert manager.submit(event)["status"] == "duplicate"
+        assert manager.submit(event)["status"] == "duplicate"
+        assert handle.duplicates == 2
+        assert handle.in_queue.qsize() == 1  # applied exactly once
+
+    def test_seq_below_the_window_counts_as_long_accepted(self, tiny_registry):
+        manager = ShardManager(
+            [
+                ShardSpec(
+                    sku="fx8320",
+                    spec=FX8320_SPEC,
+                    ppep=tiny_registry.get(FX8320_SPEC),
+                    node_names=list(NODES),
+                )
+            ],
+            queue_size=8,
+            dedup_window=4,
+        )
+        event = _wire_stream(1, with_seq=True)[0]
+        assert manager.submit(dict(event, seq=100))["status"] == "accepted"
+        # Far older than the window: monotonic clients never skip ahead
+        # past an unaccepted seq, so this must have been accepted once.
+        assert manager.submit(dict(event, seq=3))["status"] == "duplicate"
+        # A fresh, newer seq is new traffic.
+        assert manager.submit(dict(event, seq=101))["status"] == "accepted"
+
+    def test_events_without_seq_bypass_dedup(self, tiny_registry):
+        manager = ShardManager(
+            [
+                ShardSpec(
+                    sku="fx8320",
+                    spec=FX8320_SPEC,
+                    ppep=tiny_registry.get(FX8320_SPEC),
+                    node_names=list(NODES),
+                )
+            ],
+            queue_size=8,
+        )
+        event = _wire_stream(1)[0]
+        assert "seq" not in event
+        assert manager.submit(event)["status"] == "accepted"
+        assert manager.submit(event)["status"] == "accepted"
+
+
+class TestSigstopDegradation:
+    def test_stall_sheds_with_held_decision_then_recovers(
+        self, tiny_registry, tmp_path
+    ):
+        events = _wire_stream(12)
+        manager = _manager(tiny_registry, tmp_path, heartbeat_timeout_s=0.3)
+        manager.start()
+        handle = manager.shards["fx8320"]
+        try:
+            first, rest = events[:16], events[16:]
+            _submit_all(manager, first)
+            _wait(
+                lambda: manager.stats()["processed"] >= len(first),
+                what="first batch processed",
+            )
+            os.kill(handle.process.pid, signal.SIGSTOP)
+            try:
+                _wait(
+                    lambda: bool(manager.check_heartbeats()) or handle.degraded,
+                    what="heartbeat stall detection",
+                )
+                assert handle.degraded_reason == "heartbeat_stall"
+
+                # Degraded shard: shed, not stall -- and the response
+                # carries the node's last-safe decision to hold.
+                payload = manager.submit(rest[0])
+                assert payload["status"] == "shed"
+                assert payload["reason"] == "heartbeat_stall"
+                held = payload["held_decision"]
+                assert isinstance(held, list) and len(held) > 0
+                assert all(isinstance(vf, int) for vf in held)
+
+                health = manager.health()
+                assert health["degraded"] == 1
+                assert health["shards"]["fx8320"]["degraded_reason"] == (
+                    "heartbeat_stall"
+                )
+            finally:
+                os.kill(handle.process.pid, signal.SIGCONT)
+
+            # The first live heartbeat ends the episode.
+            _wait(lambda: (manager.poll(), not handle.degraded)[1],
+                  what="recovery")
+            health = manager.health()
+            assert health["degraded"] == 0
+            assert health["recoveries"] == 1
+            assert health["recovery_s_max"] > 0.0
+
+            _submit_all(manager, rest)
+        finally:
+            final = manager.stop()
+        shard = final["shards"]["fx8320"]
+        assert shard["processed"] == shard["accepted"] == len(events)
+        assert shard["sheds"] >= 1
+        assert shard["restarts"] == 0  # degradation is not a restart
+
+        # The episode is on the manager's own event stream.
+        manager_events = list(
+            read_events(str(tmp_path / "events" / "manager.jsonl"))
+        )
+        degraded = [e for e in manager_events if e["type"] == "shard_degraded"]
+        recovered = [
+            e for e in manager_events if e["type"] == "shard_recovered"
+        ]
+        assert len(degraded) == len(recovered) == 1
+        assert degraded[0]["reason"] == "heartbeat_stall"
+        assert recovered[0]["degraded_s"] > 0.0
+
+
+class TestHealthSnapshot:
+    def test_health_reports_the_full_picture(self, tiny_registry, tmp_path):
+        events = _wire_stream(4)
+        manager = _manager(tiny_registry, tmp_path)
+        manager.start()
+        try:
+            _submit_all(manager, events)
+            _wait(
+                lambda: manager.stats()["processed"] >= len(events),
+                what="stream processed",
+            )
+            health = manager.health()
+            shard = health["shards"]["fx8320"]
+            assert shard["alive"] is True
+            assert shard["degraded"] is False
+            assert shard["degraded_reason"] is None
+            assert shard["restarts"] == 0
+            assert shard["recoveries"] == 0
+            assert shard["heartbeat_age_s"] is not None
+            assert shard["heartbeat_age_s"] < 60.0
+            assert shard["delivered"] == len(events)
+            assert 0 <= shard["checkpointed_delivered"] <= len(events)
+            assert shard["pending"] == 0
+            assert shard["inflight"] <= len(events)
+            assert health["restarts"] == 0
+        finally:
+            manager.stop()
+
+
+class TestExactZeroLoss:
+    def test_kill_with_checkpoint_loses_and_duplicates_nothing(
+        self, tiny_registry, tmp_path
+    ):
+        """SIGKILL mid-stream: the ledger redelivers the checkpoint gap
+        and the restored pipeline applies every interval exactly once --
+        counted exactly, not within a slack bound."""
+        events = _wire_stream(20)
+        manager = _manager(tiny_registry, tmp_path)
+        manager.start()
+        handle = manager.shards["fx8320"]
+        try:
+            _submit_all(manager, events[: len(events) // 2])
+            _wait(
+                lambda: manager.stats()["processed"] >= 8,
+                what="progress before the kill",
+            )
+            os.kill(handle.process.pid, signal.SIGKILL)
+            handle.process.join(timeout=10.0)
+            assert manager.ensure_alive() == 1
+            _submit_all(manager, events[len(events) // 2:])
+        finally:
+            final = manager.stop()
+        shard = final["shards"]["fx8320"]
+        assert shard["accepted"] == len(events)
+        assert shard["processed"] == len(events)  # exact: zero loss
+        assert shard["restarts"] == 1
+
+        # Exactly once, per interval: every applied decision carries a
+        # unique delivery index and none is missing.
+        decisions = [
+            e
+            for e in read_events(
+                str(tmp_path / "events" / "shard-fx8320.jsonl")
+            )
+            if e["type"] == "decision"
+        ]
+        indices = [e["delivery_index"] for e in decisions]
+        assert sorted(indices) == list(range(len(events)))
+
+
+@pytest.mark.slow_kill
+class TestKillStorm:
+    def test_repeated_kill_cycles_stay_exactly_once(
+        self, tiny_registry, tmp_path
+    ):
+        events = _wire_stream(30)
+        manager = _manager(tiny_registry, tmp_path)
+        manager.start()
+        handle = manager.shards["fx8320"]
+        kills = 0
+        try:
+            chunk = len(events) // 4
+            for round_no in range(4):
+                _submit_all(
+                    manager, events[round_no * chunk: (round_no + 1) * chunk]
+                )
+                if round_no < 3:
+                    _wait(
+                        lambda: manager.stats()["processed"] > 0,
+                        what="progress in round {}".format(round_no),
+                    )
+                    os.kill(handle.process.pid, signal.SIGKILL)
+                    handle.process.join(timeout=10.0)
+                    kills += 1
+                    assert manager.ensure_alive() == 1
+            _submit_all(manager, events[4 * chunk:])
+        finally:
+            final = manager.stop()
+        shard = final["shards"]["fx8320"]
+        assert kills == 3
+        assert shard["restarts"] == 3
+        assert shard["accepted"] == len(events)
+        assert shard["processed"] == len(events)
+        decisions = [
+            e
+            for e in read_events(
+                str(tmp_path / "events" / "shard-fx8320.jsonl")
+            )
+            if e["type"] == "decision"
+        ]
+        assert sorted(e["delivery_index"] for e in decisions) == list(
+            range(len(events))
+        )

@@ -145,6 +145,15 @@ class TestValidation:
         with pytest.raises(ProtocolError, match="non-empty"):
             parse_telemetry(obj)
 
+    def test_seq_accepts_nonnegative_integers_only(self, sample):
+        obj = decode_line(telemetry_line("n0", "fx8320", 0, sample))
+        assert parse_telemetry(dict(obj, seq=0))["seq"] == 0
+        assert parse_telemetry(dict(obj, seq=10**9))["seq"] == 10**9
+        assert "seq" not in parse_telemetry(obj)  # optional
+        for bad in (-1, 1.5, "3", True, [0], {}):
+            with pytest.raises(ProtocolError, match="'seq'"):
+                parse_telemetry(dict(obj, seq=bad))
+
 
 class TestCheckpointPlumbing:
     def test_round_trip(self, tmp_path):

@@ -179,6 +179,7 @@ class TestIngestor:
             await ingestor.stop()
             assert ingestor.stats.as_dict() == {
                 "lines": 4, "accepted": 1, "retried": 1, "errors": 2,
+                "duplicates": 0, "sheds": 0,
             }
 
         def telemetry_bytes(event):
@@ -292,3 +293,177 @@ class TestCLI:
         assert code == 0
         assert "5 intervals processed" in out
         assert "shard fx8320" in out
+
+
+class TestLineAssembler:
+    """The defensive framing layer under the TCP ingest path."""
+
+    def _feed(self, assembler, chunks):
+        events = []
+        for chunk in chunks:
+            events.extend(assembler.feed(chunk))
+        return events
+
+    def test_lines_split_across_chunks_reassemble(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=64)
+        events = self._feed(assembler, [b'{"a"', b": 1}\n", b'{"b": 2}\n'])
+        assert events == [("line", b'{"a": 1}'), ("line", b'{"b": 2}')]
+        assert assembler.eof() is None
+
+    def test_oversized_line_reported_exactly_once(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=8)
+        # 30 bytes of junk in three chunks, then a newline, then a good
+        # line: one oversized event, framing resumes cleanly.
+        events = self._feed(
+            assembler, [b"x" * 10, b"x" * 10, b"x" * 10, b"\nok\n"]
+        )
+        assert events == [("oversized", b""), ("line", b"ok")]
+
+    def test_oversized_never_buffers_beyond_one_chunk(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=8)
+        for _ in range(100):
+            assembler.feed(b"y" * 1024)  # 100 KB of newline-free junk
+        assert len(assembler._buf) == 0  # dropped as it arrived
+        assert assembler.feed(b"tail\nok\n") == [("line", b"ok")]
+
+    def test_oversized_terminated_line_still_one_event(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=8)
+        events = assembler.feed(b"z" * 9 + b"\nok\n")
+        assert events == [("oversized", b""), ("line", b"ok")]
+
+    def test_partial_line_surfaces_at_eof(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=64)
+        assert assembler.feed(b'{"a": 1}\n{"half') == [("line", b'{"a": 1}')]
+        assert assembler.eof() == b'{"half'
+
+    def test_eof_while_skipping_oversized_reports_nothing(self):
+        from repro.serve.ingest import _LineAssembler
+
+        assembler = _LineAssembler(max_line_bytes=8)
+        assembler.feed(b"x" * 20)
+        assert assembler.eof() is None  # the junk is gone, not a "line"
+
+
+class TestHostileInput:
+    """The TCP front-end against a hostile byte stream: every abuse gets
+    an ``error`` response line (with ``seq`` echoed when readable) and
+    the connection -- and the service -- survive."""
+
+    def _scenario(self, tiny_registry, abuse):
+        async def run():
+            manager = ShardManager([_shard_spec(tiny_registry)], queue_size=8)
+            ingestor = Ingestor(manager)
+            await ingestor.start()
+            reader, writer = await asyncio.open_connection(
+                ingestor.host, ingestor.port
+            )
+            result = await abuse(reader, writer)
+            await ingestor.stop()
+            return result, ingestor.stats.as_dict()
+
+        return asyncio.run(run())
+
+    def test_invalid_utf8_is_an_error_not_a_crash(self, tiny_registry):
+        async def abuse(reader, writer):
+            writer.write(b"\xff\xfe garbage bytes \x80\n")
+            await writer.drain()
+            first = decode_line(await reader.readline())
+            # The connection survives: a valid line still goes through.
+            good = _wire_events("fx8320-n00", "fx8320", 1)[0]
+            writer.write((json.dumps(good, sort_keys=True) + "\n").encode())
+            await writer.drain()
+            second = decode_line(await reader.readline())
+            writer.close()
+            return first, second
+
+        (first, second), stats = self._scenario(tiny_registry, abuse)
+        assert first["status"] == "error"
+        assert second["status"] == "accepted"
+        assert stats["errors"] == 1
+        assert stats["accepted"] == 1
+
+    def test_oversized_line_bounded_and_answered(self, tiny_registry):
+        from repro.serve.ingest import MAX_LINE_BYTES
+
+        async def abuse(reader, writer):
+            # Stream 2x the limit without a newline, then terminate it.
+            for _ in range(2 * MAX_LINE_BYTES // 65536):
+                writer.write(b"A" * 65536)
+                await writer.drain()
+            writer.write(b"\n")
+            await writer.drain()
+            first = decode_line(await reader.readline())
+            good = _wire_events("fx8320-n00", "fx8320", 1)[0]
+            writer.write((json.dumps(good, sort_keys=True) + "\n").encode())
+            await writer.drain()
+            second = decode_line(await reader.readline())
+            writer.close()
+            return first, second
+
+        (first, second), stats = self._scenario(tiny_registry, abuse)
+        assert first["status"] == "error"
+        assert "byte limit" in first["reason"]
+        assert second["status"] == "accepted"
+
+    def test_partial_line_at_eof_gets_a_final_error(self, tiny_registry):
+        async def abuse(reader, writer):
+            writer.write(b'{"type": "telemetry", "node"')  # no newline
+            await writer.drain()
+            writer.write_eof()
+            line = await reader.readline()
+            writer.close()
+            return decode_line(line)
+
+        payload, stats = self._scenario(tiny_registry, abuse)
+        assert payload["status"] == "error"
+        assert "partial line" in payload["reason"]
+        assert stats["errors"] == 1
+
+    def test_error_responses_echo_the_seq(self, tiny_registry):
+        async def abuse(reader, writer):
+            # Well-formed JSON with a seq, but an unroutable node: the
+            # error response must carry the seq back so a resilient
+            # client can settle the in-flight send.
+            writer.write(b'{"type": "telemetry", "node": "who", "seq": 7}\n')
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            return decode_line(line)
+
+        payload, _stats = self._scenario(tiny_registry, abuse)
+        assert payload["status"] == "error"
+        assert payload["seq"] == 7
+
+
+class TestIngestLinesWaitCap:
+    def test_permanently_stuck_queue_raises_instead_of_stalling(
+        self, tiny_registry
+    ):
+        """A dead shard must surface as an error after the cumulative
+        wait cap, not block the stdin loop forever."""
+        manager = ShardManager(
+            [_shard_spec(tiny_registry)], queue_size=1, retry_after_s=0.5
+        )
+        wire = _wire_events("fx8320-n00", "fx8320", 2)
+        lines = [
+            (json.dumps(e, sort_keys=True) + "\n").encode() for e in wire
+        ]
+        waits = []
+        with pytest.raises(RuntimeError, match="stuck or dead"):
+            # No worker drains the queue: line 2 backpressures forever.
+            ingest_lines(
+                manager, lines, sleep=waits.append, max_wait_s=2.0
+            )
+        # The loop gave up once the *cumulative* wait would cross the
+        # cap -- after ~2s of budgeted back-off, not minutes.
+        assert sum(waits) <= 2.0
