@@ -115,12 +115,20 @@ class EventLog:
 
     With ``path=None`` events accumulate in :attr:`records` only --
     the cheap configuration for tests and benchmarks.  With a path,
-    every event is additionally serialised to one line of the file; the
-    handle is opened lazily and flushed every ``flush_every`` events
-    (and always in :meth:`close`), keeping the OS syscall cost off the
-    per-interval hot path.  Pass ``flush_every=1`` to flush after every
-    event -- the crash-debugging configuration, where even a SIGKILL'd
-    run leaves every emitted line on disk.
+    pending events are serialised to the file (one JSONL line each) at
+    every :meth:`flush` point: the handle is opened lazily and a flush
+    happens every ``flush_every`` events and always in :meth:`close`,
+    keeping the OS syscall cost off the per-interval hot path.  Pass
+    ``flush_every=1`` to flush after every event -- the crash-debugging
+    configuration, where even a SIGKILL'd run leaves every emitted line
+    on disk.
+
+    Deferring the file writes to the flush points (rather than writing
+    eagerly into a userspace buffer) is what lets a caller tie the file
+    contents to an external durability boundary: the shard worker
+    flushes only after a successful checkpoint and uses :meth:`abort`
+    on an exit whose final checkpoint did not land, so the on-disk
+    event stream never runs ahead of the durable state it describes.
     """
 
     def __init__(self, path: Optional[str] = None, flush_every: int = 64) -> None:
@@ -130,10 +138,11 @@ class EventLog:
         self.flush_every = int(flush_every)
         self.records: List[dict] = []
         self._handle = None
-        self._unflushed = 0
+        #: Records already written to the file (an index into records).
+        self._written = 0
 
     def emit(self, type: str, node: str = "node0", interval: int = 0, **fields) -> dict:
-        """Validate, record, and (if file-backed) write one event."""
+        """Validate and record one event (written out at the next flush)."""
         validate_event(type, fields)
         # The kwargs dict is fresh per call: stamp the common fields into
         # it directly rather than building and merging a second dict
@@ -144,33 +153,50 @@ class EventLog:
         event["node"] = node
         event["interval"] = int(interval)
         self.records.append(event)
-        if self.path is not None:
-            if self._handle is None:
-                self._handle = open(self.path, "a")
-            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-            self._unflushed += 1
-            if self._unflushed >= self.flush_every:
-                self._handle.flush()
-                self._unflushed = 0
+        if (
+            self.path is not None
+            and len(self.records) - self._written >= self.flush_every
+        ):
+            self.flush()
         return event
 
     def flush(self) -> None:
-        """Push any buffered lines to the OS."""
-        if self._handle is not None and self._unflushed:
-            self._handle.flush()
-            self._unflushed = 0
+        """Write any pending records to the file and push them to the OS."""
+        if self.path is None or self._written >= len(self.records):
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        for event in self.records[self._written:]:
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._written = len(self.records)
+        self._handle.flush()
 
     def close(self) -> None:
         """Flush and release the file handle (safe to call twice).
 
         Always run this (or use the log as a context manager) on every
-        exit path: with the default buffered mode, the tail of the
-        stream lives in the write buffer until flushed.
+        exit path: pending events live only in memory until flushed.
         """
+        self.flush()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
-            self._unflushed = 0
+
+    def abort(self) -> None:
+        """Release the file handle *discarding* the pending tail.
+
+        The already-flushed prefix of the file is untouched; records
+        emitted since the last flush are dropped from the file (they
+        stay in :attr:`records`).  This is the exit path for a caller
+        whose flush discipline is tied to checkpoints and whose final
+        checkpoint was vetoed or failed: persisting the tail would let
+        the event file run ahead of the durable state, and a restart
+        that replays from that state would then append duplicates.
+        """
+        self._written = len(self.records)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     def __enter__(self) -> "EventLog":
         return self

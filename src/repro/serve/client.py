@@ -17,7 +17,9 @@ policy -- *when in doubt, resend* -- into exactly-once application:
 - a response timeout resends the same line on the same connection --
   the server may or may not have applied it, and dedup makes both
   outcomes safe; stray late responses are recognised by their echoed
-  ``seq`` and discarded;
+  ``(node, seq)`` pair and discarded (``seq`` alone is ambiguous: the
+  per-node counters advance in lockstep, so lines from different nodes
+  routinely share a sequence number);
 - transport failures (reset, refused connect) reconnect with capped
   exponential backoff; while the transport is down, submissions spool
   into a bounded offline outbox that :meth:`drain` (or any later send)
@@ -126,6 +128,9 @@ class ResilientClient:
         self._connected_once = False
         #: (node, seq, line) entries not yet acknowledged, in order.
         self._outbox: Deque[Tuple[Optional[str], Optional[int], bytes]] = deque()
+        #: Counters, except ``spooled`` which is a *gauge*: the number
+        #: of lines currently waiting in the offline outbox (kept in
+        #: step with :attr:`spooled` on every flush attempt).
         self.stats = {
             "accepted": 0,
             "duplicates": 0,
@@ -196,8 +201,14 @@ class ResilientClient:
         line, _sep, self._buf = self._buf.partition(b"\n")
         return line
 
-    def _transact(self, line: bytes, seq: Optional[int], budget: list) -> dict:
-        """Send one line and return its (seq-matched) response.
+    def _transact(
+        self,
+        line: bytes,
+        node: Optional[str],
+        seq: Optional[int],
+        budget: list,
+    ) -> dict:
+        """Send one line and return its ``(node, seq)``-matched response.
 
         ``budget`` is the shared one-element redelivery counter for this
         line; timeouts consume it (each timeout is one redelivery).
@@ -210,9 +221,22 @@ class ResilientClient:
                 while True:
                     resp = decode_line(self._read_line())
                     rseq = resp.get("seq")
-                    if seq is not None and rseq is not None and rseq != seq:
-                        # A late response to an earlier incarnation of
-                        # this connection; dedup upstream makes it moot.
+                    rnode = resp.get("node")
+                    # A mismatch on either echoed field marks a late
+                    # response to an earlier send (a timeout resend or a
+                    # proxy-duplicated request); dedup upstream makes it
+                    # moot.  Matching seq alone is not enough: per-node
+                    # counters move in lockstep, so another node's
+                    # leftover response can carry this transaction's seq
+                    # -- misattributing it would shift every subsequent
+                    # response by one and could mask a retry/shed.
+                    if (
+                        seq is not None and rseq is not None and rseq != seq
+                    ) or (
+                        node is not None
+                        and rnode is not None
+                        and rnode != node
+                    ):
                         self.stats["stray_responses"] += 1
                         continue
                     return resp
@@ -245,7 +269,7 @@ class ResilientClient:
         budget = [0]
         retry_round = 0
         while True:
-            resp = self._transact(line, seq, budget)
+            resp = self._transact(line, node, seq, budget)
             status = resp.get("status")
             if status == ACCEPTED:
                 self.stats["accepted"] += 1
@@ -283,20 +307,22 @@ class ResilientClient:
     def _flush_outbox(self) -> dict:
         """Deliver spooled lines in order; stop (spooled) if transport dies."""
         last: dict = {"status": "spooled", "spooled": len(self._outbox)}
-        while self._outbox:
-            node, seq, line = self._outbox[0]
-            try:
-                last = self._deliver(node, seq, line)
-            except _TransportDown:
-                self.stats["spooled"] += 1
-                return {"status": "spooled", "spooled": len(self._outbox)}
-            except DeliveryError:
-                # A rejected line must not wedge the lines queued
-                # behind it; drop it and let the error surface.
+        try:
+            while self._outbox:
+                node, seq, line = self._outbox[0]
+                try:
+                    last = self._deliver(node, seq, line)
+                except _TransportDown:
+                    return {"status": "spooled", "spooled": len(self._outbox)}
+                except DeliveryError:
+                    # A rejected line must not wedge the lines queued
+                    # behind it; drop it and let the error surface.
+                    self._outbox.popleft()
+                    raise
                 self._outbox.popleft()
-                raise
-            self._outbox.popleft()
-        return last
+            return last
+        finally:
+            self.stats["spooled"] = len(self._outbox)
 
     # -- public API ----------------------------------------------------------
 
@@ -320,8 +346,17 @@ class ResilientClient:
         The per-node sequence number is assigned here, exactly once;
         every redelivery of the line reuses it.  A line that already
         carries a ``seq`` keeps it (replaying a recorded wire stream
-        stays exactly-once).
+        stays exactly-once).  The spool-overflow check runs *before* the
+        sequence number is touched: a refused line consumes no seq, so
+        the node's counter never develops a gap -- the server's dedup
+        window assumes a client never skips forward past a sequence
+        number that was not accepted, and a gapped seq replayed later
+        would be silently dropped as a false duplicate.
         """
+        if len(self._outbox) >= self.spool_limit:
+            raise DeliveryError(
+                "offline spool overflow ({} lines)".format(len(self._outbox))
+            )
         try:
             obj = decode_line(line if isinstance(line, bytes) else line.encode())
         except ProtocolError:
@@ -340,10 +375,6 @@ class ResilientClient:
                     self._seqs[node] = seq
                     obj["seq"] = seq
                 line = encode(obj)
-        if len(self._outbox) >= self.spool_limit:
-            raise DeliveryError(
-                "offline spool overflow ({} lines)".format(len(self._outbox))
-            )
         self._outbox.append((node, seq, line))
         return self._flush_outbox()
 

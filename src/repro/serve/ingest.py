@@ -125,17 +125,23 @@ class _LineAssembler:
 def _handle_line(manager: ShardManager, line: bytes, stats: IngestStats) -> dict:
     """Validate and route one request line; returns the response payload.
 
-    The request's ``seq`` (when present and well-formed enough to read)
-    is echoed into the response -- including ``error`` responses -- so a
-    resilient client can match responses to in-flight sends.
+    The request's ``node`` and ``seq`` (when present and well-formed
+    enough to read) are echoed into the response -- including ``error``
+    responses -- so a resilient client can match responses to in-flight
+    sends.  ``seq`` alone is ambiguous: per-node counters advance in
+    lockstep across a fleet, so two nodes' lines routinely share a
+    sequence number and only the ``(node, seq)`` pair names a request.
     """
     stats.lines += 1
-    seq = None
+    echo = {}
     try:
         obj = decode_line(line)
         raw_seq = obj.get("seq")
         if isinstance(raw_seq, int) and not isinstance(raw_seq, bool):
-            seq = raw_seq
+            echo["seq"] = raw_seq
+        raw_node = obj.get("node")
+        if isinstance(raw_node, str) and raw_node:
+            echo["node"] = raw_node
         event = parse_telemetry(obj)
         payload = manager.submit(event)
     except ProtocolError as exc:
@@ -151,9 +157,9 @@ def _handle_line(manager: ShardManager, line: bytes, stats: IngestStats) -> dict
             stats.sheds += 1
         else:
             stats.accepted += 1
-    if seq is not None:
+    if echo:
         payload = dict(payload)
-        payload["seq"] = seq
+        payload.update(echo)
     return payload
 
 

@@ -442,7 +442,9 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
     worker resumes from its checkpoint when one exists, processes
     validated telemetry events until the :data:`STOP` sentinel (or
     SIGTERM), snapshots every ``checkpoint_every`` intervals and on
-    every exit path, and reports progress on ``out_queue``.
+    every *round-aligned* exit (a mid-round exit keeps the last aligned
+    checkpoint authoritative -- see ``_snapshot``), and reports
+    progress on ``out_queue``.
 
     The shard's JSONL event stream is flushed *after* each successful
     checkpoint (never in between): the on-disk event file therefore
@@ -535,13 +537,11 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
 
     signal.signal(signal.SIGTERM, _on_sigterm)
 
-    def _snapshot():
+    def _snapshot() -> None:
         nonlocal checkpointed, last_save_t
         if checkpointer is not None and checkpointer.save():
             checkpointed = delivered
             last_save_t = time.monotonic()
-        if events is not None:
-            events.flush()
 
     since_progress = 0
     last_heartbeat_t = 0.0
@@ -588,7 +588,36 @@ def shard_worker_main(config: dict, in_queue, out_queue) -> None:
                 since_progress = 0
                 out_queue.put(("progress", pipeline.sku, _report_stats()))
     finally:
-        _snapshot()
-        if events is not None:
-            events.close()
+        if checkpointer is not None and pipeline.mid_round:
+            # The mid-round alignment veto applies to the exit snapshot
+            # exactly as to the periodic tick: ``state_dict`` drops the
+            # in-flight allocation round, so a snapshot taken
+            # mid-barrier (SIGTERM from the manager's stop timeout, an
+            # operational SIGTERM mid-round) would advance the
+            # ``delivered`` watermark past items whose round state it
+            # cannot carry -- a restart would neither redeliver them
+            # nor close their round, silently diverging from the
+            # uninterrupted decision stream.  The last *aligned*
+            # checkpoint stays authoritative instead, and the manager's
+            # in-flight ledger redelivers the tail for bit-identical
+            # reprocessing -- which is also why the event tail is
+            # aborted, not flushed: the redelivery re-emits it, and the
+            # file must not run ahead of the durable state.
+            logger.info(
+                "shard %s exiting mid-round: final snapshot skipped, "
+                "last aligned checkpoint stays authoritative",
+                pipeline.sku,
+            )
+            if events is not None:
+                events.abort()
+        else:
+            # Round-aligned exit (or no checkpointing at all): snapshot
+            # and persist the full event history.  Even when the save
+            # itself fails (disk fault), the flushed events only record
+            # decisions that really were applied; losing them would be
+            # worse than the stale-watermark window the failure already
+            # logged.
+            _snapshot()
+            if events is not None:
+                events.close()
         out_queue.put(("stopped", pipeline.sku, _report_stats()))

@@ -222,6 +222,21 @@ class TestEventLogBuffering:
             assert self._lines_on_disk(path) == k + 1
         events.close()
 
+    def test_abort_discards_pending_but_keeps_flushed(self, tmp_path):
+        """The checkpoint-tied exit path: everything flushed stays,
+        everything pending is dropped from the file (the restart that
+        replays from the durable state will re-emit it)."""
+        path = str(tmp_path / "events.jsonl")
+        events = EventLog(path, flush_every=1000)
+        events.emit("quarantine_enter", interval=0, bad_streak=1)
+        events.flush()
+        events.emit("quarantine_enter", interval=1, bad_streak=1)
+        events.abort()
+        assert self._lines_on_disk(path) == 1
+        assert len(events) == 2  # in-memory records are untouched
+        events.close()  # a later close writes nothing extra
+        assert self._lines_on_disk(path) == 1
+
     def test_close_flushes_the_tail(self, tmp_path):
         path = str(tmp_path / "events.jsonl")
         events = EventLog(path, flush_every=1000)

@@ -33,9 +33,14 @@ class _ScriptedServer:
       times out and redelivers);
     - ``apply_drop``: apply the line but withhold the ack -- the lost-ack
       race the dedup window exists for;
+    - ``dup_ack``: apply the line and ack it *twice* -- the
+      proxy-duplicated-response race that leaves a stray response in the
+      client's receive buffer;
     - ``close``: drop the connection without a response.
 
-    ``applied`` records each line applied exactly once, in order.
+    Responses echo the request's ``node`` and ``seq``, exactly like the
+    real ingest front-end.  ``applied`` records each line applied
+    exactly once, in order.
     """
 
     def __init__(self, script=(), port=0):
@@ -53,8 +58,8 @@ class _ScriptedServer:
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
-    def _respond(self, conn, status, seq):
-        payload = {"status": status, "seq": seq}
+    def _respond(self, conn, status, obj, seq):
+        payload = {"status": status, "seq": seq, "node": obj.get("node")}
         if status in ("retry", "shed"):
             payload["retry_after_s"] = 0.0
         if status == "error":
@@ -64,11 +69,11 @@ class _ScriptedServer:
     def _apply(self, conn, obj, seq):
         key = (obj.get("node"), seq)
         if seq is not None and key in self.seen:
-            self._respond(conn, "duplicate", seq)
+            self._respond(conn, "duplicate", obj, seq)
             return
         self.seen.add(key)
         self.applied.append(obj)
-        self._respond(conn, "accepted", seq)
+        self._respond(conn, "accepted", obj, seq)
 
     def _serve(self, conn):
         conn.settimeout(0.05)
@@ -93,13 +98,16 @@ class _ScriptedServer:
             if action == "accept":
                 self._apply(conn, obj, seq)
             elif action in ("retry", "shed", "error"):
-                self._respond(conn, action, seq)
+                self._respond(conn, action, obj, seq)
             elif action == "drop":
                 pass
             elif action == "apply_drop":
                 key = (obj.get("node"), seq)
                 self.seen.add(key)
                 self.applied.append(obj)
+            elif action == "dup_ack":
+                self._apply(conn, obj, seq)
+                self._respond(conn, "duplicate", obj, seq)
             elif action == "close":
                 conn.close()
                 return
@@ -218,6 +226,23 @@ class TestRedelivery:
             assert client.send_wire(_line("a", 1))["status"] == "accepted"
 
 
+class TestStrayResponses:
+    def test_other_nodes_leftover_response_is_not_misattributed(self, server):
+        """Per-node seq counters advance in lockstep, so a leftover
+        response for node a / seq 0 carries the same seq as the next
+        transaction (node b / seq 0).  The client must discard it on the
+        node mismatch -- misattributing it here would report node b's
+        rejected line as delivered and shift every later response."""
+        server.script.extend(["dup_ack", "error"])
+        with _client(server) as client:
+            assert client.send_wire(_line("a", 0))["status"] == "accepted"
+            with pytest.raises(DeliveryError, match="scripted rejection"):
+                client.send_wire(_line("b", 0))
+        assert client.stats["stray_responses"] == 1
+        # Node b's line was never applied; only node a's was.
+        assert [o["node"] for o in server.applied] == ["a"]
+
+
 class TestRejection:
     def test_error_status_raises_and_does_not_redeliver(self, server):
         server.script.append("error")
@@ -246,10 +271,13 @@ class TestSpooling:
         for i in range(3):
             assert client.send_wire(_line("a", i))["status"] == "spooled"
         assert client.spooled == 3
+        # The "spooled" stat is a gauge of the outbox depth.
+        assert client.stats["spooled"] == 3
         server = _ScriptedServer(port=port)
         try:
             assert client.drain(timeout_s=10.0)
             assert client.spooled == 0
+            assert client.stats["spooled"] == 0
             assert [o["seq"] for o in server.applied] == [0, 1, 2]
         finally:
             client.close()
@@ -265,6 +293,30 @@ class TestSpooling:
         with pytest.raises(DeliveryError, match="spool overflow"):
             client.send_wire(_line("a", 1))
         client.close()
+
+    def test_spool_overflow_does_not_burn_a_seq(self):
+        """A line refused on spool overflow must not consume a sequence
+        number: the server's dedup window treats any seq gap as
+        already-accepted history, so a gapped counter would turn a later
+        legitimate send into a false duplicate."""
+        port = self._dead_port()
+        client = ResilientClient(
+            "127.0.0.1", port, timeout_s=0.2, connect_attempts=1,
+            spool_limit=1, sleep=lambda _s: None,
+        )
+        assert client.send_wire(_line("a", 0))["status"] == "spooled"
+        with pytest.raises(DeliveryError, match="spool overflow"):
+            client.send_wire(_line("a", 1))
+        server = _ScriptedServer(port=port)
+        try:
+            assert client.drain(timeout_s=10.0)
+            # The next send takes seq 1, right after the only line that
+            # was ever admitted -- no gap from the refused line.
+            assert client.send_wire(_line("a", 2))["status"] == "accepted"
+            assert [o["seq"] for o in server.applied] == [0, 1]
+        finally:
+            client.close()
+            server.stop()
 
 
 class TestDeterminism:

@@ -205,3 +205,56 @@ class TestSigtermDrain:
             assert state["processed"] == len(events)
         finally:
             manager.stop()
+
+    def test_sigterm_mid_round_keeps_the_aligned_checkpoint(
+        self, tiny_registry, tmp_path
+    ):
+        """A SIGTERM landing mid-allocation-round must not write a
+        checkpoint whose watermark covers the round's in-flight items:
+        ``state_dict`` drops those samples, so such a snapshot neither
+        redelivers them nor retains their round state and the restarted
+        decision stream would silently diverge.  The exit snapshot is
+        vetoed instead; the last *aligned* checkpoint stays
+        authoritative and the ledger redelivers the tail."""
+        events = _wire_stream(5)  # 10 lines, rounds close every 2
+        manager = _manager(tiny_registry, tmp_path)
+        manager.start()
+        handle = manager.shards["fx8320"]
+        ckpt_path = str(tmp_path / "ckpt" / "shard-fx8320.json")
+        try:
+            # 9 lines: 4 complete rounds plus one node's lone delivery
+            # leaves the round mid-barrier when the SIGTERM lands.
+            _submit_all(manager, events[:9])
+            _wait_processed(manager, 9)
+            os.kill(handle.process.pid, signal.SIGTERM)
+            handle.process.join(timeout=10.0)
+            assert not handle.process.is_alive()
+
+            # The final snapshot was skipped: the on-disk state is the
+            # round-aligned periodic one (8 = CHECKPOINT_EVERY items),
+            # not one claiming the mid-round 9th item.
+            state = read_checkpoint(ckpt_path)
+            assert state["delivered"] == 8
+            assert state["processed"] == 8
+
+            # Restart: the ledger redelivers the mid-round tail and the
+            # stream finishes round-aligned.
+            assert manager.ensure_alive() == 1
+            _submit_all(manager, events[9:])
+        finally:
+            final = manager.stop()
+        shard = final["shards"]["fx8320"]
+        assert shard["accepted"] == len(events)
+        assert shard["processed"] == len(events)
+        # The decision stream on disk covers every interval exactly
+        # once -- the redelivered item was re-emitted, not duplicated.
+        events_on_disk = list(
+            read_events(str(tmp_path / "events" / "shard-fx8320.jsonl"))
+        )
+        per_node = {}
+        for e in events_on_disk:
+            if e["type"] == "decision":
+                per_node.setdefault(e["node"], []).append(e["interval"])
+        assert sorted(per_node) == ["fx8320-n00", "fx8320-n01"]
+        for intervals in per_node.values():
+            assert sorted(intervals) == list(range(5))

@@ -443,6 +443,25 @@ class TestHostileInput:
         payload, _stats = self._scenario(tiny_registry, abuse)
         assert payload["status"] == "error"
         assert payload["seq"] == 7
+        # The node is echoed too: seq alone cannot name an in-flight
+        # request, because per-node counters advance in lockstep and
+        # collide across nodes.
+        assert payload["node"] == "who"
+
+    def test_accepted_responses_echo_node_and_seq(self, tiny_registry):
+        async def abuse(reader, writer):
+            good = _wire_events("fx8320-n00", "fx8320", 1)[0]
+            good["seq"] = 3
+            writer.write((json.dumps(good, sort_keys=True) + "\n").encode())
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            return decode_line(line)
+
+        payload, _stats = self._scenario(tiny_registry, abuse)
+        assert payload["status"] == "accepted"
+        assert payload["seq"] == 3
+        assert payload["node"] == "fx8320-n00"
 
 
 class TestIngestLinesWaitCap:
