@@ -1,0 +1,41 @@
+"""Telemetry backends: the boundary between the pipeline and the rig.
+
+See :mod:`repro.backends.base` for the interface and fault contract,
+and DESIGN.md section 13 for the subsystem design.
+"""
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendError,
+    BackendIOError,
+    BackendTimeout,
+    CapabilityError,
+    EndOfTrace,
+    TelemetryBackend,
+    TraceFormatError,
+)
+from repro.backends.flaky import FlakyBackend, FlakySpec
+from repro.backends.guard import BackendGuard, GuardConfig
+from repro.backends.loop import run_backend_controlled
+from repro.backends.simulator import SimulatorBackend
+from repro.backends.trace import TraceReplayBackend, TraceWriter, record_trace
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendError",
+    "BackendGuard",
+    "BackendIOError",
+    "BackendTimeout",
+    "CapabilityError",
+    "EndOfTrace",
+    "FlakyBackend",
+    "FlakySpec",
+    "GuardConfig",
+    "SimulatorBackend",
+    "TelemetryBackend",
+    "TraceFormatError",
+    "TraceReplayBackend",
+    "TraceWriter",
+    "record_trace",
+    "run_backend_controlled",
+]

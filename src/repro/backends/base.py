@@ -1,0 +1,167 @@
+"""The telemetry backend boundary and its fault contract.
+
+The paper's framework is *online*: every 200 ms it reads APM/NB
+performance counters and the Hall-effect power sensor on a live AMD
+Trinity machine, then actuates per-module VF states.  This package
+makes that boundary explicit: everything above it (TelemetryFilter,
+PPEP prediction, DVFS controllers, fleet capping) consumes
+:class:`~repro.hardware.platform.IntervalSample` objects and issues VF
+writes through one interface -- :class:`TelemetryBackend` -- and
+everything below it is a *source*: the in-process simulator
+(:class:`~repro.backends.simulator.SimulatorBackend`), a recorded trace
+of foreign data (:class:`~repro.backends.trace.TraceReplayBackend`), or
+a deliberately unreliable wrapper
+(:class:`~repro.backends.flaky.FlakyBackend`).
+
+The fault contract every implementation signs:
+
+- a read either returns a complete :class:`IntervalSample` or raises a
+  :class:`BackendError` subclass -- never a partial object, never a
+  hang beyond the caller's deadline;
+- :class:`BackendTimeout` and :class:`BackendIOError` are *transient*:
+  retrying the identical call is safe and side-effect-free (a failed
+  read consumes no interval);
+- :class:`TraceFormatError` and :class:`CapabilityError` are
+  *persistent*: retrying cannot help and callers should fail crisply or
+  degrade;
+- :class:`EndOfTrace` is *termination*, not failure: a finite source
+  ran dry, and retry/degrade machinery must let it propagate.
+
+:class:`~repro.backends.guard.BackendGuard` builds the retry /
+degraded-mode / quarantine policy on top of this taxonomy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendError",
+    "BackendIOError",
+    "BackendTimeout",
+    "CapabilityError",
+    "EndOfTrace",
+    "TelemetryBackend",
+    "TraceFormatError",
+]
+
+
+class BackendError(RuntimeError):
+    """Base of everything a telemetry backend may raise."""
+
+
+class BackendTimeout(BackendError):
+    """A backend call missed its deadline (transient: retry is safe)."""
+
+
+class BackendIOError(BackendError):
+    """The underlying transport failed mid-call (transient)."""
+
+
+class TraceFormatError(BackendError):
+    """A trace file is unusable; the message is one ``path:line: why`` line."""
+
+
+class CapabilityError(BackendError):
+    """The backend cannot perform the requested operation (persistent)."""
+
+
+class EndOfTrace(BackendError):
+    """A finite telemetry source is exhausted (normal termination)."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can observe and actuate.
+
+    Controllers consult this instead of ``isinstance`` checks: a replay
+    backend reports ``can_set_vf=False`` and the control loop records
+    decisions without actuating them, which is exactly what replaying a
+    closed-loop recording requires.
+    """
+
+    #: Human-readable source name ("simulator", "trace:<path>", ...).
+    name: str
+    #: Whether VF writes actuate (False: writes are recorded no-ops).
+    can_set_vf: bool
+    #: Whether the power-gating switch actuates.
+    can_set_power_gating: bool
+    #: Decision-interval length of the source's samples, seconds.
+    interval_s: float
+    num_cus: int
+    num_cores: int
+    #: 20 ms power readings per delivered interval.
+    slices_per_interval: int
+    #: Whether the source is finite (reads eventually raise EndOfTrace).
+    finite: bool = False
+
+
+class TelemetryBackend(abc.ABC):
+    """One telemetry source plus its actuation surface.
+
+    The unit of observation is the composite interval read: on the real
+    rig the APM counter deltas and the ten 20 ms power samples are
+    collected over the *same* 200 ms window and delivered together, so
+    the interface exposes them as one :meth:`read_interval` returning
+    the :class:`IntervalSample` the rest of the pipeline already
+    consumes (counter read = ``sample.core_events``, power sample =
+    ``sample.power_samples`` / ``sample.measured_power``).
+    """
+
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """The source's capability descriptor (stable per backend)."""
+
+    @abc.abstractmethod
+    def read_interval(self) -> IntervalSample:
+        """Collect the next decision interval's telemetry.
+
+        Either returns a complete sample or raises a
+        :class:`BackendError` subclass; a raising read consumes no
+        interval, so retrying the call is always safe.
+        """
+
+    @abc.abstractmethod
+    def get_vf(self, cu_id: int) -> VFState:
+        """The VF state currently in force on one compute unit."""
+
+    @abc.abstractmethod
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        """Request one compute unit's VF state for the next interval.
+
+        Backends with ``can_set_vf=False`` record the request without
+        actuating (and never raise for it).
+        """
+
+    def set_all_vf(self, vf: VFState) -> None:
+        """Request ``vf`` on every compute unit (global DVFS)."""
+        for cu in range(self.capabilities().num_cus):
+            self.set_vf(cu, vf)
+
+    @abc.abstractmethod
+    def get_power_gating(self) -> bool:
+        """Whether idle-CU power gating is enabled at the source."""
+
+    @abc.abstractmethod
+    def set_power_gating(self, enabled: bool) -> None:
+        """Flip the power-gating switch; raises :class:`CapabilityError`
+        on backends that cannot actuate it."""
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    def __enter__(self) -> "TelemetryBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def cu_vfs(self) -> List[VFState]:
+        """Convenience: the per-CU VF states currently in force."""
+        return [self.get_vf(cu) for cu in range(self.capabilities().num_cus)]

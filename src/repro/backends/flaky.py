@@ -1,0 +1,267 @@
+"""Deterministic fault injection at the backend boundary.
+
+Where :class:`~repro.faults.injection.FaultInjector` corrupts the
+*measurements* inside a delivered sample, :class:`FlakyBackend` attacks
+the *delivery itself* -- the failure modes of a real sysfs/MSR/serial
+telemetry path that the simulator never exhibits:
+
+- **timeout**: the read misses its deadline
+  (:class:`~repro.backends.base.BackendTimeout`);
+- **io_error**: the transport fails mid-read
+  (:class:`~repro.backends.base.BackendIOError`);
+- **garbage**: the read "succeeds" but the power readings are
+  electrically impossible values;
+- **stuck**: the power channel freezes and repeats its last readings
+  for a stretch of reads;
+- **partial**: only a prefix of the interval's 20 ms readings arrives;
+- **outage**: a contiguous window of reads all fail -- the persistent
+  failure that must drive the guard into quarantine.
+
+The same two determinism guarantees as ``repro.faults`` and
+``repro.chaos``, pinned in ``tests/test_backends.py``:
+
+1. **A disabled spec is bitwise-identical to no wrapper.**  With every
+   rate zero the wrapper forwards the inner backend's sample object
+   untouched and consumes no randomness.
+2. **Same seed + same spec => same fault schedule.**  Every read
+   attempt draws from a fresh generator keyed by
+   ``("backend", seed, attempt index)`` through the shared
+   :func:`repro.determinism.schedule_rng`, in a fixed order independent
+   of earlier outcomes.  The key is the *attempt* counter, not the
+   interval index: a retried read is a new attempt with its own draw,
+   which is what makes bounded-retry behavior reproducible.
+
+Error faults fire *before* the inner backend is touched, so a failing
+read consumes no interval -- the retry contract of
+:class:`~repro.backends.base.TelemetryBackend` holds under injection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendIOError,
+    BackendTimeout,
+    TelemetryBackend,
+)
+from repro.determinism import schedule_rng
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState
+
+__all__ = ["FlakyBackend", "FlakySpec"]
+
+#: Watts reported by a garbage read: far beyond the filter's
+#: plausibility band, the way a mis-framed serial word decodes.
+GARBAGE_W = 65535.0
+
+
+@dataclass(frozen=True)
+class FlakySpec:
+    """Fault rates and shapes for one unreliable telemetry path.
+
+    All probabilities are per read *attempt*.  The default spec is
+    fully disabled.
+    """
+
+    #: P(the read misses its deadline and raises BackendTimeout).
+    timeout_rate: float = 0.0
+    #: P(the transport fails mid-read and raises BackendIOError).
+    io_error_rate: float = 0.0
+    #: P(the readings come back as garbage values).
+    garbage_rate: float = 0.0
+    #: The garbage value, watts.
+    garbage_w: float = GARBAGE_W
+    #: P(the power channel freezes at its last delivered readings).
+    stuck_rate: float = 0.0
+    #: Reads a stuck episode lasts.
+    stuck_duration_reads: int = 4
+    #: P(only a prefix of the interval's readings arrives).
+    partial_rate: float = 0.0
+    #: First read attempt of a persistent outage window (every attempt
+    #: in the window raises BackendIOError), or None for no outage.
+    outage_start: Optional[int] = None
+    #: Length of the outage window, in read attempts.
+    outage_reads: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "timeout_rate",
+            "io_error_rate",
+            "garbage_rate",
+            "stuck_rate",
+            "partial_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "{} must lie in [0, 1], got {}".format(name, value)
+                )
+        if self.stuck_duration_reads < 1:
+            raise ValueError("stuck_duration_reads must be >= 1")
+        if self.outage_reads < 0:
+            raise ValueError("outage_reads cannot be negative")
+        if self.outage_start is not None and self.outage_start < 0:
+            raise ValueError("outage_start cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever fire under this spec."""
+        return (
+            self.timeout_rate > 0
+            or self.io_error_rate > 0
+            or self.garbage_rate > 0
+            or self.stuck_rate > 0
+            or self.partial_rate > 0
+            or (self.outage_start is not None and self.outage_reads > 0)
+        )
+
+    @classmethod
+    def reference(cls, scale: float = 1.0) -> "FlakySpec":
+        """The acceptance storm: every fault class fires, none dominates.
+
+        Rates are sized so a ~120-read run sees several timeouts and IO
+        errors, garbage and partial reads, at least one stuck episode,
+        and one outage window long enough to force quarantine.
+        ``scale`` multiplies every probability (capped at 1).
+        """
+
+        def p(rate: float) -> float:
+            return min(rate * scale, 1.0)
+
+        return cls(
+            timeout_rate=p(0.06),
+            io_error_rate=p(0.04),
+            garbage_rate=p(0.05),
+            stuck_rate=p(0.02),
+            stuck_duration_reads=3,
+            partial_rate=p(0.04),
+            outage_start=60,
+            outage_reads=10,
+        )
+
+
+class FlakyBackend(TelemetryBackend):
+    """Wraps any backend with a deterministic unreliability schedule.
+
+    Only the read path is attacked: VF/PG actuation and capability
+    queries pass straight through (actuation failure is a different
+    fault class, modelled by the guard's escalation tests directly).
+    """
+
+    def __init__(
+        self, inner: TelemetryBackend, spec: FlakySpec, seed: int = 0
+    ) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.seed = int(seed)
+        #: Monotonic read-attempt counter keying the schedule.
+        self.attempts = 0
+        #: Injected-fault tallies by tag, for reports and tests.
+        self.counts: Dict[str, int] = {}
+        self._stuck_left = 0
+        self._stuck_readings: Optional[List[float]] = None
+        self._last_readings: Optional[List[float]] = None
+
+    def _tally(self, tag: str) -> None:
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+
+    # -- the read path --------------------------------------------------------
+
+    def read_interval(self) -> IntervalSample:
+        spec = self.spec
+        if not spec.enabled:
+            # Bitwise transparency: no draw, no copy, the same object.
+            return self.inner.read_interval()
+        attempt = self.attempts
+        self.attempts += 1
+        rng = schedule_rng("backend", self.seed, attempt)
+        # Fixed draw order, independent of outcomes: the schedule is a
+        # pure function of (seed, spec, attempt index).
+        u_timeout = rng.random()
+        u_io = rng.random()
+        u_garbage = rng.random()
+        u_stuck = rng.random()
+        u_partial = rng.random()
+        partial_fraction = rng.random()
+
+        # Error faults fire before the inner read: no interval consumed.
+        in_outage = (
+            spec.outage_start is not None
+            and spec.outage_start <= attempt < spec.outage_start + spec.outage_reads
+        )
+        if in_outage:
+            self._tally("outage")
+            raise BackendIOError(
+                "telemetry path down (outage, read attempt {})".format(attempt)
+            )
+        if u_timeout < spec.timeout_rate:
+            self._tally("timeout")
+            raise BackendTimeout(
+                "telemetry read deadline missed (read attempt {})".format(attempt)
+            )
+        if u_io < spec.io_error_rate:
+            self._tally("io_error")
+            raise BackendIOError(
+                "telemetry transport error (read attempt {})".format(attempt)
+            )
+
+        sample = self.inner.read_interval()
+        readings = list(sample.power_samples)
+        corrupted = False
+        if self._stuck_left > 0 and self._stuck_readings is not None:
+            self._stuck_left -= 1
+            readings = list(self._stuck_readings)
+            self._tally("stuck")
+            corrupted = True
+        elif u_stuck < spec.stuck_rate and self._last_readings is not None:
+            self._stuck_readings = list(self._last_readings)
+            self._stuck_left = spec.stuck_duration_reads - 1
+            readings = list(self._stuck_readings)
+            self._tally("stuck")
+            corrupted = True
+        elif u_garbage < spec.garbage_rate:
+            readings = [spec.garbage_w] * len(readings)
+            self._tally("garbage")
+            corrupted = True
+        elif u_partial < spec.partial_rate and len(readings) > 1:
+            # Keep a non-empty strict prefix of the interval's readings.
+            keep = 1 + int(partial_fraction * (len(readings) - 1))
+            readings = readings[:keep]
+            self._tally("partial")
+            corrupted = True
+
+        self._last_readings = list(readings)
+        if not corrupted:
+            return sample
+        return dataclasses.replace(
+            sample,
+            power_samples=readings,
+            measured_power=sum(readings) / len(readings),
+        )
+
+    # -- passthrough ----------------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        caps = self.inner.capabilities()
+        return dataclasses.replace(
+            caps, name="flaky({})".format(caps.name)
+        )
+
+    def get_vf(self, cu_id: int) -> VFState:
+        return self.inner.get_vf(cu_id)
+
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        self.inner.set_vf(cu_id, vf)
+
+    def get_power_gating(self) -> bool:
+        return self.inner.get_power_gating()
+
+    def set_power_gating(self, enabled: bool) -> None:
+        self.inner.set_power_gating(enabled)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,58 @@
+"""The simulator as a telemetry backend.
+
+:class:`SimulatorBackend` adapts a
+:class:`~repro.hardware.platform.Platform` to the
+:class:`~repro.backends.base.TelemetryBackend` interface.  It is a thin
+shim by design: a read is exactly one ``platform.step()`` and a VF
+write is exactly one ``platform.set_cu_vf``, so a control loop driven
+through the backend boundary produces *bit-identical* samples and
+decisions to one driving the platform directly
+(``tests/test_backends.py`` pins this).  That equivalence is what makes
+the record->replay round trip meaningful: the trace recorder sits at
+the same boundary a real-hardware backend would.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import BackendCapabilities, TelemetryBackend
+from repro.hardware.platform import IntervalSample, Platform
+from repro.hardware.vfstates import VFState
+
+__all__ = ["SimulatorBackend"]
+
+
+class SimulatorBackend(TelemetryBackend):
+    """One simulated machine behind the backend boundary."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._caps = BackendCapabilities(
+            name="simulator",
+            can_set_vf=True,
+            can_set_power_gating=True,
+            interval_s=platform.interval_s,
+            num_cus=platform.spec.num_cus,
+            num_cores=platform.spec.num_cores,
+            slices_per_interval=platform.slices_per_interval,
+            finite=False,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    def read_interval(self) -> IntervalSample:
+        return self.platform.step()
+
+    def get_vf(self, cu_id: int) -> VFState:
+        return self.platform.cu_vfs[cu_id]
+
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        self.platform.set_cu_vf(cu_id, vf)
+
+    def get_power_gating(self) -> bool:
+        return self.platform.power_gating
+
+    def set_power_gating(self, enabled: bool) -> None:
+        # The simulator models the BIOS switch as a plain attribute read
+        # each interval, so flipping it mid-run is well-defined.
+        self.platform.power_gating = bool(enabled)

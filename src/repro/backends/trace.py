@@ -1,0 +1,436 @@
+"""Recording and replaying telemetry traces through the backend boundary.
+
+A *trace* is a line-oriented text file: one header line, one comment
+line naming the columns, then one CRC-protected row per decision
+interval.  The format is self-contained (VF states are stored with
+their full voltage/frequency, floats with ``repr`` so they round-trip
+bit-exactly), which is what makes the acceptance gate possible: a
+simulator run recorded with :class:`TraceWriter` and replayed with
+:class:`TraceReplayBackend` feeds the identical pipeline byte-identical
+samples, so decisions match exactly.
+
+Foreign-data contract (the real point of the replayer -- turbostat-style
+recordings from other rigs share these pathologies, see
+arXiv:1803.01618):
+
+- **torn tail**: the final row of a truncated recording fails its CRC
+  (or parses short); it is dropped and the valid prefix replays --
+  every byte-prefix of a trace either replays its valid prefix or
+  fails crisply, never crashes or silently mis-parses
+  (``tests/test_backend_trace.py`` sweeps every prefix);
+- **mid-file corruption**: a CRC or parse failure before the last line
+  is not recoverable -- :class:`TraceFormatError` with one
+  ``path:line: reason`` message;
+- **out-of-order rows** are re-sorted by interval index, **duplicate
+  indices** keep the first occurrence, and **gaps** are tallied and
+  skipped over -- each repair counted in :attr:`TraceReplayBackend.repairs`;
+- **unit mismatch**: ``mW``/``ms`` headers are converted (tallied as a
+  repair); an unknown unit is a crisp error, never a silently
+  mis-scaled stream;
+- **counter wraps / stuck sensors inside the data** flow through
+  untouched: the downstream :class:`~repro.faults.filtering.TelemetryFilter`
+  is the component contracted to catch value-level damage, and the
+  replayer feeding it the raw rows is what lets the identical pipeline
+  judge foreign data.
+
+Replayed samples carry observable fields only; ground-truth fields get
+the same stand-ins the serve wire format uses (``true_power`` =
+measured, ``true_core_events`` = the counter estimates), so nothing
+downstream can accidentally score against truth that was never
+recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.backends.base import (
+    BackendCapabilities,
+    CapabilityError,
+    EndOfTrace,
+    TelemetryBackend,
+    TraceFormatError,
+)
+from repro.hardware.events import EventVector, NUM_EVENTS
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState
+
+__all__ = ["TraceReplayBackend", "TraceWriter", "record_trace"]
+
+#: Header magic + format version.  Bump the version on any breaking
+#: column change; the reader rejects newer versions crisply.
+TRACE_MAGIC = "#ppep-trace"
+TRACE_VERSION = 1
+
+_COLUMNS = (
+    "index,time,cu_vfs,nb_vf,pg,power_samples,measured_power,"
+    "temperature,core_events,interval_s,crc"
+)
+
+#: Separators reserved by the row encoding; VF names must avoid them.
+_RESERVED = set(",|;:")
+
+
+def _encode_vf(vf: VFState) -> str:
+    if _RESERVED & set(vf.name):
+        raise ValueError(
+            "VF name {!r} contains a reserved trace separator".format(vf.name)
+        )
+    return "{}:{}:{}:{}".format(
+        vf.index, repr(vf.voltage), repr(vf.frequency_ghz), vf.name
+    )
+
+
+def _decode_vf(text: str) -> VFState:
+    index, voltage, freq, name = text.split(":")
+    return VFState(int(index), float(voltage), float(freq), name=name)
+
+
+def _row_crc(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")), "08x")
+
+
+class TraceWriter:
+    """Streams interval samples to a trace file.
+
+    The header is written lazily from the first sample (which fixes the
+    geometry: CU count, core count, readings per interval, interval
+    length); every row is CRC-protected so a torn write is detectable.
+    """
+
+    def __init__(self, path: str, spec_name: str = "") -> None:
+        self.path = path
+        self.spec_name = spec_name
+        try:
+            self._handle = open(path, "w")
+        except OSError as exc:
+            raise TraceFormatError(
+                "{}: cannot open for writing ({})".format(path, exc)
+            )
+        self._wrote_header = False
+        self.rows = 0
+
+    def _header(self, sample: IntervalSample) -> str:
+        import json
+
+        meta = {
+            "spec": self.spec_name,
+            "cus": len(sample.cu_vfs),
+            "cores": len(sample.core_events),
+            "events": NUM_EVENTS,
+            "slices": len(sample.power_samples),
+            "interval_s": sample.interval_s,
+            "power_unit": "W",
+            "time_unit": "s",
+        }
+        return "{} v{} {}\n#{}\n".format(
+            TRACE_MAGIC, TRACE_VERSION, json.dumps(meta, sort_keys=True),
+            _COLUMNS,
+        )
+
+    def write(self, sample: IntervalSample) -> None:
+        """Append one interval's observable fields as a CRC'd row."""
+        if not self._wrote_header:
+            self._handle.write(self._header(sample))
+            self._wrote_header = True
+        payload = ",".join(
+            [
+                str(sample.index),
+                repr(sample.time),
+                "|".join(_encode_vf(vf) for vf in sample.cu_vfs),
+                _encode_vf(sample.nb_vf),
+                "1" if sample.power_gating else "0",
+                "|".join(repr(r) for r in sample.power_samples),
+                repr(sample.measured_power),
+                repr(sample.temperature),
+                ";".join(
+                    "|".join(repr(v) for v in vec.as_list())
+                    for vec in sample.core_events
+                ),
+                repr(sample.interval_s),
+            ]
+        )
+        self._handle.write(payload + "," + _row_crc(payload) + "\n")
+        self.rows += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def record_trace(path: str, samples, spec_name: str = "") -> int:
+    """Write ``samples`` to ``path``; returns the row count."""
+    with TraceWriter(path, spec_name=spec_name) as writer:
+        for sample in samples:
+            writer.write(sample)
+        return writer.rows
+
+
+class TraceReplayBackend(TelemetryBackend):
+    """Replays a recorded trace through the backend boundary.
+
+    The whole file is parsed (and repaired) eagerly at construction, so
+    format damage surfaces as one crisp :class:`TraceFormatError` at
+    open time rather than mid-run; :meth:`read_interval` then delivers
+    the repaired stream in order and raises
+    :class:`~repro.backends.base.EndOfTrace` when it runs dry.
+
+    VF writes are recorded no-ops (``capabilities().can_set_vf`` is
+    False): replaying a closed-loop recording means the actuations are
+    already baked into the data, and the recorded requests let tests
+    compare replayed decisions against the live run's.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Repair tallies: torn-tail, reorder, duplicate, gap, unit.
+        self.repairs: Dict[str, int] = {}
+        #: One human-readable line per repair category applied.
+        self.warnings: List[str] = []
+        self.meta: Dict[str, object] = {}
+        #: VF requests recorded from the controller, (cu_id, VFState).
+        self.requested_vfs: List[Tuple[int, VFState]] = []
+        self._samples: List[IntervalSample] = self._parse()
+        self._cursor = 0
+        self._last: Optional[IntervalSample] = None
+        interval_s = (
+            self._samples[0].interval_s
+            if self._samples
+            else float(self.meta.get("interval_s", 0.2))
+        )
+        self._caps = BackendCapabilities(
+            name="trace:{}".format(os.path.basename(path)),
+            can_set_vf=False,
+            can_set_power_gating=False,
+            interval_s=interval_s,
+            num_cus=int(self.meta.get("cus", 0)),
+            num_cores=int(self.meta.get("cores", 0)),
+            slices_per_interval=int(self.meta.get("slices", 0)),
+            finite=True,
+        )
+
+    # -- parsing --------------------------------------------------------------
+
+    def _fail(self, line_no: int, reason: str) -> "TraceFormatError":
+        return TraceFormatError(
+            "{}:{}: {}".format(self.path, line_no, reason)
+        )
+
+    def _tally(self, kind: str, message: str) -> None:
+        if kind not in self.repairs:
+            self.warnings.append(message)
+        self.repairs[kind] = self.repairs.get(kind, 0) + 1
+
+    def _parse(self) -> List[IntervalSample]:
+        import json
+
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().split("\n")
+        except OSError as exc:
+            raise TraceFormatError(
+                "{}: cannot open ({})".format(self.path, exc)
+            )
+        if lines and lines[-1] == "":
+            lines.pop()  # the trailing newline's empty split artifact
+        if not lines or not lines[0].startswith(TRACE_MAGIC + " "):
+            raise self._fail(1, "not a ppep-trace file")
+        header = lines[0][len(TRACE_MAGIC) + 1 :]
+        version_text, _sep, meta_text = header.partition(" ")
+        if not version_text.startswith("v"):
+            raise self._fail(1, "malformed version field {!r}".format(version_text))
+        try:
+            version = int(version_text[1:])
+        except ValueError:
+            raise self._fail(1, "malformed version field {!r}".format(version_text))
+        if version > TRACE_VERSION:
+            raise self._fail(
+                1,
+                "trace version {} is newer than supported version {}".format(
+                    version, TRACE_VERSION
+                ),
+            )
+        try:
+            self.meta = json.loads(meta_text) if meta_text else {}
+        except ValueError:
+            raise self._fail(1, "malformed header metadata")
+
+        power_scale = self._unit_scale(
+            str(self.meta.get("power_unit", "W")), {"W": 1.0, "mW": 1e-3},
+            "power",
+        )
+        time_scale = self._unit_scale(
+            str(self.meta.get("time_unit", "s")), {"s": 1.0, "ms": 1e-3},
+            "time",
+        )
+
+        rows: List[Tuple[int, int, IntervalSample]] = []
+        data_lines = [
+            (line_no, line)
+            for line_no, line in enumerate(lines[1:], start=2)
+            if line and not line.startswith("#")
+        ]
+        for position, (line_no, line) in enumerate(data_lines):
+            is_last = position == len(data_lines) - 1
+            try:
+                sample = self._parse_row(line, line_no, power_scale, time_scale)
+            except TraceFormatError:
+                if is_last:
+                    # A truncated recording tears exactly its final row;
+                    # drop it and replay the valid prefix.
+                    self._tally(
+                        "torn-tail",
+                        "{}:{}: dropped torn final row".format(
+                            self.path, line_no
+                        ),
+                    )
+                    break
+                raise
+            rows.append((sample.index, position, sample))
+
+        ordered = sorted(rows, key=lambda r: (r[0], r[1]))
+        if [r[0] for r in ordered] != [r[0] for r in rows]:
+            self._tally(
+                "reorder",
+                "{}: rows delivered out of order; re-sorted by interval "
+                "index".format(self.path),
+            )
+        samples: List[IntervalSample] = []
+        prev_index: Optional[int] = None
+        for index, _position, sample in ordered:
+            if prev_index is not None and index == prev_index:
+                self._tally(
+                    "duplicate",
+                    "{}: duplicate interval {}; kept first "
+                    "occurrence".format(self.path, index),
+                )
+                continue
+            if prev_index is not None and index > prev_index + 1:
+                self._tally(
+                    "gap",
+                    "{}: missing interval(s) {}..{}".format(
+                        self.path, prev_index + 1, index - 1
+                    ),
+                )
+            samples.append(sample)
+            prev_index = index
+        return samples
+
+    def _unit_scale(self, unit: str, known: Dict[str, float], what: str) -> float:
+        if unit not in known:
+            raise self._fail(
+                1,
+                "unknown {} unit {!r} (supported: {})".format(
+                    what, unit, ", ".join(sorted(known))
+                ),
+            )
+        scale = known[unit]
+        if scale != 1.0:
+            self._tally(
+                "unit",
+                "{}: converted {} values from {} to canonical units".format(
+                    self.path, what, unit
+                ),
+            )
+        return scale
+
+    def _parse_row(
+        self, line: str, line_no: int, power_scale: float, time_scale: float
+    ) -> IntervalSample:
+        payload, sep, crc = line.rpartition(",")
+        if not sep or _row_crc(payload) != crc:
+            raise self._fail(line_no, "row CRC mismatch")
+        fields = payload.split(",")
+        if len(fields) != 10:
+            raise self._fail(
+                line_no, "expected 10 fields, got {}".format(len(fields))
+            )
+        try:
+            index = int(fields[0])
+            time = float(fields[1]) * time_scale
+            cu_vfs = [_decode_vf(t) for t in fields[2].split("|")]
+            nb_vf = _decode_vf(fields[3])
+            power_gating = fields[4] == "1"
+            readings = [float(r) * power_scale for r in fields[5].split("|")]
+            measured = float(fields[6]) * power_scale
+            temperature = float(fields[7])
+            core_events = [
+                EventVector([float(v) for v in core.split("|")])
+                for core in fields[8].split(";")
+            ]
+            interval_s = float(fields[9]) * time_scale
+        except (ValueError, IndexError) as exc:
+            raise self._fail(line_no, "unparseable row ({})".format(exc))
+        if index < 0 or interval_s <= 0:
+            raise self._fail(line_no, "implausible index or interval length")
+        return IntervalSample(
+            index=index,
+            time=time,
+            cu_vfs=cu_vfs,
+            nb_vf=nb_vf,
+            power_gating=power_gating,
+            power_samples=readings,
+            measured_power=measured,
+            temperature=temperature,
+            core_events=core_events,
+            # Ground-truth stand-ins: a trace records only what the rig
+            # could observe (same convention as the serve wire format).
+            true_core_events=[vec.copy() for vec in core_events],
+            instructions=[0.0] * len(core_events),
+            true_power=measured,
+            breakdown=None,
+            nb_utilisation=0.0,
+            interval_s=interval_s,
+        )
+
+    # -- the backend interface ------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    def __len__(self) -> int:
+        """Intervals remaining to deliver."""
+        return len(self._samples) - self._cursor
+
+    def read_interval(self) -> IntervalSample:
+        if self._cursor >= len(self._samples):
+            raise EndOfTrace(
+                "{}: trace exhausted after {} interval(s)".format(
+                    self.path, len(self._samples)
+                )
+            )
+        sample = self._samples[self._cursor]
+        self._cursor += 1
+        self._last = sample
+        return sample
+
+    def _reference(self) -> IntervalSample:
+        if self._last is not None:
+            return self._last
+        if self._samples:
+            return self._samples[0]
+        raise EndOfTrace("{}: trace holds no intervals".format(self.path))
+
+    def get_vf(self, cu_id: int) -> VFState:
+        return self._reference().cu_vfs[cu_id]
+
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        # Recorded no-op: the trace's actuations already happened.
+        self.requested_vfs.append((cu_id, vf))
+
+    def get_power_gating(self) -> bool:
+        return self._reference().power_gating
+
+    def set_power_gating(self, enabled: bool) -> None:
+        raise CapabilityError(
+            "trace replay cannot actuate power gating"
+        )

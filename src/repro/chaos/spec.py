@@ -29,10 +29,11 @@ tests pin both:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.determinism import schedule_rng
 
 __all__ = ["ChaosSpec", "chaos_rng"]
 
@@ -40,12 +41,12 @@ __all__ = ["ChaosSpec", "chaos_rng"]
 def chaos_rng(tag: str, seed: int, index: int) -> np.random.Generator:
     """A fresh generator for one ``(tag, seed, index)`` draw site.
 
-    Mirrors the fault injector's blake2b keying: the schedule at index
-    ``i`` never depends on how many draws earlier indices consumed.
+    Delegates to the shared :func:`repro.determinism.schedule_rng`
+    helper under the historical ``chaos`` namespace tag, so the
+    schedule at index ``i`` never depends on how many draws earlier
+    indices consumed and pre-consolidation storms replay unchanged.
     """
-    text = "chaos|{}|{}|{}".format(tag, seed, index)
-    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
-    return np.random.default_rng(int.from_bytes(digest, "little"))
+    return schedule_rng("chaos", tag, seed, index)
 
 
 @dataclass(frozen=True)

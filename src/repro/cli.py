@@ -31,6 +31,7 @@ from repro.experiments import (
     fig04_power_gating,
     fig06_energy_prediction,
     fig07_power_capping,
+    backend_roundtrip,
     fault_resilience,
     fig08_background_energy,
     fig09_background_edp,
@@ -68,6 +69,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "frontier": (nb_frontier, "Extension: simulated multi-state NB frontier"),
     "packing": (thread_packing, "Extension: thread packing under power caps"),
     "faults": (fault_resilience, "Extension: resilience under telemetry faults"),
+    "backend": (backend_roundtrip,
+                "Extension: backend boundary record/replay + flaky storm"),
 }
 
 
@@ -310,6 +313,46 @@ def main(argv=None) -> int:
         "--seed", type=int, default=20141213,
         help="base seed for training and the loopback fleets",
     )
+    backend_parser = sub.add_parser(
+        "backend",
+        help="telemetry backend boundary: record a live session to a "
+        "trace, replay/inspect a trace, or run the record->replay + "
+        "flaky-storm acceptance roundtrip",
+    )
+    backend_parser.add_argument(
+        "action",
+        help="record (live session -> --trace), replay (inspect a "
+        "recorded trace), or roundtrip (the gated acceptance run)",
+    )
+    backend_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file to write (record) or read (replay); roundtrip "
+        "keeps its recording here instead of a temporary file",
+    )
+    backend_parser.add_argument(
+        "--intervals", type=int, default=None,
+        help="decision intervals per leg (default: 60 quick / 120 full)",
+    )
+    backend_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="guarded-read retry budget for the storm leg (default: 2)",
+    )
+    backend_parser.add_argument(
+        "--timeout-s", type=float, default=0.5,
+        help="per-read deadline for the storm leg, seconds (default: 0.5)",
+    )
+    backend_parser.add_argument(
+        "--scale", choices=["full", "quick"], default="quick",
+        help="training depth and default run length (default: quick)",
+    )
+    backend_parser.add_argument(
+        "--seed", type=int, default=20141213,
+        help="base seed for training, simulation, and fault schedules",
+    )
+    backend_parser.add_argument(
+        "--engine", choices=list(Platform.ENGINES), default="vector",
+        help="simulation kernel (see 'run --engine')",
+    )
     fleet_parser = sub.add_parser(
         "fleet", help="cluster-scale capping: N nodes under one power budget"
     )
@@ -382,6 +425,9 @@ def main(argv=None) -> int:
     if args.command == "faults":
         return _run_faults(args)
 
+    if args.command == "backend":
+        return _run_backend(args)
+
     error = _validate_cache_dir(args.trace_cache)
     if error is not None:
         print(error, file=sys.stderr)
@@ -448,6 +494,132 @@ def _run_faults(args) -> int:
     print(fault_resilience.format_report(result, ctx))
     print("[faults finished in {:.1f}s]".format(time.perf_counter() - started))
     return 0
+
+
+def _run_backend(args) -> int:
+    """The ``backend`` subcommand: record / replay / acceptance roundtrip.
+
+    Every operator mistake -- unknown action, missing or unusable trace
+    path, nonsense retry/deadline budgets, a corrupt trace file -- is
+    reported as one ``error:`` line on stderr with exit code 2.
+    """
+    from repro.backends import TraceFormatError, TraceReplayBackend
+
+    actions = ("record", "replay", "roundtrip")
+    if args.action not in actions:
+        print(
+            "error: unknown backend action {!r}; expected one of {}".format(
+                args.action, ", ".join(actions)
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if args.intervals is not None and args.intervals <= 0:
+        print(
+            "error: --intervals must be positive, got {}".format(args.intervals),
+            file=sys.stderr,
+        )
+        return 2
+    if args.retries < 0:
+        print(
+            "error: --retries must be >= 0, got {}".format(args.retries),
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout_s <= 0:
+        print(
+            "error: --timeout-s must be positive, got {}".format(args.timeout_s),
+            file=sys.stderr,
+        )
+        return 2
+    if args.action in ("record", "replay") and args.trace is None:
+        print(
+            "error: backend {} requires --trace PATH".format(args.action),
+            file=sys.stderr,
+        )
+        return 2
+    if args.action in ("record", "roundtrip") and args.trace is not None:
+        # Probe the target before spending minutes training a model.
+        try:
+            with open(args.trace, "a"):
+                pass
+        except OSError as exc:
+            print(
+                "error: cannot write trace {!r} ({})".format(args.trace, exc),
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.action == "replay":
+        # Inspection needs no trained model: parse, repair, summarise.
+        started = time.perf_counter()
+        try:
+            backend = TraceReplayBackend(args.trace)
+        except TraceFormatError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        caps = backend.capabilities()
+        samples = []
+        while len(backend):
+            samples.append(backend.read_interval())
+        powers = [s.measured_power for s in samples]
+        print(
+            "trace {}: {} row(s), {} CU(s) x {} core(s), "
+            "interval {:.3f} s".format(
+                args.trace, len(samples), caps.num_cus, caps.num_cores,
+                caps.interval_s,
+            )
+        )
+        print(
+            "measured power: mean {:.1f} W, min {:.1f} W, max {:.1f} W".format(
+                sum(powers) / len(powers) if powers else float("nan"),
+                min(powers) if powers else float("nan"),
+                max(powers) if powers else float("nan"),
+            )
+        )
+        print("repairs: {}".format(dict(backend.repairs) or "none"))
+        for warning in backend.warnings:
+            print("  {}".format(warning))
+        print(
+            "[replay finished in {:.1f}s]".format(time.perf_counter() - started)
+        )
+        return 0
+
+    ctx = common.get_context(
+        scale=args.scale, base_seed=args.seed, engine=args.engine
+    )
+    started = time.perf_counter()
+    if args.action == "record":
+        try:
+            rows = backend_roundtrip.record_session(
+                ctx, args.trace, intervals=args.intervals
+            )
+        except TraceFormatError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        print(
+            "recorded {} interval(s) to {} in {:.1f}s".format(
+                rows, args.trace, time.perf_counter() - started
+            )
+        )
+        return 0
+
+    try:
+        result = backend_roundtrip.run(
+            ctx,
+            intervals=args.intervals,
+            trace_path=args.trace,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+        )
+    except TraceFormatError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    print(backend_roundtrip.format_report(result, ctx))
+    print(
+        "[backend finished in {:.1f}s]".format(time.perf_counter() - started)
+    )
+    return 0 if result.passed else 1
 
 
 def _run_obs(args) -> int:

@@ -1,0 +1,58 @@
+"""Shared blake2b seeded-schedule helpers.
+
+Every fault harness in the repository derives its randomness the same
+way: a fresh generator (or a single uniform draw) keyed by a
+``(tag, seed, index)`` tuple hashed through blake2b, so the schedule at
+index ``i`` is a pure function of the key -- it never depends on how
+many draws earlier indices consumed, and replaying an index sequence
+replays the exact storm.  Until this module existed the idiom was
+re-implemented three times (:mod:`repro.faults.injection`,
+:mod:`repro.chaos.spec`, and the backoff jitter of
+:mod:`repro.serve.client`); they now all call through here, as does the
+:class:`repro.backends.flaky.FlakyBackend` wrapper and the
+:class:`repro.backends.guard.BackendGuard` backoff.
+
+The key text is ``"|".join(str(part) for part in parts)`` and the seed
+is the little-endian integer of an 8-byte blake2b digest -- byte-for-byte
+the historical formulas, which ``tests/test_determinism.py`` pins so
+recorded schedules never shift.
+
+numpy is imported lazily inside :func:`schedule_rng` only:
+:func:`schedule_seed` and :func:`schedule_uniform` are pure stdlib, so
+the one component meant to run outside the service
+(:class:`repro.serve.client.ResilientClient`) keeps its dependency-free
+jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["schedule_seed", "schedule_uniform", "schedule_rng"]
+
+
+def schedule_seed(*parts: object) -> int:
+    """A stable 64-bit seed for one ``(tag, seed, index, ...)`` draw site.
+
+    ``parts`` are joined with ``"|"`` after ``str()`` conversion; the
+    result is the little-endian integer of the 8-byte blake2b digest.
+    """
+    text = "|".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def schedule_uniform(*parts: object) -> float:
+    """One deterministic uniform draw in ``[0, 1)`` for the key."""
+    return schedule_seed(*parts) / 2.0**64
+
+
+def schedule_rng(*parts: object):
+    """A fresh ``numpy`` generator seeded by :func:`schedule_seed`.
+
+    numpy is imported here, not at module level, so the stdlib-only
+    helpers above stay importable without it.
+    """
+    import numpy as np
+
+    return np.random.default_rng(schedule_seed(*parts))

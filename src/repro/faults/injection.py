@@ -41,12 +41,12 @@ Two determinism guarantees, both load-bearing:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.determinism import schedule_seed
 from repro.hardware.events import EventVector
 from repro.hardware.platform import IntervalSample
 
@@ -138,10 +138,14 @@ class FaultSpec:
 
 
 def _interval_seed(seed: int, index: int) -> int:
-    """A stable 64-bit generator seed for one (injector, interval)."""
-    text = "fault-injector|{}|{}".format(seed, index)
-    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little")
+    """A stable 64-bit generator seed for one (injector, interval).
+
+    Delegates to the shared :func:`repro.determinism.schedule_seed`
+    helper with the historical ``fault-injector`` tag, so schedules
+    recorded before the consolidation replay unchanged
+    (``tests/test_determinism.py`` pins the bytes).
+    """
+    return schedule_seed("fault-injector", seed, index)
 
 
 class FaultInjector:

@@ -37,8 +37,10 @@ __all__ = [
 #: Version 2 added the ``telemetry`` ingestion event (the wire format of
 #: ``repro.serve``); version 3 added the service-resilience events
 #: (``decision``, ``shard_restart``, ``shard_degraded``,
-#: ``shard_recovered``).  Older files remain readable.
-SCHEMA_VERSION = 3
+#: ``shard_recovered``); version 4 added the backend-health events
+#: (``backend_retry``, ``backend_degraded``, ``backend_quarantine``).
+#: Older files remain readable.
+SCHEMA_VERSION = 4
 
 #: Required fields per event type (beyond the common v/type/node/interval).
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -81,6 +83,18 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "shard_degraded": ("sku", "reason"),
     # A degraded shard caught back up; normal admission resumed.
     "shard_recovered": ("sku", "degraded_s"),
+    # A guarded backend read failed transiently and was retried
+    # (``reason``: timeout / io / actuate-vf / actuate-pg).
+    "backend_retry": ("reason", "attempt"),
+    # A guarded read exhausted its retries (or failed persistently) and
+    # the guard redelivered the last-good payload as a stale sample
+    # (``reason``: the error classification -- transient / persistent /
+    # stuck -- or the actuation surface that gave up).
+    "backend_degraded": ("reason", "streak"),
+    # The guard crossed its degraded-streak threshold and quarantined
+    # the backend (single-probe mode), or a probe succeeded and the
+    # backend left quarantine (``action``: enter / exit).
+    "backend_quarantine": ("action", "streak"),
 }
 
 EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_FIELDS))

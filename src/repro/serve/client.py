@@ -26,20 +26,20 @@ policy -- *when in doubt, resend* -- into exactly-once application:
   flushes in order.
 
 Backoff jitter comes from a blake2b counter keyed on the client seed --
-the same determinism idiom as :mod:`repro.chaos`, but implemented
-locally so the client stays importable without numpy or the chaos
+the shared :func:`repro.determinism.schedule_uniform` helper, whose
+stdlib-only path keeps the client importable without numpy or the chaos
 package (it is the one piece meant to run *outside* the service).
 """
 
 from __future__ import annotations
 
-import hashlib
 import logging
 import socket
 import time
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from repro.determinism import schedule_uniform
 from repro.hardware.platform import IntervalSample
 from repro.serve.protocol import (
     ACCEPTED,
@@ -148,10 +148,9 @@ class ResilientClient:
 
     def _jitter(self) -> float:
         """Deterministic uniform draw in ``[0.5, 1.5)`` for backoff."""
-        key = "client|{}|{}".format(self.seed, self._jitter_index).encode()
+        index = self._jitter_index
         self._jitter_index += 1
-        digest = hashlib.blake2b(key, digest_size=8).digest()
-        return 0.5 + int.from_bytes(digest, "little") / 2.0**64
+        return 0.5 + schedule_uniform("client", self.seed, index)
 
     def _backoff(self, attempt: int) -> float:
         return (

@@ -1,0 +1,295 @@
+"""Trace recording/replay: bit-exact round-trips and foreign-data damage.
+
+The headline property (swept exhaustively): **every byte-prefix of a
+recorded trace either replays a valid prefix of the original intervals
+or fails with one crisp error** -- never a crash, never a silently
+mis-parsed stream.  Plus the individual repair/rejection contracts:
+reorder, duplicate, gap, torn tail, mid-file corruption, unit
+conversion, unknown units, and version skew.
+"""
+
+import json
+
+import pytest
+
+from repro.backends import (
+    CapabilityError,
+    EndOfTrace,
+    TraceFormatError,
+    TraceReplayBackend,
+    TraceWriter,
+    record_trace,
+)
+from repro.backends.trace import _row_crc
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.platform import Platform
+from repro.hardware.vfstates import VFState
+
+
+def observables(sample):
+    return (
+        sample.index,
+        sample.time,
+        tuple(sample.cu_vfs),
+        sample.nb_vf,
+        sample.power_gating,
+        tuple(sample.power_samples),
+        sample.measured_power,
+        sample.temperature,
+        tuple(sample.core_events),
+        sample.interval_s,
+    )
+
+
+@pytest.fixture(scope="module")
+def samples():
+    platform = Platform(FX8320_SPEC, seed=31)
+    platform.set_all_vf(FX8320_SPEC.vf_table.fastest)
+    return [platform.step() for _ in range(6)]
+
+
+@pytest.fixture()
+def trace_path(samples, tmp_path):
+    path = str(tmp_path / "session.trace")
+    assert record_trace(path, samples, spec_name=FX8320_SPEC.name) == 6
+    return path
+
+
+def split_trace(path):
+    """(header line, columns line, data rows) of a recorded trace."""
+    with open(path) as handle:
+        lines = handle.read().rstrip("\n").split("\n")
+    return lines[0], lines[1], lines[2:]
+
+
+def write_trace(path, header, columns, rows):
+    with open(path, "w") as handle:
+        handle.write("\n".join([header, columns] + list(rows)) + "\n")
+
+
+def reencode_row(line, edit):
+    """Apply ``edit`` to a row's field list and restamp a valid CRC."""
+    payload, _sep, _crc = line.rpartition(",")
+    fields = payload.split(",")
+    edit(fields)
+    new_payload = ",".join(fields)
+    return new_payload + "," + _row_crc(new_payload)
+
+
+def edit_header_meta(header, **changes):
+    prefix = header[: header.index("{")]
+    meta = json.loads(header[header.index("{"):])
+    meta.update(changes)
+    return prefix + json.dumps(meta, sort_keys=True)
+
+
+class TestRoundTrip:
+    def test_replay_is_bit_identical(self, samples, trace_path):
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == len(samples)
+        replayed = [backend.read_interval() for _ in range(len(samples))]
+        assert [observables(s) for s in replayed] == [
+            observables(s) for s in samples
+        ]
+        assert backend.repairs == {}
+        assert backend.warnings == []
+        with pytest.raises(EndOfTrace):
+            backend.read_interval()
+
+    def test_ground_truth_uses_stand_ins(self, samples, trace_path):
+        # A trace records observables only; nothing downstream may score
+        # against truth that was never on the wire.
+        replayed = TraceReplayBackend(trace_path).read_interval()
+        assert replayed.true_power == replayed.measured_power
+        assert replayed.instructions == [0.0] * len(replayed.core_events)
+        assert replayed.breakdown is None
+
+    def test_capabilities(self, trace_path, samples):
+        caps = TraceReplayBackend(trace_path).capabilities()
+        assert caps.finite
+        assert not caps.can_set_vf and not caps.can_set_power_gating
+        assert caps.num_cus == len(samples[0].cu_vfs)
+        assert caps.num_cores == len(samples[0].core_events)
+        assert caps.interval_s == samples[0].interval_s
+
+    def test_vf_requests_are_recorded_noops(self, trace_path):
+        backend = TraceReplayBackend(trace_path)
+        before = backend.read_interval().cu_vfs[0]
+        slow = FX8320_SPEC.vf_table.slowest
+        backend.set_vf(0, slow)
+        assert backend.requested_vfs == [(0, slow)]
+        assert backend.get_vf(0) == before  # data is immutable history
+        with pytest.raises(CapabilityError):
+            backend.set_power_gating(True)
+
+    def test_writer_rejects_reserved_vf_names(self, samples, tmp_path):
+        import dataclasses
+
+        bad_vf = VFState(1, 1.0, 2.0, name="a:b")
+        poisoned = dataclasses.replace(samples[0], nb_vf=bad_vf)
+        with pytest.raises(ValueError, match="reserved trace separator"):
+            with TraceWriter(str(tmp_path / "bad.trace")) as writer:
+                writer.write(poisoned)
+
+    def test_writer_unwritable_path_is_crisp(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(TraceFormatError, match="cannot open"):
+            TraceWriter(str(blocker / "trace"))
+
+
+class TestBytePrefixSweep:
+    def test_every_prefix_replays_a_valid_prefix_or_fails_cleanly(
+        self, samples, trace_path, tmp_path
+    ):
+        with open(trace_path, "rb") as handle:
+            blob = handle.read()
+        reference = [observables(s) for s in samples]
+        target = tmp_path / "prefix.trace"
+        outcomes = {"replayed": 0, "rejected": 0}
+        for cut in range(len(blob) + 1):
+            target.write_bytes(blob[:cut])
+            try:
+                backend = TraceReplayBackend(str(target))
+            except TraceFormatError as exc:
+                # Crisp single-line diagnostic, pointing into the file.
+                assert str(exc).startswith(str(target))
+                outcomes["rejected"] += 1
+                continue
+            replayed = []
+            while len(backend):
+                replayed.append(observables(backend.read_interval()))
+            assert replayed == reference[: len(replayed)]
+            outcomes["replayed"] += 1
+        # Both regimes occur: early cuts reject, later cuts replay.
+        assert outcomes["rejected"] > 0
+        assert outcomes["replayed"] > 0
+
+    def test_full_byte_count_replays_everything(self, samples, trace_path):
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == len(samples)
+
+
+class TestRepairs:
+    def test_torn_tail_drops_final_row_only(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        rows[-1] = rows[-1][: len(rows[-1]) // 2]
+        write_trace(trace_path, header, columns, rows)
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == len(samples) - 1
+        assert backend.repairs == {"torn-tail": 1}
+        assert any("torn" in w for w in backend.warnings)
+
+    def test_mid_file_corruption_is_fatal(self, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        flip = "X" if rows[2][40] != "X" else "Y"
+        rows[2] = rows[2][:40] + flip + rows[2][41:]
+        write_trace(trace_path, header, columns, rows)
+        # Data rows start at line 3 (after header + columns comment).
+        with pytest.raises(TraceFormatError, match=r":5: row CRC mismatch"):
+            TraceReplayBackend(trace_path)
+
+    def test_out_of_order_rows_are_resorted(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        rows[1], rows[3] = rows[3], rows[1]
+        write_trace(trace_path, header, columns, rows)
+        backend = TraceReplayBackend(trace_path)
+        replayed = [backend.read_interval() for _ in range(len(samples))]
+        assert [observables(s) for s in replayed] == [
+            observables(s) for s in samples
+        ]
+        assert backend.repairs["reorder"] == 1
+
+    def test_duplicate_rows_keep_first(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        shadow = reencode_row(rows[2], lambda f: f.__setitem__(6, repr(999.0)))
+        write_trace(trace_path, header, columns,
+                    rows[:3] + [shadow] + rows[3:])
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == len(samples)
+        replayed = [backend.read_interval() for _ in range(len(samples))]
+        assert replayed[2].measured_power == samples[2].measured_power
+        assert backend.repairs["duplicate"] == 1
+
+    def test_gaps_are_tallied_and_skipped(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        write_trace(trace_path, header, columns, rows[:2] + rows[4:])
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == len(samples) - 2
+        indices = []
+        while len(backend):
+            indices.append(backend.read_interval().index)
+        assert indices == [0, 1, 4, 5]
+        assert backend.repairs["gap"] == 1
+        assert any("missing interval(s) 2..3" in w for w in backend.warnings)
+
+    def test_milliwatt_traces_are_converted(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+
+        def to_mw(fields):
+            fields[5] = "|".join(
+                repr(float(r) * 1000.0) for r in fields[5].split("|")
+            )
+            fields[6] = repr(float(fields[6]) * 1000.0)
+
+        write_trace(
+            trace_path,
+            edit_header_meta(header, power_unit="mW"),
+            columns,
+            [reencode_row(row, to_mw) for row in rows],
+        )
+        backend = TraceReplayBackend(trace_path)
+        assert backend.repairs["unit"] == 1
+        first = backend.read_interval()
+        assert first.measured_power == pytest.approx(
+            samples[0].measured_power
+        )
+        assert first.power_samples[0] == pytest.approx(
+            samples[0].power_samples[0]
+        )
+
+    def test_unknown_unit_is_fatal_not_silent(self, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        write_trace(
+            trace_path,
+            edit_header_meta(header, power_unit="furlongs"),
+            columns, rows,
+        )
+        with pytest.raises(TraceFormatError, match="unknown power unit"):
+            TraceReplayBackend(trace_path)
+
+
+class TestRejection:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "noise.trace"
+        path.write_text("hello world\n")
+        with pytest.raises(TraceFormatError, match="not a ppep-trace file"):
+            TraceReplayBackend(str(path))
+
+    def test_newer_version_rejected(self, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        write_trace(
+            trace_path, header.replace(" v1 ", " v2 "), columns, rows
+        )
+        with pytest.raises(TraceFormatError, match="newer than supported"):
+            TraceReplayBackend(trace_path)
+
+    def test_malformed_header_metadata(self, trace_path):
+        header, columns, rows = split_trace(trace_path)
+        write_trace(trace_path, header[: header.index("{") + 5], columns, rows)
+        with pytest.raises(TraceFormatError, match="malformed header"):
+            TraceReplayBackend(trace_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot open"):
+            TraceReplayBackend(str(tmp_path / "nope.trace"))
+
+    def test_header_only_trace_is_empty_not_broken(self, trace_path):
+        header, columns, _rows = split_trace(trace_path)
+        write_trace(trace_path, header, columns, [])
+        backend = TraceReplayBackend(trace_path)
+        assert len(backend) == 0
+        with pytest.raises(EndOfTrace):
+            backend.read_interval()
+        with pytest.raises(EndOfTrace):
+            backend.get_vf(0)

@@ -81,6 +81,71 @@ class TestFaultsCommand:
         assert err.count("\n") == 1
 
 
+class TestBackendCommand:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = str(tmp_path / "session.trace")
+        assert main([
+            "backend", "record", "--trace", trace, "--intervals", "6",
+            "--scale", "quick",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 6 interval(s)" in out
+        assert main(["backend", "replay", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "6 row(s)" in out
+        assert "repairs: none" in out
+
+    def test_rejects_unknown_action(self, capsys):
+        assert main(["backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown backend action 'bogus'" in err
+        assert err.count("\n") == 1  # one-line error, no traceback
+
+    def test_replay_requires_trace(self, capsys):
+        assert main(["backend", "replay"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--trace" in err
+        assert err.count("\n") == 1
+
+    def test_replay_rejects_missing_file(self, tmp_path, capsys):
+        assert main([
+            "backend", "replay", "--trace", str(tmp_path / "nope.trace"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot open" in err
+        assert err.count("\n") == 1
+
+    def test_replay_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("not a trace\n")
+        assert main(["backend", "replay", "--trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a ppep-trace file" in err
+        assert err.count("\n") == 1
+
+    def test_record_rejects_unwritable_target(self, tmp_path, capsys):
+        blocker = tmp_path / "plain-file"
+        blocker.write_text("in the way\n")
+        target = str(blocker / "session.trace")
+        assert main(["backend", "record", "--trace", target]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot write trace" in err
+        assert err.count("\n") == 1
+
+    def test_rejects_bad_budgets(self, capsys):
+        assert main(["backend", "roundtrip", "--retries", "-1"]) == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+        assert main(["backend", "roundtrip", "--timeout-s", "0"]) == 2
+        assert "--timeout-s must be positive" in capsys.readouterr().err
+        assert main(["backend", "roundtrip", "--intervals", "0"]) == 2
+        assert "--intervals must be positive" in capsys.readouterr().err
+
+
 class TestRunCacheValidation:
     def test_run_rejects_unwritable_cache_dir(self, tmp_path, capsys):
         blocker = tmp_path / "not-a-dir"

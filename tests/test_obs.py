@@ -69,6 +69,12 @@ def _emit_one_of_each(events):
                 sku="fx8320", reason="heartbeat_stall")
     events.emit("shard_recovered", node="shard-fx8320", interval=44,
                 sku="fx8320", degraded_s=0.75)
+    events.emit("backend_retry", node="node00", interval=45,
+                reason="timeout", attempt=1)
+    events.emit("backend_degraded", node="node00", interval=46,
+                reason="transient", streak=2)
+    events.emit("backend_quarantine", node="node00", interval=47,
+                action="enter", streak=3)
 
 
 class TestMetrics:
