@@ -13,12 +13,20 @@ from repro.backends.base import (
     EndOfTrace,
     TelemetryBackend,
     TraceFormatError,
+    classify_os_error,
 )
 from repro.backends.flaky import FlakyBackend, FlakySpec
 from repro.backends.guard import BackendGuard, GuardConfig
 from repro.backends.loop import run_backend_controlled
 from repro.backends.simulator import SimulatorBackend
-from repro.backends.trace import TraceReplayBackend, TraceWriter, record_trace
+from repro.backends.sysfs import SysfsBackend
+from repro.backends.trace import (
+    ReplayBackendBase,
+    TraceReplayBackend,
+    TraceWriter,
+    record_trace,
+)
+from repro.backends.turbostat import TurbostatReplayBackend, nearest_vf
 
 __all__ = [
     "BackendCapabilities",
@@ -31,11 +39,16 @@ __all__ = [
     "FlakyBackend",
     "FlakySpec",
     "GuardConfig",
+    "ReplayBackendBase",
     "SimulatorBackend",
+    "SysfsBackend",
     "TelemetryBackend",
     "TraceFormatError",
     "TraceReplayBackend",
     "TraceWriter",
+    "TurbostatReplayBackend",
+    "classify_os_error",
+    "nearest_vf",
     "record_trace",
     "run_backend_controlled",
 ]

@@ -34,6 +34,7 @@ degraded-mode / quarantine policy on top of this taxonomy.
 from __future__ import annotations
 
 import abc
+import errno
 from dataclasses import dataclass
 from typing import List
 
@@ -49,6 +50,7 @@ __all__ = [
     "EndOfTrace",
     "TelemetryBackend",
     "TraceFormatError",
+    "classify_os_error",
 ]
 
 
@@ -74,6 +76,42 @@ class CapabilityError(BackendError):
 
 class EndOfTrace(BackendError):
     """A finite telemetry source is exhausted (normal termination)."""
+
+
+#: ``errno`` values meaning "the node is gone", not "the read glitched":
+#: retrying cannot help, the capability simply is not there.
+_MISSING_NODE_ERRNOS = frozenset(
+    {errno.ENOENT, errno.ENOTDIR, errno.ENODEV, errno.EACCES, errno.EPERM}
+)
+
+#: ``errno`` values meaning the call missed a deadline.
+_TIMEOUT_ERRNOS = frozenset({errno.ETIMEDOUT, errno.EAGAIN})
+
+
+def classify_os_error(exc: OSError, what: str) -> BackendError:
+    """Map one ``OSError`` from a real OS telemetry path onto the taxonomy.
+
+    The contract a sysfs/MSR-style backend signs (same split pepc makes
+    for its `/sys` accesses):
+
+    - a *missing or forbidden node* (``ENOENT``/``ENOTDIR``/``ENODEV``/
+      ``EACCES``/``EPERM``) is a :class:`CapabilityError` -- the kernel
+      does not expose the capability here, retrying cannot help;
+    - a *deadline miss* (``ETIMEDOUT``/``EAGAIN``) is a
+      :class:`BackendTimeout` -- transient, retry is safe;
+    - anything else (``EIO`` from a dying hwmon chip, ``ENXIO``, a short
+      read) is a transient :class:`BackendIOError`.
+
+    Returns the mapped (not raised) error so callers can decide whether
+    to raise or tally; the original message rides along for diagnosis.
+    """
+    code = exc.errno
+    text = "{} ({})".format(what, exc)
+    if code in _MISSING_NODE_ERRNOS:
+        return CapabilityError(text)
+    if code in _TIMEOUT_ERRNOS:
+        return BackendTimeout(text)
+    return BackendIOError(text)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,302 @@
+"""A cpufreq/RAPL-shaped OS telemetry backend (sysfs file tree).
+
+On a real Linux machine the observable surface this repo's pipeline
+needs already exists as files: per-policy
+``cpufreq/scaling_cur_freq``/``scaling_setspeed`` nodes for frequency
+observation and actuation, and ``powercap`` RAPL ``energy_uj`` counters
+for package energy (the same nodes turbostat and pepc read).
+:class:`SysfsBackend` is the :class:`~repro.backends.base.TelemetryBackend`
+over such a tree, rooted at a *configurable path* so the test suite can
+point it at an in-repo fake tree -- no hardware, no privileges, and the
+exact same code path a real ``/sys`` deployment would run.
+
+Tree layout under ``root`` (a faithful miniature of the real paths):
+
+- ``cpu<N>/cpufreq/scaling_cur_freq`` -- current frequency, kHz;
+- ``cpu<N>/cpufreq/scaling_setspeed`` -- write target, kHz (optional:
+  its absence means the tree cannot actuate VF, and the capability
+  descriptor says so honestly);
+- ``intel_rapl/intel_rapl:<K>/energy_uj`` -- monotonically increasing
+  package energy, microjoules, wrapping at
+  ``intel_rapl/intel_rapl:<K>/max_energy_range_uj``;
+- ``thermal/temp`` -- package temperature, millidegrees C (optional).
+
+Fault mapping is the whole point of the stub: every ``OSError`` the
+tree raises goes through
+:func:`~repro.backends.base.classify_os_error`, so a missing node is a
+persistent :class:`~repro.backends.base.CapabilityError`, an ``EIO``
+from a dying hwmon chip is a transient
+:class:`~repro.backends.base.BackendIOError`, and an
+``ETIMEDOUT``/``EAGAIN`` is a
+:class:`~repro.backends.base.BackendTimeout` --
+exactly the taxonomy :class:`~repro.backends.guard.BackendGuard`'s
+retry / degrade / quarantine policy is built on.  The retry contract
+holds structurally: :meth:`read_interval` reads every file into locals
+first and commits state (the energy baselines, the interval cursor)
+only after all reads succeeded, so a raising read consumes no interval
+and leaves no half-advanced counter behind.
+
+Energy wraparound: RAPL counters wrap at ``max_energy_range_uj``; a
+negative delta between consecutive reads is un-wrapped by adding the
+range, same as turbostat's delta logic.  The *first* read has no
+baseline and honestly reports 0 W -- the downstream
+TelemetryFilter flags an implausibly low reading and falls back, which
+is the established path for "this interval's power is unusable".
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional
+
+from repro.backends.base import (
+    BackendCapabilities,
+    CapabilityError,
+    TelemetryBackend,
+    classify_os_error,
+)
+from repro.hardware.events import EventVector, NUM_EVENTS
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState
+from repro.backends.turbostat import nearest_vf
+
+__all__ = ["SysfsBackend"]
+
+#: Fallback package temperature when the tree has no thermal node, K.
+_DEFAULT_TEMP_K = 318.15
+
+#: Fallback RAPL wrap range when max_energy_range_uj is absent:
+#: the architectural 32-bit microjoule counter.
+_DEFAULT_ENERGY_RANGE_UJ = float(2**32)
+
+_CPU_DIR = re.compile(r"^cpu(\d+)$")
+_RAPL_DIR = re.compile(r"^intel_rapl:\d+$")
+
+
+class SysfsBackend(TelemetryBackend):
+    """Telemetry over a cpufreq/RAPL file tree rooted at ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the tree (``/sys``-shaped; in tests, a
+        fixture directory).
+    spec:
+        Chip geometry and VF table the delivered samples are shaped
+        for.  Discovered cpufreq policies map onto the spec's CUs in
+        sorted-id order, folding modulo the CU count.
+    interval_s:
+        Nominal decision-interval length, seconds; energy deltas
+        normalise by it (the stub has no wall clock of its own, which
+        keeps it deterministic under test).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        spec: ChipSpec = FX8320_SPEC,
+        interval_s: float = 0.2,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.root = root
+        self.spec = spec
+        self.interval_s = float(interval_s)
+        #: VF requests recorded when the tree cannot actuate.
+        self.requested_vfs: List[tuple] = []
+        self._index = 0
+        #: Last energy_uj per RAPL domain (the delta baseline); empty
+        #: until the first successful read.
+        self._energy_baseline: Dict[str, float] = {}
+        self._energy_range: Dict[str, float] = {}
+        self._policies = self._discover("", _CPU_DIR)
+        self._rapl = self._discover("intel_rapl", _RAPL_DIR)
+        setspeed = [
+            os.path.join(p, "cpufreq", "scaling_setspeed")
+            for p in self._policies
+        ]
+        self._can_set_vf = bool(setspeed) and all(
+            os.path.exists(os.path.join(root, p)) for p in setspeed
+        )
+        self._caps = BackendCapabilities(
+            name="sysfs:{}".format(root),
+            can_set_vf=self._can_set_vf,
+            can_set_power_gating=False,
+            interval_s=self.interval_s,
+            num_cus=spec.num_cus,
+            num_cores=spec.num_cores,
+            slices_per_interval=1,
+            finite=False,
+        )
+
+    # -- tree access -----------------------------------------------------------
+
+    def _discover(self, subdir: str, pattern) -> List[str]:
+        """Matching child directories of ``root/subdir``, sorted by id.
+
+        Discovery never raises: an absent tree yields an empty list and
+        the *use* of the missing capability fails (as a
+        :class:`CapabilityError`) when actually exercised.
+        """
+        base = os.path.join(self.root, subdir) if subdir else self.root
+        try:
+            names = os.listdir(base)
+        except OSError:
+            return []
+        found = [name for name in names if pattern.match(name)]
+        found.sort(key=lambda name: int(re.search(r"\d+$", name).group()))
+        return [os.path.join(subdir, name) if subdir else name for name in found]
+
+    def _read_text(self, relpath: str) -> str:
+        """One file's stripped text; ``OSError`` propagates raw so the
+        calling operation can classify it with its own context (and so
+        tests can monkeypatch this one chokepoint to inject errors)."""
+        with open(
+            os.path.join(self.root, relpath), encoding="ascii"
+        ) as handle:
+            return handle.read().strip()
+
+    def _read_float(self, relpath: str, what: str) -> float:
+        try:
+            text = self._read_text(relpath)
+        except OSError as exc:
+            raise classify_os_error(exc, what)
+        try:
+            return float(text)
+        except ValueError:
+            raise CapabilityError(
+                "{}: node holds {!r}, not a number".format(relpath, text)
+            )
+
+    def _policy_of_cu(self, cu_id: int) -> str:
+        if not 0 <= cu_id < self.spec.num_cus:
+            raise ValueError("cu_id {} out of range".format(cu_id))
+        if not self._policies:
+            raise CapabilityError(
+                "{}: no cpu*/cpufreq policies in tree".format(self.root)
+            )
+        return self._policies[cu_id % len(self._policies)]
+
+    # -- the backend interface -------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    def get_vf(self, cu_id: int) -> VFState:
+        policy = self._policy_of_cu(cu_id)
+        khz = self._read_float(
+            os.path.join(policy, "cpufreq", "scaling_cur_freq"),
+            "reading {} scaling_cur_freq".format(policy),
+        )
+        return nearest_vf(self.spec.vf_table, khz / 1e6)
+
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        if not self._can_set_vf:
+            # Honest no-actuation contract: recorded, never raised.
+            self.requested_vfs.append((cu_id, vf))
+            return
+        policy = self._policy_of_cu(cu_id)
+        relpath = os.path.join(policy, "cpufreq", "scaling_setspeed")
+        khz = int(round(vf.frequency_ghz * 1e6))
+        try:
+            with open(
+                os.path.join(self.root, relpath), "w", encoding="ascii"
+            ) as handle:
+                handle.write("{}\n".format(khz))
+        except OSError as exc:
+            raise classify_os_error(
+                exc, "writing {} scaling_setspeed".format(policy)
+            )
+
+    def get_power_gating(self) -> bool:
+        return False
+
+    def set_power_gating(self, enabled: bool) -> None:
+        raise CapabilityError(
+            "sysfs backend exposes no power-gating switch"
+        )
+
+    def read_interval(self) -> IntervalSample:
+        """One decision interval: per-CU frequency + RAPL energy delta.
+
+        All reads land in locals before any state commits, so a failed
+        read (at any point) consumes no interval and the identical call
+        can simply be retried -- the transient half of the taxonomy's
+        contract.
+        """
+        spec = self.spec
+        if not self._rapl:
+            raise CapabilityError(
+                "{}: no intel_rapl/intel_rapl:* energy domains".format(
+                    self.root
+                )
+            )
+        cu_vfs = [self.get_vf(cu) for cu in range(spec.num_cus)]
+        energies: Dict[str, float] = {}
+        ranges: Dict[str, float] = {}
+        for domain in self._rapl:
+            energies[domain] = self._read_float(
+                os.path.join(domain, "energy_uj"),
+                "reading {} energy_uj".format(domain),
+            )
+            if domain in self._energy_range:
+                ranges[domain] = self._energy_range[domain]
+            else:
+                range_path = os.path.join(domain, "max_energy_range_uj")
+                if os.path.exists(os.path.join(self.root, range_path)):
+                    ranges[domain] = self._read_float(
+                        range_path,
+                        "reading {} max_energy_range_uj".format(domain),
+                    )
+                else:
+                    ranges[domain] = _DEFAULT_ENERGY_RANGE_UJ
+        temperature = self._read_temperature()
+
+        # Everything read successfully: commit state and build the sample.
+        power_w = 0.0
+        if self._energy_baseline:
+            delta_uj = 0.0
+            for domain, now in energies.items():
+                previous = self._energy_baseline.get(domain, now)
+                step = now - previous
+                if step < 0:
+                    step += ranges[domain]  # the counter wrapped
+                delta_uj += step
+            power_w = delta_uj * 1e-6 / self.interval_s
+        self._energy_baseline = energies
+        self._energy_range.update(ranges)
+        index = self._index
+        self._index += 1
+        zero_events = [
+            EventVector([0.0] * NUM_EVENTS) for _ in range(spec.num_cores)
+        ]
+        return IntervalSample(
+            index=index,
+            time=(index + 1) * self.interval_s,
+            cu_vfs=cu_vfs,
+            nb_vf=spec.nb_vf,
+            power_gating=False,
+            power_samples=[power_w],
+            measured_power=power_w,
+            temperature=temperature,
+            core_events=zero_events,
+            true_core_events=[vec.copy() for vec in zero_events],
+            instructions=[0.0] * spec.num_cores,
+            true_power=power_w,
+            breakdown=None,
+            nb_utilisation=0.0,
+            interval_s=self.interval_s,
+        )
+
+    def _read_temperature(self) -> float:
+        """Package temperature, kelvin; absent node means the default
+        (thermal is optional on real trees too -- hwmon may be absent)."""
+        relpath = os.path.join("thermal", "temp")
+        if not os.path.exists(os.path.join(self.root, relpath)):
+            return _DEFAULT_TEMP_K
+        millidegrees_c = self._read_float(
+            relpath, "reading thermal/temp"
+        )
+        return millidegrees_c / 1000.0 + 273.15

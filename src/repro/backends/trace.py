@@ -57,7 +57,12 @@ from repro.hardware.events import EventVector, NUM_EVENTS
 from repro.hardware.platform import IntervalSample
 from repro.hardware.vfstates import VFState
 
-__all__ = ["TraceReplayBackend", "TraceWriter", "record_trace"]
+__all__ = [
+    "ReplayBackendBase",
+    "TraceReplayBackend",
+    "TraceWriter",
+    "record_trace",
+]
 
 #: Header magic + format version.  Bump the version on any breaking
 #: column change; the reader rejects newer versions crisply.
@@ -104,7 +109,10 @@ class TraceWriter:
         self.path = path
         self.spec_name = spec_name
         try:
-            self._handle = open(path, "w")
+            # Pinned encoding: _row_crc hashes the UTF-8 bytes of every
+            # payload, so the file bytes must be UTF-8 regardless of the
+            # recording machine's locale or a replay elsewhere fails CRC.
+            self._handle = open(path, "w", encoding="utf-8")
         except OSError as exc:
             raise TraceFormatError(
                 "{}: cannot open for writing ({})".format(path, exc)
@@ -175,14 +183,15 @@ def record_trace(path: str, samples, spec_name: str = "") -> int:
         return writer.rows
 
 
-class TraceReplayBackend(TelemetryBackend):
-    """Replays a recorded trace through the backend boundary.
+class ReplayBackendBase(TelemetryBackend):
+    """Shared mechanics of every recorded-stream backend.
 
-    The whole file is parsed (and repaired) eagerly at construction, so
-    format damage surfaces as one crisp :class:`TraceFormatError` at
-    open time rather than mid-run; :meth:`read_interval` then delivers
-    the repaired stream in order and raises
-    :class:`~repro.backends.base.EndOfTrace` when it runs dry.
+    Subclasses (:class:`TraceReplayBackend`, the turbostat importer in
+    :mod:`repro.backends.turbostat`) parse their file eagerly in
+    ``__init__`` into ``self._samples`` -- so format damage surfaces as
+    one crisp :class:`TraceFormatError` at open time rather than
+    mid-run -- and inherit the cursor, the repair-tally bookkeeping,
+    and the recorded-no-op actuation surface.
 
     VF writes are recorded no-ops (``capabilities().can_set_vf`` is
     False): replaying a closed-loop recording means the actuations are
@@ -196,45 +205,147 @@ class TraceReplayBackend(TelemetryBackend):
         self.repairs: Dict[str, int] = {}
         #: One human-readable line per repair category applied.
         self.warnings: List[str] = []
+        #: Gate keys that already surfaced their warning line (decoupled
+        #: from the counts so tallying twice can never double-append).
+        self._warned: set = set()
         self.meta: Dict[str, object] = {}
         #: VF requests recorded from the controller, (cu_id, VFState).
         self.requested_vfs: List[Tuple[int, VFState]] = []
-        self._samples: List[IntervalSample] = self._parse()
+        self._samples: List[IntervalSample] = []
         self._cursor = 0
         self._last: Optional[IntervalSample] = None
-        interval_s = (
-            self._samples[0].interval_s
-            if self._samples
-            else float(self.meta.get("interval_s", 0.2))
-        )
-        self._caps = BackendCapabilities(
-            name="trace:{}".format(os.path.basename(path)),
-            can_set_vf=False,
-            can_set_power_gating=False,
-            interval_s=interval_s,
-            num_cus=int(self.meta.get("cus", 0)),
-            num_cores=int(self.meta.get("cores", 0)),
-            slices_per_interval=int(self.meta.get("slices", 0)),
-            finite=True,
-        )
+        self._caps: Optional[BackendCapabilities] = None
 
-    # -- parsing --------------------------------------------------------------
+    # -- repair bookkeeping ----------------------------------------------------
 
     def _fail(self, line_no: int, reason: str) -> "TraceFormatError":
         return TraceFormatError(
             "{}:{}: {}".format(self.path, line_no, reason)
         )
 
-    def _tally(self, kind: str, message: str) -> None:
-        if kind not in self.repairs:
+    def _tally(self, kind: str, message: str, gate_key: Optional[str] = None) -> None:
+        """Count one repair; surface its warning line exactly once.
+
+        ``gate_key`` defaults to ``kind`` (one warning line per repair
+        category); a caller with several distinct conversions under one
+        category (power *and* time units) passes a finer key so each
+        surfaces its own line exactly once.
+        """
+        key = gate_key if gate_key is not None else kind
+        if key not in self._warned:
+            self._warned.add(key)
             self.warnings.append(message)
         self.repairs[kind] = self.repairs.get(kind, 0) + 1
+
+    # -- the backend interface -------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        assert self._caps is not None, "subclass must build capabilities"
+        return self._caps
+
+    def __len__(self) -> int:
+        """Intervals remaining to deliver."""
+        return len(self._samples) - self._cursor
+
+    def read_interval(self) -> IntervalSample:
+        if self._cursor >= len(self._samples):
+            raise EndOfTrace(
+                "{}: trace exhausted after {} interval(s)".format(
+                    self.path, len(self._samples)
+                )
+            )
+        sample = self._samples[self._cursor]
+        self._cursor += 1
+        self._last = sample
+        return sample
+
+    def _reference(self) -> IntervalSample:
+        if self._last is not None:
+            return self._last
+        if self._samples:
+            return self._samples[0]
+        raise EndOfTrace("{}: trace holds no intervals".format(self.path))
+
+    def get_vf(self, cu_id: int) -> VFState:
+        return self._reference().cu_vfs[cu_id]
+
+    def set_vf(self, cu_id: int, vf: VFState) -> None:
+        # Recorded no-op: the trace's actuations already happened.
+        self.requested_vfs.append((cu_id, vf))
+
+    def get_power_gating(self) -> bool:
+        return self._reference().power_gating
+
+    def set_power_gating(self, enabled: bool) -> None:
+        raise CapabilityError(
+            "trace replay cannot actuate power gating"
+        )
+
+
+class TraceReplayBackend(ReplayBackendBase):
+    """Replays a recorded trace through the backend boundary.
+
+    The whole file is parsed (and repaired) eagerly at construction;
+    :meth:`read_interval` then delivers the repaired stream in order and
+    raises :class:`~repro.backends.base.EndOfTrace` when it runs dry.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._time_scale = 1.0
+        self._samples = self._parse()
+        self._caps = self._build_capabilities()
+
+    def _build_capabilities(self) -> BackendCapabilities:
+        """Geometry from the first sample; header meta is the fallback.
+
+        A consumer sizing filters or fleets off these capabilities must
+        never see a zero-core chip: when the trace is empty *and* the
+        header meta lacks a geometry field, that is a format error, not
+        a default.
+        """
+        name = "trace:{}".format(os.path.basename(self.path))
+        if self._samples:
+            first = self._samples[0]
+            return BackendCapabilities(
+                name=name,
+                can_set_vf=False,
+                can_set_power_gating=False,
+                interval_s=first.interval_s,
+                num_cus=len(first.cu_vfs),
+                num_cores=len(first.core_events),
+                slices_per_interval=len(first.power_samples),
+                finite=True,
+            )
+        required = ("cus", "cores", "slices", "interval_s")
+        missing = [key for key in required if key not in self.meta]
+        if missing:
+            raise self._fail(
+                1,
+                "empty trace and header metadata lacks {} -- cannot "
+                "derive the source geometry".format(", ".join(missing)),
+            )
+        return BackendCapabilities(
+            name=name,
+            can_set_vf=False,
+            can_set_power_gating=False,
+            interval_s=float(self.meta["interval_s"]) * self._time_scale,
+            num_cus=int(self.meta["cus"]),
+            num_cores=int(self.meta["cores"]),
+            slices_per_interval=int(self.meta["slices"]),
+            finite=True,
+        )
+
+    # -- parsing --------------------------------------------------------------
 
     def _parse(self) -> List[IntervalSample]:
         import json
 
         try:
-            with open(self.path) as handle:
+            # UTF-8 to mirror the writer: row CRCs hash UTF-8 payload
+            # bytes, so a locale-dependent decode would fail verification
+            # of a perfectly good trace recorded on another machine.
+            with open(self.path, encoding="utf-8") as handle:
                 lines = handle.read().split("\n")
         except OSError as exc:
             raise TraceFormatError(
@@ -272,6 +383,7 @@ class TraceReplayBackend(TelemetryBackend):
             str(self.meta.get("time_unit", "s")), {"s": 1.0, "ms": 1e-3},
             "time",
         )
+        self._time_scale = time_scale
 
         rows: List[Tuple[int, int, IntervalSample]] = []
         data_lines = [
@@ -335,11 +447,16 @@ class TraceReplayBackend(TelemetryBackend):
             )
         scale = known[unit]
         if scale != 1.0:
+            # One "unit" count per converted quantity, but each quantity
+            # (power, time) surfaces its own warning line exactly once --
+            # gating on the bare kind would silently drop the second
+            # quantity's line when both convert in one file.
             self._tally(
                 "unit",
                 "{}: converted {} values from {} to canonical units".format(
                     self.path, what, unit
                 ),
+                gate_key="unit:{}".format(what),
             )
         return scale
 
@@ -390,47 +507,4 @@ class TraceReplayBackend(TelemetryBackend):
             breakdown=None,
             nb_utilisation=0.0,
             interval_s=interval_s,
-        )
-
-    # -- the backend interface ------------------------------------------------
-
-    def capabilities(self) -> BackendCapabilities:
-        return self._caps
-
-    def __len__(self) -> int:
-        """Intervals remaining to deliver."""
-        return len(self._samples) - self._cursor
-
-    def read_interval(self) -> IntervalSample:
-        if self._cursor >= len(self._samples):
-            raise EndOfTrace(
-                "{}: trace exhausted after {} interval(s)".format(
-                    self.path, len(self._samples)
-                )
-            )
-        sample = self._samples[self._cursor]
-        self._cursor += 1
-        self._last = sample
-        return sample
-
-    def _reference(self) -> IntervalSample:
-        if self._last is not None:
-            return self._last
-        if self._samples:
-            return self._samples[0]
-        raise EndOfTrace("{}: trace holds no intervals".format(self.path))
-
-    def get_vf(self, cu_id: int) -> VFState:
-        return self._reference().cu_vfs[cu_id]
-
-    def set_vf(self, cu_id: int, vf: VFState) -> None:
-        # Recorded no-op: the trace's actuations already happened.
-        self.requested_vfs.append((cu_id, vf))
-
-    def get_power_gating(self) -> bool:
-        return self._reference().power_gating
-
-    def set_power_gating(self, enabled: bool) -> None:
-        raise CapabilityError(
-            "trace replay cannot actuate power gating"
         )

@@ -1,0 +1,569 @@
+"""Importing genuine turbostat recordings through the backend boundary.
+
+``turbostat`` (linux/tools/power/x86/turbostat) is the de-facto tool for
+recording per-CPU frequency/residency/power telemetry on real machines,
+which makes its output the natural "data we didn't generate" format:
+validating the pipeline against independently collected measurements is
+what the measured-counter-modelling literature says earns a model trust
+(arXiv:1803.01618, arXiv:1907.02805).  This module parses real
+turbostat column layouts into the canonical
+:class:`~repro.hardware.platform.IntervalSample` stream the unchanged
+filter -> predict -> ledger pipeline consumes.
+
+Layouts handled (all genuine turbostat behaviors, not inventions):
+
+- **whitespace- and comma-delimited** tables (raw output and the common
+  CSV post-processing of it);
+- **per-CPU rows** keyed by ``Core``/``CPU`` columns, with the leading
+  summary row (``-`` in the id columns) turbostat prints per interval;
+- **summary-row-only** recordings (``turbostat -S``: no id columns at
+  all, one line per interval);
+- **multi-package recordings** (leading ``Package`` column; package
+  power summed across packages when the summary row is absent);
+- **``-`` placeholder cells** for package-scope columns repeated on
+  non-first rows and for counters a CPU did not report;
+- **repeated header lines** (turbostat reprints its header every
+  screenful on long recordings);
+- **``--Joules`` recordings**: ``Pkg_J``/``Cor_J`` energy columns are
+  converted to watts over the interval -- tallied as a ``unit`` repair,
+  exactly like a ``mW`` trace in :mod:`repro.backends.trace`;
+- **``Time_Of_Day_Seconds`` timestamps**, used to derive the interval
+  length and to detect the same pathologies the trace replayer repairs:
+  out-of-order snapshots are re-sorted, duplicates keep the first
+  occurrence, missing intervals are tallied as gaps, and an incomplete
+  final snapshot (the recording was cut mid-write) is dropped as a torn
+  tail.  Real corruption -- an unparseable cell or a ragged row before
+  the tail -- fails with one ``path:line: reason``
+  :class:`~repro.backends.base.TraceFormatError`.
+
+Mapping onto the model geometry is deliberately honest: recorded CPUs
+fill the target :class:`~repro.hardware.microarch.ChipSpec`'s cores in
+id order (folded modulo the core count when the recording is wider,
+idle-padded when narrower); each CU's VF state is the nearest table
+entry to its busiest CPU's ``Bzy_MHz``; unhalted clocks come from
+``Avg_MHz`` and retired instructions from the ``IPC`` column when
+present.  Counters turbostat never records (the AMD Table I events)
+stay zero rather than being invented, so a prediction on imported data
+scores the idle/NB model plus whatever the clock-derived features
+carry -- the per-VF MAE report states exactly how far measured-only
+foreign data gets the pipeline, which is the point of importing it.
+
+Value-level damage (stuck power readings, implausible counters) flows
+through untouched: the downstream TelemetryFilter is the component
+contracted to judge it, same as for our own traces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import BackendCapabilities, TraceFormatError
+from repro.backends.trace import ReplayBackendBase
+from repro.hardware.events import Event, EventVector, NUM_EVENTS
+from repro.hardware.microarch import ChipSpec, FX8320_SPEC
+from repro.hardware.platform import IntervalSample
+from repro.hardware.vfstates import VFState, VFTable
+
+__all__ = ["TurbostatReplayBackend", "nearest_vf"]
+
+#: Default decision interval when the recording carries no timestamps:
+#: turbostat's own default ``--interval`` is 5 seconds.
+DEFAULT_INTERVAL_S = 5.0
+
+#: Celsius -> kelvin (turbostat temperatures are whole degrees C; the
+#: pipeline's thermal quantities are kelvin).
+_C_TO_K = 273.15
+
+#: Fallback junction temperature when the recording has no thermal
+#: columns at all, kelvin (a warm but unremarkable package).
+_DEFAULT_TEMP_K = 318.15
+
+#: A timestamp delta this many times the median interval hides at least
+#: one missing snapshot (tallied as a gap).
+_GAP_FACTOR = 1.5
+
+
+def nearest_vf(table: VFTable, frequency_ghz: float) -> VFState:
+    """The table entry closest in frequency to ``frequency_ghz``.
+
+    Foreign recordings never land exactly on the model's VF grid; the
+    nearest state is what lets per-VF aggregation (the MAE report's
+    rows) bucket real P-states meaningfully.
+    """
+    return min(
+        table, key=lambda vf: abs(vf.frequency_ghz - frequency_ghz)
+    )
+
+
+def _parse_cell(text: str) -> Optional[float]:
+    """One numeric cell; ``-`` and blank are missing, not errors."""
+    if text in ("-", ""):
+        return None
+    return float(text)
+
+
+class _Row:
+    """One parsed data line: named access plus its source line number."""
+
+    __slots__ = ("line_no", "values")
+
+    def __init__(self, line_no: int, values: Dict[str, Optional[float]]):
+        self.line_no = line_no
+        self.values = values
+
+    def get(self, column: str) -> Optional[float]:
+        return self.values.get(column)
+
+
+class TurbostatReplayBackend(ReplayBackendBase):
+    """Replays a turbostat recording as canonical interval samples.
+
+    Parameters
+    ----------
+    path:
+        The turbostat output file (whitespace table or CSV).
+    spec:
+        Target chip geometry and VF table the samples are shaped for
+        (default: the paper's FX-8320).  The *model* consuming the
+        stream decides this, not the recording.
+    interval_s:
+        Decision-interval length when the recording has no
+        ``Time_Of_Day_Seconds`` column (default: turbostat's 5 s).
+        Ignored when timestamps are present -- the median snapshot
+        delta is canonical then.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        spec: ChipSpec = FX8320_SPEC,
+        interval_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(path)
+        if interval_s is not None and interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.spec = spec
+        self._configured_interval = interval_s
+        #: Recorded CPU id -> target spec core id (for reports/tests).
+        self.cpu_map: Dict[int, int] = {}
+        self._samples = self._parse()
+        first = self._samples[0]
+        self._caps = BackendCapabilities(
+            name="turbostat:{}".format(os.path.basename(path)),
+            can_set_vf=False,
+            can_set_power_gating=False,
+            interval_s=first.interval_s,
+            num_cus=spec.num_cus,
+            num_cores=spec.num_cores,
+            slices_per_interval=1,
+            finite=True,
+        )
+
+    # -- tokenising ------------------------------------------------------------
+
+    def _read_lines(self) -> List[Tuple[int, str]]:
+        try:
+            with open(self.path, encoding="utf-8", errors="replace") as handle:
+                raw = handle.read().split("\n")
+        except OSError as exc:
+            raise TraceFormatError(
+                "{}: cannot open ({})".format(self.path, exc)
+            )
+        return [
+            (line_no, line.strip())
+            for line_no, line in enumerate(raw, start=1)
+            if line.strip()
+        ]
+
+    def _split(self, line: str) -> List[str]:
+        if self._delimiter == ",":
+            return [cell.strip() for cell in line.split(",")]
+        return line.split()
+
+    # -- parsing ---------------------------------------------------------------
+
+    def _parse(self) -> List[IntervalSample]:
+        lines = self._read_lines()
+        if not lines:
+            raise TraceFormatError(
+                "{}: empty file is not a turbostat recording".format(self.path)
+            )
+        header_no, header_line = lines[0]
+        self._delimiter = "," if "," in header_line else None
+        columns = self._split(header_line)
+        if len(columns) != len(set(columns)):
+            raise self._fail(header_no, "duplicate column names in header")
+        self._columns = columns
+        self._validate_columns(header_no)
+
+        rows, torn_line = self._parse_rows(lines[1:], header_line)
+        snapshots = self._group_snapshots(rows)
+        snapshots = self._drop_torn_tail(snapshots, torn_line)
+        if not snapshots:
+            raise self._fail(
+                header_no, "no complete interval snapshots in recording"
+            )
+        snapshots, interval_s = self._order_and_space(snapshots)
+        self._assign_cpu_map(snapshots)
+        self.meta = {
+            "columns": list(columns),
+            "delimiter": "comma" if self._delimiter == "," else "whitespace",
+            "cpus": sorted(self.cpu_map),
+            "packages": self._package_count(snapshots),
+            "interval_s": interval_s,
+            "summary_only": not self._has_cpu_ids,
+        }
+        return [
+            self._build_sample(index, snapshot, interval_s)
+            for index, snapshot in snapshots
+        ]
+
+    def _validate_columns(self, header_no: int) -> None:
+        columns = set(self._columns)
+        self._has_cpu_ids = "CPU" in columns
+        if "Core" in columns and "CPU" not in columns:
+            raise self._fail(
+                header_no, "found a Core column but no CPU column"
+            )
+        freq_ok = "Avg_MHz" in columns or "Bzy_MHz" in columns
+        if not freq_ok:
+            raise self._fail(
+                header_no,
+                "not a turbostat layout: need an Avg_MHz or Bzy_MHz column",
+            )
+        self._joules = "Pkg_J" in columns and "PkgWatt" not in columns
+        if "PkgWatt" not in columns and "Pkg_J" not in columns:
+            raise self._fail(
+                header_no,
+                "no package power column (PkgWatt or --Joules Pkg_J)",
+            )
+
+    def _parse_rows(
+        self, lines: Sequence[Tuple[int, str]], header_line: str
+    ) -> Tuple[List[_Row], Optional[int]]:
+        """All data rows; a ragged/unparseable *final* line is returned
+        as a torn-tail marker instead of raising."""
+        rows: List[_Row] = []
+        torn_line: Optional[int] = None
+        id_columns = {"Package", "Core", "CPU"}
+        for position, (line_no, line) in enumerate(lines):
+            if line == header_line or self._split(line) == self._columns:
+                continue  # turbostat reprints its header every screenful
+            cells = self._split(line)
+            is_last = position == len(lines) - 1
+            if len(cells) != len(self._columns):
+                if is_last:
+                    torn_line = line_no
+                    break
+                raise self._fail(
+                    line_no,
+                    "expected {} columns, got {}".format(
+                        len(self._columns), len(cells)
+                    ),
+                )
+            values: Dict[str, Optional[float]] = {}
+            try:
+                for column, cell in zip(self._columns, cells):
+                    if column in id_columns and cell == "-":
+                        values[column] = None
+                        continue
+                    values[column] = _parse_cell(cell)
+            except ValueError:
+                if is_last:
+                    torn_line = line_no
+                    break
+                raise self._fail(
+                    line_no,
+                    "unparseable {} cell {!r}".format(column, cell),
+                )
+            rows.append(_Row(line_no, values))
+        return rows, torn_line
+
+    def _group_snapshots(self, rows: List[_Row]) -> List[List[_Row]]:
+        """Split the row stream into per-interval snapshots.
+
+        A snapshot starts at a summary row (``-`` ids) or, for
+        summary-less recordings, when a CPU id repeats.  Summary-only
+        recordings have one row per snapshot by construction.
+        """
+        if not self._has_cpu_ids:
+            return [[row] for row in rows]
+        snapshots: List[List[_Row]] = []
+        current: List[_Row] = []
+        seen_cpus: set = set()
+        for row in rows:
+            cpu = row.get("CPU")
+            is_summary = cpu is None
+            if is_summary or (current and cpu in seen_cpus):
+                if current:
+                    snapshots.append(current)
+                current = []
+                seen_cpus = set()
+            if not is_summary:
+                seen_cpus.add(cpu)
+            current.append(row)
+        if current:
+            snapshots.append(current)
+        return snapshots
+
+    def _drop_torn_tail(
+        self, snapshots: List[List[_Row]], torn_line: Optional[int]
+    ) -> List[List[_Row]]:
+        """A cut recording tears exactly its final snapshot.
+
+        Two shapes, both repairable: the final *line* failed to parse
+        (ragged or cut mid-write -- already excluded from the rows, and
+        any sibling rows of its snapshot must go with it), or the final
+        snapshot simply covers a different CPU set than the first
+        complete one (the recorder died between row writes).
+        """
+        dropped_partial = False
+        reason_line = torn_line
+        if len(snapshots) > 1 and self._has_cpu_ids:
+            reference = self._snapshot_cpus(snapshots[0])
+            final = self._snapshot_cpus(snapshots[-1])
+            if reference and final != reference:
+                if reason_line is None:
+                    reason_line = snapshots[-1][0].line_no
+                snapshots = snapshots[:-1]
+                dropped_partial = True
+        if torn_line is not None or dropped_partial:
+            self._tally(
+                "torn-tail",
+                "{}:{}: dropped torn final snapshot".format(
+                    self.path, reason_line
+                ),
+            )
+        return snapshots
+
+    @staticmethod
+    def _snapshot_cpus(snapshot: List[_Row]) -> set:
+        return {
+            row.get("CPU")
+            for row in snapshot
+            if row.get("CPU") is not None
+        }
+
+    def _order_and_space(
+        self, snapshots: List[List[_Row]]
+    ) -> Tuple[List[Tuple[int, List[_Row]]], float]:
+        """(interval index, snapshot) pairs plus the canonical interval.
+
+        With ``Time_Of_Day_Seconds`` the *smallest positive*
+        inter-snapshot delta is the canonical interval -- a missing
+        snapshot only ever inflates a delta (so a median would be
+        skewed by the very gaps being detected), and duplicate
+        snapshots carry identical stamps (delta zero, excluded).
+        Indices then derive from the timestamps, which is what lets
+        reorder / duplicate / gap damage be detected and repaired
+        exactly as the canonical trace replayer does.
+        """
+        stamps = [self._snapshot_stamp(s) for s in snapshots]
+        if any(t is None for t in stamps) or len(snapshots) < 2:
+            interval = self._configured_interval or DEFAULT_INTERVAL_S
+            return list(enumerate(snapshots)), interval
+
+        ordered = sorted(
+            range(len(snapshots)), key=lambda i: (stamps[i], i)
+        )
+        if ordered != list(range(len(snapshots))):
+            self._tally(
+                "reorder",
+                "{}: snapshots delivered out of timestamp order; "
+                "re-sorted".format(self.path),
+            )
+        deltas = [
+            stamps[ordered[i + 1]] - stamps[ordered[i]]
+            for i in range(len(ordered) - 1)
+        ]
+        positive = sorted(d for d in deltas if d > 0)
+        if not positive:
+            raise self._fail(
+                snapshots[0][0].line_no,
+                "timestamps never advance between snapshots",
+            )
+        interval = positive[0]
+
+        result: List[Tuple[int, List[_Row]]] = []
+        base = stamps[ordered[0]]
+        prev_index: Optional[int] = None
+        for i in ordered:
+            index = int(round((stamps[i] - base) / interval))
+            if prev_index is not None and index == prev_index:
+                self._tally(
+                    "duplicate",
+                    "{}: duplicate snapshot for interval {}; kept first "
+                    "occurrence".format(self.path, index),
+                )
+                continue
+            if prev_index is not None and index > prev_index + 1:
+                self._tally(
+                    "gap",
+                    "{}: missing interval(s) {}..{}".format(
+                        self.path, prev_index + 1, index - 1
+                    ),
+                )
+            result.append((index, snapshots[i]))
+            prev_index = index
+        return result, interval
+
+    def _snapshot_stamp(self, snapshot: List[_Row]) -> Optional[float]:
+        for row in snapshot:
+            stamp = row.get("Time_Of_Day_Seconds")
+            if stamp is not None:
+                return stamp
+        return None
+
+    def _package_count(
+        self, snapshots: List[Tuple[int, List[_Row]]]
+    ) -> int:
+        packages = {
+            row.get("Package")
+            for _index, snapshot in snapshots
+            for row in snapshot
+            if row.get("Package") is not None
+        }
+        return max(len(packages), 1)
+
+    # -- sample construction ---------------------------------------------------
+
+    def _assign_cpu_map(
+        self, snapshots: List[Tuple[int, List[_Row]]]
+    ) -> None:
+        """Deterministic CPU -> spec-core assignment: recorded CPU ids
+        in sorted order fill the target cores in order, folding modulo
+        the core count when the recording is wider than the model chip
+        (folded CPUs' counters aggregate onto the shared core)."""
+        cpus = sorted(
+            {
+                int(row.get("CPU"))
+                for _index, snapshot in snapshots
+                for row in snapshot
+                if row.get("CPU") is not None
+            }
+        )
+        if not cpus:
+            cpus = [0]  # summary-only: one package-aggregate pseudo-CPU
+        self.cpu_map = {
+            cpu: position % self.spec.num_cores
+            for position, cpu in enumerate(cpus)
+        }
+
+    def _package_power(
+        self, snapshot: List[_Row], interval_s: float
+    ) -> float:
+        """Chip power for one snapshot, watts.
+
+        Prefer the summary row (turbostat's own cross-package total);
+        otherwise the first reported value per package, summed.  A
+        ``--Joules`` recording divides by the interval -- the unit
+        conversion tallied exactly once per file.
+        """
+        column = "Pkg_J" if self._joules else "PkgWatt"
+        summary = next(
+            (r for r in snapshot if self._has_cpu_ids and r.get("CPU") is None),
+            None,
+        )
+        value: Optional[float] = None
+        if summary is not None:
+            value = summary.get(column)
+        if value is None:
+            per_package: Dict[object, float] = {}
+            for row in snapshot:
+                cell = row.get(column)
+                if cell is None:
+                    continue
+                package = row.get("Package")
+                if package not in per_package:
+                    per_package[package] = cell
+            if per_package:
+                value = sum(per_package.values())
+        if value is None:
+            # No power reported this snapshot: deliver the damage and
+            # let the TelemetryFilter judge it (0 W is a failed read).
+            return 0.0
+        if self._joules:
+            self._tally(
+                "unit",
+                "{}: converted package energy from J to W over "
+                "{:.3g} s intervals".format(self.path, interval_s),
+                gate_key="unit:power",
+            )
+            return value / interval_s
+        return value
+
+    def _temperature(self, snapshot: List[_Row]) -> float:
+        for column in ("PkgTmp", "CoreTmp"):
+            readings = [
+                row.get(column)
+                for row in snapshot
+                if row.get(column) is not None
+            ]
+            if readings:
+                return max(readings) + _C_TO_K
+        return _DEFAULT_TEMP_K
+
+    def _build_sample(
+        self, index: int, snapshot: List[_Row], interval_s: float
+    ) -> IntervalSample:
+        spec = self.spec
+        clocks = [0.0] * spec.num_cores
+        instructions = [0.0] * spec.num_cores
+        cu_busy_ghz = [0.0] * spec.num_cus
+
+        for row in snapshot:
+            if self._has_cpu_ids:
+                cpu = row.get("CPU")
+                if cpu is None:
+                    continue  # the summary row aggregates, not a CPU
+                core = self.cpu_map[int(cpu)]
+            else:
+                core = self.cpu_map[0]
+            avg_mhz = row.get("Avg_MHz")
+            bzy_mhz = row.get("Bzy_MHz")
+            busy_pct = row.get("Busy%")
+            if avg_mhz is None and bzy_mhz is not None and busy_pct is not None:
+                avg_mhz = bzy_mhz * busy_pct / 100.0
+            cycles = (avg_mhz or 0.0) * 1e6 * interval_s
+            clocks[core] += cycles
+            ipc = row.get("IPC")
+            if ipc is not None:
+                instructions[core] += ipc * cycles
+            busy_ghz = (bzy_mhz or avg_mhz or 0.0) / 1000.0
+            cu = spec.cu_of_core(core)
+            cu_busy_ghz[cu] = max(cu_busy_ghz[cu], busy_ghz)
+
+        core_events: List[EventVector] = []
+        for core in range(spec.num_cores):
+            values = [0.0] * NUM_EVENTS
+            values[Event.CPU_CLOCKS_NOT_HALTED] = clocks[core]
+            values[Event.RETIRED_INSTRUCTIONS] = instructions[core]
+            core_events.append(EventVector(values))
+
+        cu_vfs = [
+            nearest_vf(spec.vf_table, ghz)
+            if ghz > 0.0
+            else spec.vf_table.slowest
+            for ghz in cu_busy_ghz
+        ]
+        power = self._package_power(snapshot, interval_s)
+        return IntervalSample(
+            index=index,
+            time=(index + 1) * interval_s,
+            cu_vfs=cu_vfs,
+            nb_vf=spec.nb_vf,
+            power_gating=False,
+            power_samples=[power],
+            measured_power=power,
+            temperature=self._temperature(snapshot),
+            core_events=core_events,
+            # Ground-truth stand-ins, same convention as trace replay:
+            # nothing downstream may score against truth never recorded.
+            true_core_events=[vec.copy() for vec in core_events],
+            instructions=[0.0] * spec.num_cores,
+            true_power=power,
+            breakdown=None,
+            nb_utilisation=0.0,
+            interval_s=interval_s,
+        )

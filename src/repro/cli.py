@@ -322,12 +322,18 @@ def main(argv=None) -> int:
     backend_parser.add_argument(
         "action",
         help="record (live session -> --trace), replay (inspect a "
-        "recorded trace), or roundtrip (the gated acceptance run)",
+        "recorded trace), import (score a turbostat recording through "
+        "the pipeline), or roundtrip (the gated acceptance run)",
     )
     backend_parser.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="trace file to write (record) or read (replay); roundtrip "
-        "keeps its recording here instead of a temporary file",
+        help="trace file to write (record) or read (replay/import); "
+        "roundtrip keeps its recording here instead of a temporary file",
+    )
+    backend_parser.add_argument(
+        "--interval-s", type=float, default=None,
+        help="decision-interval length for an imported recording with "
+        "no Time_Of_Day_Seconds column (default: turbostat's 5 s)",
     )
     backend_parser.add_argument(
         "--intervals", type=int, default=None,
@@ -505,7 +511,7 @@ def _run_backend(args) -> int:
     """
     from repro.backends import TraceFormatError, TraceReplayBackend
 
-    actions = ("record", "replay", "roundtrip")
+    actions = ("record", "replay", "import", "roundtrip")
     if args.action not in actions:
         print(
             "error: unknown backend action {!r}; expected one of {}".format(
@@ -532,9 +538,25 @@ def _run_backend(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.action in ("record", "replay") and args.trace is None:
+    if args.action in ("record", "replay", "import") and args.trace is None:
         print(
             "error: backend {} requires --trace PATH".format(args.action),
+            file=sys.stderr,
+        )
+        return 2
+    if args.interval_s is not None and args.interval_s <= 0:
+        print(
+            "error: --interval-s must be positive, got {}".format(
+                args.interval_s
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "import" and not os.path.exists(args.trace):
+        print(
+            "error: cannot read recording {!r} (no such file)".format(
+                args.trace
+            ),
             file=sys.stderr,
         )
         return 2
@@ -589,6 +611,24 @@ def _run_backend(args) -> int:
         scale=args.scale, base_seed=args.seed, engine=args.engine
     )
     started = time.perf_counter()
+    if args.action == "import":
+        from repro.experiments import turbostat_import
+
+        try:
+            result = turbostat_import.run(
+                ctx, args.trace, interval_s=args.interval_s
+            )
+        except TraceFormatError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        print(turbostat_import.format_report(result, ctx))
+        print(
+            "[import finished in {:.1f}s]".format(
+                time.perf_counter() - started
+            )
+        )
+        return 0 if result.nonempty else 1
+
     if args.action == "record":
         try:
             rows = backend_roundtrip.record_session(

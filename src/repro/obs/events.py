@@ -179,7 +179,9 @@ class EventLog:
         if self.path is None or self._written >= len(self.records):
             return
         if self._handle is None:
-            self._handle = open(self.path, "a")
+            # Pinned encoding: a ledger written under a non-UTF-8 locale
+            # must still read back identically on any other machine.
+            self._handle = open(self.path, "a", encoding="utf-8")
         for event in self.records[self._written:]:
             self._handle.write(json.dumps(event, sort_keys=True) + "\n")
         self._written = len(self.records)
@@ -228,7 +230,7 @@ class EventLog:
 
 def read_events(path: str) -> Iterator[dict]:
     """Parse a JSONL event file; rejects records from a newer schema."""
-    with open(path) as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

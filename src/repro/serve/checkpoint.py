@@ -55,7 +55,7 @@ def write_checkpoint(path: str, state: dict, chaos=None) -> None:
         fd, tmp_path = tempfile.mkstemp(
             dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
         )
-        with os.fdopen(fd, "w") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(torn)
             handle.flush()
             os.fsync(handle.fileno())
@@ -76,7 +76,7 @@ def write_checkpoint(path: str, state: dict, chaos=None) -> None:
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
             handle.flush()
             os.fsync(handle.fileno())
@@ -97,7 +97,7 @@ def read_checkpoint(path: str) -> Optional[dict]:
     refusing to boot is not.
     """
     try:
-        with open(path) as handle:
+        with open(path, encoding="utf-8") as handle:
             state = json.load(handle)
     except FileNotFoundError:
         return None

@@ -293,3 +293,146 @@ class TestRejection:
             backend.read_interval()
         with pytest.raises(EndOfTrace):
             backend.get_vf(0)
+
+class TestCapabilityDerivation:
+    def test_empty_trace_capabilities_come_from_meta(self, trace_path, samples):
+        header, columns, _rows = split_trace(trace_path)
+        write_trace(trace_path, header, columns, [])
+        caps = TraceReplayBackend(trace_path).capabilities()
+        first = samples[0]
+        assert caps.num_cus == len(first.cu_vfs)
+        assert caps.num_cores == len(first.core_events)
+        assert caps.slices_per_interval == len(first.power_samples)
+        assert caps.interval_s == first.interval_s
+
+    def test_empty_trace_meta_interval_respects_time_unit(self, trace_path):
+        header, columns, _rows = split_trace(trace_path)
+        write_trace(
+            trace_path, edit_header_meta(header, time_unit="ms"), columns, []
+        )
+        backend = TraceReplayBackend(trace_path)
+        meta_interval = json.loads(header[header.index("{"):])["interval_s"]
+        assert backend.capabilities().interval_s == pytest.approx(
+            meta_interval * 1e-3
+        )
+
+    @pytest.mark.parametrize("dropped", ["cus", "cores", "slices", "interval_s"])
+    def test_empty_trace_with_missing_geometry_is_fatal(
+        self, trace_path, dropped
+    ):
+        # The old behavior silently defaulted missing geometry to zero
+        # cores / a 0.2 s interval; a consumer sizing a fleet off that
+        # got a zero-chip.  Now it is a crisp format error.
+        header, columns, _rows = split_trace(trace_path)
+        prefix = header[: header.index("{")]
+        meta = json.loads(header[header.index("{"):])
+        del meta[dropped]
+        write_trace(trace_path, prefix + json.dumps(meta), columns, [])
+        with pytest.raises(TraceFormatError, match=dropped):
+            TraceReplayBackend(trace_path)
+
+    def test_nonempty_trace_ignores_meta_lies(self, samples, trace_path):
+        # Samples are authoritative: a header claiming the wrong geometry
+        # must not override what the rows actually carry.
+        header, columns, rows = split_trace(trace_path)
+        write_trace(
+            trace_path, edit_header_meta(header, cus=99, cores=0), columns, rows
+        )
+        caps = TraceReplayBackend(trace_path).capabilities()
+        assert caps.num_cus == len(samples[0].cu_vfs)
+        assert caps.num_cores == len(samples[0].core_events)
+
+
+class TestUnitTallyAudit:
+    def test_zero_row_trace_unit_warning_surfaces_exactly_once(
+        self, trace_path
+    ):
+        header, columns, _rows = split_trace(trace_path)
+        write_trace(
+            trace_path, edit_header_meta(header, power_unit="mW"), columns, []
+        )
+        backend = TraceReplayBackend(trace_path)
+        assert backend.repairs["unit"] == 1
+        assert len([w for w in backend.warnings if "power" in w]) == 1
+
+    def test_power_and_time_conversion_each_warn_once(self, trace_path):
+        header, columns, _rows = split_trace(trace_path)
+        write_trace(
+            trace_path,
+            edit_header_meta(header, power_unit="mW", time_unit="ms"),
+            columns, [],
+        )
+        backend = TraceReplayBackend(trace_path)
+        # Two converted quantities: two counts, two distinct lines.
+        assert backend.repairs["unit"] == 2
+        assert len(backend.warnings) == 2
+        assert any("power" in w for w in backend.warnings)
+        assert any("time" in w for w in backend.warnings)
+
+    def test_torn_tail_plus_unit_no_double_append(self, samples, trace_path):
+        header, columns, rows = split_trace(trace_path)
+
+        def to_mw(fields):
+            fields[5] = "|".join(
+                repr(float(r) * 1000.0) for r in fields[5].split("|")
+            )
+            fields[6] = repr(float(fields[6]) * 1000.0)
+
+        rows = [reencode_row(row, to_mw) for row in rows]
+        rows[-1] = rows[-1][: len(rows[-1]) // 2]
+        write_trace(
+            trace_path, edit_header_meta(header, power_unit="mW"), columns, rows
+        )
+        backend = TraceReplayBackend(trace_path)
+        assert backend.repairs == {"unit": 1, "torn-tail": 1}
+        assert len(backend.warnings) == 2
+        assert len(backend) == len(samples) - 1
+
+
+class TestEncodingPins:
+    def test_non_ascii_meta_round_trips(self, samples, tmp_path):
+        path = str(tmp_path / "unicode.trace")
+        record_trace(path, samples, spec_name="FX-8320 \u00b5arch \u2014 caf\u00e9")
+        backend = TraceReplayBackend(path)
+        assert backend.meta["spec"] == "FX-8320 \u00b5arch \u2014 caf\u00e9"
+        assert len(backend) == len(samples)
+        assert backend.repairs == {}
+
+    def test_trace_bytes_identical_across_locales(self, tmp_path):
+        # The row CRC hashes UTF-8 payload bytes: a trace recorded under
+        # LC_ALL=C must be byte-identical to one recorded under a UTF-8
+        # locale, or replay on another machine fails CRC.
+        import os
+        import subprocess
+        import sys
+
+        script = tmp_path / "write_trace.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.backends import record_trace\n"
+            "from repro.hardware.microarch import FX8320_SPEC\n"
+            "from repro.hardware.platform import Platform\n"
+            "platform = Platform(FX8320_SPEC, seed=31)\n"
+            "platform.set_all_vf(FX8320_SPEC.vf_table.fastest)\n"
+            "samples = [platform.step() for _ in range(3)]\n"
+            "record_trace(sys.argv[1], samples,"
+            " spec_name='FX \\u00b5arch')\n"
+        )
+        blobs = {}
+        for tag, locale in (("c", "C"), ("utf8", "C.UTF-8")):
+            out = tmp_path / ("trace." + tag)
+            env = dict(os.environ)
+            env["LC_ALL"] = locale
+            env["LANG"] = locale
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            result = subprocess.run(
+                [sys.executable, str(script), str(out)],
+                env=env, capture_output=True, text=True,
+            )
+            assert result.returncode == 0, result.stderr
+            blobs[tag] = out.read_bytes()
+        assert blobs["c"] == blobs["utf8"]
+        # And the bytes replay (CRC-clean) regardless of who reads them.
+        replay = TraceReplayBackend(str(tmp_path / "trace.c"))
+        assert len(replay) == 3
+        assert replay.repairs == {}

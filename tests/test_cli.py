@@ -192,3 +192,55 @@ class TestReportCommand:
         empty = tmp_path / "results"
         empty.mkdir()
         assert main(["report", "--results-dir", str(empty)]) == 1
+
+
+class TestBackendImportAction:
+    def test_import_reports_per_vf_mae(self, capsys):
+        import os
+
+        recording = os.path.join(
+            os.path.dirname(__file__), "data", "turbostat_single.tsv"
+        )
+        assert main([
+            "backend", "import", "--trace", recording, "--scale", "quick",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 interval(s)" in out
+        assert "import repairs: none" in out
+        assert "VF5" in out
+
+    def test_import_requires_trace(self, capsys):
+        assert main(["backend", "import"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--trace" in err
+        assert err.count("\n") == 1
+
+    def test_import_rejects_missing_file(self, tmp_path, capsys):
+        assert main([
+            "backend", "import", "--trace", str(tmp_path / "nope.tsv"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read recording" in err
+        assert err.count("\n") == 1
+
+    def test_import_rejects_corrupt_recording(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("Core\tCPU\tPkgWatt\n0\t0\t41.0\n")
+        assert main([
+            "backend", "import", "--trace", str(bad), "--scale", "quick",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a turbostat layout" in err
+        assert err.count("\n") == 1
+
+    def test_import_rejects_bad_interval(self, tmp_path, capsys):
+        bad = tmp_path / "x.tsv"
+        bad.write_text("stub\n")
+        assert main([
+            "backend", "import", "--trace", str(bad), "--interval-s", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--interval-s must be positive" in err

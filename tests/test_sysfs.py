@@ -1,0 +1,346 @@
+"""SysfsBackend over a fake cpufreq/RAPL tree: mapping, faults, storms.
+
+No hardware, no privileges: every test builds a miniature ``/sys``-shaped
+directory under ``tmp_path`` and points the backend's configurable root
+at it.  The contracts under test:
+
+- honest capabilities (``can_set_vf`` follows ``scaling_setspeed``
+  presence);
+- kHz -> nearest-VF mapping and RAPL ``energy_uj`` deltas with
+  wraparound at ``max_energy_range_uj``;
+- OS-error classification: missing node -> ``CapabilityError``,
+  ``EIO`` -> transient ``BackendIOError``, ``ETIMEDOUT`` ->
+  ``BackendTimeout``;
+- the retry contract: a raising read consumes no interval (the energy
+  baseline and interval cursor commit only after every file read
+  succeeded);
+- a guarded injected-EIO storm (both a raw ``_read_text`` failpoint and
+  a :class:`FlakyBackend` wrap) survives with zero crashes and bounded
+  retries.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.backends import (
+    BackendGuard,
+    BackendIOError,
+    BackendTimeout,
+    CapabilityError,
+    FlakyBackend,
+    FlakySpec,
+    GuardConfig,
+    SysfsBackend,
+    classify_os_error,
+)
+from repro.hardware.microarch import FX8320_SPEC
+
+INTERVAL_S = 0.2
+
+
+def make_tree(
+    root,
+    cus=4,
+    freq_khz=3500000,
+    energy_uj=1000000,
+    max_range_uj=262143328850,
+    setspeed=True,
+    thermal_mc=45000,
+):
+    """A miniature /sys-shaped tree the backend can read."""
+    for n in range(cus):
+        policy = root / "cpu{}".format(n) / "cpufreq"
+        policy.mkdir(parents=True)
+        (policy / "scaling_cur_freq").write_text("{}\n".format(freq_khz))
+        if setspeed:
+            (policy / "scaling_setspeed").write_text("<unsupported>\n")
+    rapl = root / "intel_rapl" / "intel_rapl:0"
+    rapl.mkdir(parents=True)
+    (rapl / "energy_uj").write_text("{}\n".format(energy_uj))
+    (rapl / "max_energy_range_uj").write_text("{}\n".format(max_range_uj))
+    if thermal_mc is not None:
+        thermal = root / "thermal"
+        thermal.mkdir()
+        (thermal / "temp").write_text("{}\n".format(thermal_mc))
+    return root
+
+
+def set_energy(root, value_uj, domain="intel_rapl:0"):
+    (root / "intel_rapl" / domain / "energy_uj").write_text(
+        "{}\n".format(int(value_uj))
+    )
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    return make_tree(tmp_path / "sys")
+
+
+@pytest.fixture()
+def backend(tree):
+    return SysfsBackend(str(tree), interval_s=INTERVAL_S)
+
+
+class TestCapabilities:
+    def test_descriptor_is_honest(self, tree, backend):
+        caps = backend.capabilities()
+        assert caps.can_set_vf  # scaling_setspeed exists on every policy
+        assert not caps.can_set_power_gating
+        assert not caps.finite
+        assert caps.num_cus == FX8320_SPEC.num_cus
+        assert caps.num_cores == FX8320_SPEC.num_cores
+        assert caps.interval_s == INTERVAL_S
+        assert caps.name == "sysfs:{}".format(tree)
+
+    def test_no_setspeed_means_recorded_noops(self, tmp_path):
+        root = make_tree(tmp_path / "sys", setspeed=False)
+        backend = SysfsBackend(str(root))
+        assert not backend.capabilities().can_set_vf
+        slow = FX8320_SPEC.vf_table.slowest
+        backend.set_vf(0, slow)  # must not raise, must not touch files
+        assert backend.requested_vfs == [(0, slow)]
+
+    def test_power_gating_is_a_capability_error(self, backend):
+        assert backend.get_power_gating() is False
+        with pytest.raises(CapabilityError, match="power-gating"):
+            backend.set_power_gating(True)
+
+
+class TestFrequencyMapping:
+    def test_cur_freq_maps_to_nearest_vf(self, tree, backend):
+        assert backend.get_vf(0).index == 5  # 3.5 GHz
+        for n in range(4):
+            (tree / "cpu{}".format(n) / "cpufreq" / "scaling_cur_freq"
+             ).write_text("1400000\n")
+        assert backend.get_vf(0).index == 1  # 1.4 GHz
+
+    def test_set_vf_writes_khz(self, tree, backend):
+        backend.set_vf(2, FX8320_SPEC.vf_table.by_index(3))  # 2.3 GHz
+        written = (
+            tree / "cpu2" / "cpufreq" / "scaling_setspeed"
+        ).read_text().strip()
+        assert written == "2300000"
+
+    def test_fewer_policies_than_cus_fold(self, tmp_path):
+        root = make_tree(tmp_path / "sys", cus=2)
+        backend = SysfsBackend(str(root))
+        # CUs 2 and 3 reuse policies 0 and 1 -- reads still resolve.
+        assert backend.get_vf(3).index == 5
+
+    def test_out_of_range_cu_rejected(self, backend):
+        with pytest.raises(ValueError, match="out of range"):
+            backend.get_vf(99)
+
+
+class TestEnergyReads:
+    def test_first_read_has_no_baseline(self, backend):
+        first = backend.read_interval()
+        assert first.index == 0
+        assert first.measured_power == 0.0
+        assert first.temperature == pytest.approx(45.0 + 273.15)
+        assert len(first.cu_vfs) == FX8320_SPEC.num_cus
+        assert len(first.core_events) == FX8320_SPEC.num_cores
+
+    def test_energy_delta_becomes_power(self, tree, backend):
+        backend.read_interval()
+        set_energy(tree, 1000000 + 8_000_000)  # +8 J over 0.2 s
+        second = backend.read_interval()
+        assert second.index == 1
+        assert second.measured_power == pytest.approx(40.0)
+        assert second.power_samples == [pytest.approx(40.0)]
+        assert second.true_power == second.measured_power
+
+    def test_wraparound_is_unwrapped(self, tmp_path):
+        max_range = 1_000_000_000
+        root = make_tree(
+            tmp_path / "sys",
+            energy_uj=max_range - 2_000_000,
+            max_range_uj=max_range,
+        )
+        backend = SysfsBackend(str(root), interval_s=INTERVAL_S)
+        backend.read_interval()
+        set_energy(root, 6_000_000)  # wrapped: 2 J to the edge + 6 J
+        sample = backend.read_interval()
+        assert sample.measured_power == pytest.approx(8e6 * 1e-6 / 0.2)
+
+    def test_multiple_rapl_domains_sum(self, tmp_path):
+        root = make_tree(tmp_path / "sys")
+        second = root / "intel_rapl" / "intel_rapl:1"
+        second.mkdir()
+        (second / "energy_uj").write_text("500000\n")
+        (second / "max_energy_range_uj").write_text("262143328850\n")
+        backend = SysfsBackend(str(root), interval_s=INTERVAL_S)
+        backend.read_interval()
+        set_energy(root, 1000000 + 4_000_000)
+        set_energy(root, 500000 + 2_000_000, domain="intel_rapl:1")
+        sample = backend.read_interval()
+        assert sample.measured_power == pytest.approx(30.0)  # 6 J / 0.2 s
+
+    def test_missing_thermal_uses_default(self, tmp_path):
+        root = make_tree(tmp_path / "sys", thermal_mc=None)
+        sample = SysfsBackend(str(root)).read_interval()
+        assert sample.temperature == pytest.approx(318.15)
+
+
+class TestErrorTaxonomy:
+    def test_classify_os_error_mapping(self):
+        cases = [
+            (errno.ENOENT, CapabilityError),
+            (errno.EACCES, CapabilityError),
+            (errno.ENODEV, CapabilityError),
+            (errno.ETIMEDOUT, BackendTimeout),
+            (errno.EAGAIN, BackendTimeout),
+            (errno.EIO, BackendIOError),
+            (errno.ENXIO, BackendIOError),
+        ]
+        for code, expected in cases:
+            exc = OSError(code, os.strerror(code))
+            mapped = classify_os_error(exc, "reading node")
+            assert isinstance(mapped, expected), errno.errorcode[code]
+            assert "reading node" in str(mapped)
+
+    def test_missing_node_is_capability_error(self, tree, backend):
+        os.unlink(str(tree / "cpu0" / "cpufreq" / "scaling_cur_freq"))
+        with pytest.raises(CapabilityError, match="scaling_cur_freq"):
+            backend.get_vf(0)
+
+    def test_empty_tree_is_capability_error(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        backend = SysfsBackend(str(empty))
+        assert not backend.capabilities().can_set_vf
+        with pytest.raises(CapabilityError, match="energy domains"):
+            backend.read_interval()
+        with pytest.raises(CapabilityError, match="no cpu"):
+            backend.get_vf(0)
+
+    def test_eio_maps_to_transient_io_error(self, backend, monkeypatch):
+        def eio(relpath):
+            raise OSError(errno.EIO, "Input/output error")
+
+        monkeypatch.setattr(backend, "_read_text", eio)
+        with pytest.raises(BackendIOError):
+            backend.read_interval()
+
+    def test_timeout_maps_to_backend_timeout(self, backend, monkeypatch):
+        def slow(relpath):
+            raise OSError(errno.ETIMEDOUT, "Connection timed out")
+
+        monkeypatch.setattr(backend, "_read_text", slow)
+        with pytest.raises(BackendTimeout):
+            backend.read_interval()
+
+    def test_garbage_node_content_is_persistent(self, tree, backend):
+        (tree / "intel_rapl" / "intel_rapl:0" / "energy_uj").write_text(
+            "<unavailable>\n"
+        )
+        with pytest.raises(CapabilityError, match="not a number"):
+            backend.read_interval()
+
+
+class TestRetryContract:
+    def test_failed_read_consumes_no_interval(self, tree, backend):
+        backend.read_interval()
+        set_energy(tree, 1000000 + 8_000_000)
+
+        real = backend._read_text
+        fail = {"left": 2}
+
+        def flaky(relpath):
+            if relpath.endswith("energy_uj") and fail["left"] > 0:
+                fail["left"] -= 1
+                raise OSError(errno.EIO, "Input/output error")
+            return real(relpath)
+
+        backend._read_text = flaky
+        for _ in range(2):
+            with pytest.raises(BackendIOError):
+                backend.read_interval()
+        # Two failed attempts later: same index, same baseline, so the
+        # retried read reports the same one-interval delta.
+        sample = backend.read_interval()
+        assert sample.index == 1
+        assert sample.measured_power == pytest.approx(40.0)
+
+
+class TestGuardedStorms:
+    def test_injected_eio_storm_survives_guarded(self, tree, backend):
+        # Raw failpoint at the file-read chokepoint: every tenth read
+        # of any node fails with EIO, the way a flaky hwmon chip does.
+        # (The modulus exceeds the per-attempt call count, so a retried
+        # attempt -- which resumes right after the failing call -- can
+        # always complete before the next failpoint.)
+        real = backend._read_text
+        calls = {"n": 0}
+
+        def stormy(relpath):
+            calls["n"] += 1
+            if calls["n"] % 10 == 0:
+                raise OSError(errno.EIO, "Input/output error")
+            return real(relpath)
+
+        backend._read_text = stormy
+        guard = BackendGuard(
+            backend,
+            GuardConfig(retries=2),
+            seed=11,
+            sleep=lambda _s: None,
+        )
+        energy = 1000000
+        powers = []
+        for _ in range(40):
+            energy += 8_000_000
+            set_energy(tree, energy)
+            powers.append(guard.read_interval().measured_power)  # no raise
+        stats = guard.health()["stats"]
+        assert stats["reads"] == 40
+        assert stats["retries"] > 0
+        assert stats["retries"] <= GuardConfig(retries=2).retries * stats["reads"]
+        # Baselines never half-advance: every post-baseline interval
+        # reports exactly one interval's energy, retries or not.
+        assert all(p == pytest.approx(40.0) for p in powers[1:])
+
+    def test_flaky_wrapped_storm_survives_guarded(self, tree, backend):
+        guard = BackendGuard(
+            FlakyBackend(
+                backend, FlakySpec(io_error_rate=0.3, timeout_rate=0.1),
+                seed=5,
+            ),
+            GuardConfig(retries=3),
+            seed=11,
+            sleep=lambda _s: None,
+        )
+        energy = 1000000
+        delivered = 0
+        for _ in range(60):
+            energy += 8_000_000
+            set_energy(tree, energy)
+            sample = guard.read_interval()  # must never raise
+            delivered += 1
+            assert sample.measured_power >= 0.0
+        assert delivered == 60
+        stats = guard.health()["stats"]
+        assert stats["retries"] > 0
+        assert stats["retries"] <= 3 * stats["reads"]
+
+    def test_persistent_outage_degrades_to_stale(self, tree, backend):
+        backend.read_interval()  # establish the energy baseline
+        set_energy(tree, 1000000 + 8_000_000)
+        guard = BackendGuard(
+            backend,
+            GuardConfig(retries=1),
+            seed=11,
+            sleep=lambda _s: None,
+        )
+        fresh = guard.read_interval()
+        assert fresh.measured_power == pytest.approx(40.0)
+
+        def dead(relpath):
+            raise OSError(errno.EIO, "Input/output error")
+
+        backend._read_text = dead
+        stale = guard.read_interval()  # degraded redelivery, no raise
+        assert "stale" in stale.faults
+        assert stale.measured_power == fresh.measured_power

@@ -1,0 +1,325 @@
+"""Turbostat importer: golden fixtures, damage matrix, pipeline e2e.
+
+The golden fixtures in ``tests/data/`` cover the genuine layout
+variants (single-socket TSV with summary rows and ``-`` cells,
+dual-socket CSV without summary rows, ``-S`` summary-only, a truncated
+tail, ``--Joules`` energy columns); each is pinned to its expected
+sample count and repair tallies.  The damage matrix then synthesises
+reorder / duplicate / gap / corruption variants from the single-socket
+fixture, and the end-to-end test drives a bundled recording through
+the unchanged filter -> predict -> ledger pipeline.
+"""
+
+import os
+
+import pytest
+
+from repro.backends import (
+    CapabilityError,
+    EndOfTrace,
+    TraceFormatError,
+    TurbostatReplayBackend,
+    nearest_vf,
+)
+from repro.hardware.microarch import FX8320_SPEC
+from repro.hardware.vfstates import FX8320_VF_TABLE
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+def fixture(name):
+    return os.path.join(DATA, name)
+
+
+def single_lines():
+    with open(fixture("turbostat_single.tsv")) as handle:
+        return handle.read().rstrip("\n").split("\n")
+
+
+def write_variant(tmp_path, lines, name="variant.tsv"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize(
+        "name, samples, repairs",
+        [
+            ("turbostat_single.tsv", 4, {}),
+            ("turbostat_dual.csv", 3, {}),
+            ("turbostat_summary_only.tsv", 5, {}),
+            ("turbostat_torn.tsv", 2, {"torn-tail": 1}),
+            ("turbostat_joules.tsv", 4, {"unit": 4}),
+        ],
+    )
+    def test_sample_counts_and_repairs_are_pinned(
+        self, name, samples, repairs
+    ):
+        backend = TurbostatReplayBackend(fixture(name))
+        assert len(backend) == samples
+        assert backend.repairs == repairs
+
+    def test_single_socket_values(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_single.tsv"))
+        caps = backend.capabilities()
+        assert caps.finite and not caps.can_set_vf
+        assert caps.num_cus == FX8320_SPEC.num_cus
+        assert caps.num_cores == FX8320_SPEC.num_cores
+        # Timestamps jitter by ~10 ms around the 5 s cadence; the
+        # derived canonical interval lands within a percent of it.
+        assert caps.interval_s == pytest.approx(5.0, rel=0.01)
+        # Eight recorded CPUs fill the eight model cores in id order.
+        assert backend.cpu_map == {cpu: cpu for cpu in range(8)}
+        first = backend.read_interval()
+        assert first.measured_power == pytest.approx(41.53)
+        assert first.temperature == pytest.approx(54 + 273.15)
+        # CPU 0: Avg_MHz 1400 over the interval -> unhalted clocks.
+        clocks = 1400e6 * caps.interval_s
+        assert first.core_events[0].cycles == pytest.approx(clocks)
+        assert first.core_events[0].instructions == pytest.approx(
+            1.20 * clocks
+        )
+        # Bzy_MHz ~3.5 GHz everywhere: every CU buckets to VF5.
+        assert [vf.index for vf in first.cu_vfs] == [5, 5, 5, 5]
+        assert first.interval_s == caps.interval_s
+
+    def test_single_socket_ground_truth_uses_stand_ins(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_single.tsv"))
+        first = backend.read_interval()
+        assert first.true_power == first.measured_power
+        assert first.instructions == [0.0] * FX8320_SPEC.num_cores
+
+    def test_repeated_headers_are_skipped(self):
+        # The single fixture has a reprinted header mid-file; its four
+        # snapshots must still come through (pinned above), and no row
+        # of header text may have leaked into the data.
+        backend = TurbostatReplayBackend(fixture("turbostat_single.tsv"))
+        while len(backend):
+            sample = backend.read_interval()
+            assert sample.measured_power > 0
+
+    def test_dual_socket_sums_package_power(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_dual.csv"))
+        assert backend.meta["delimiter"] == "comma"
+        assert backend.meta["packages"] == 2
+        first = backend.read_interval()
+        # 56.33 W (package 0) + 48.71 W (package 1), no summary row.
+        assert first.measured_power == pytest.approx(105.04)
+        # Four recorded CPUs cover cores 0-3; CUs 2-3 idle at VF1.
+        assert [vf.index for vf in first.cu_vfs] == [5, 5, 1, 1]
+
+    def test_summary_only_maps_to_one_pseudo_core(self):
+        backend = TurbostatReplayBackend(
+            fixture("turbostat_summary_only.tsv")
+        )
+        assert backend.meta["summary_only"] is True
+        assert backend.cpu_map == {0: 0}
+        first = backend.read_interval()
+        assert first.core_events[0].cycles == pytest.approx(228e6 * 5.0)
+        assert sum(v.cycles for v in first.core_events[1:]) == 0.0
+
+    def test_torn_tail_drops_partial_final_snapshot(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_torn.tsv"))
+        assert len(backend) == 2
+        assert backend.repairs == {"torn-tail": 1}
+        assert any("torn" in w for w in backend.warnings)
+        indices = [backend.read_interval().index for _ in range(2)]
+        assert indices == [0, 1]
+
+    def test_joules_convert_with_one_warning(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_joules.tsv"))
+        # One repair count per converted snapshot, one warning line.
+        assert backend.repairs == {"unit": 4}
+        assert len(backend.warnings) == 1
+        first = backend.read_interval()
+        assert first.measured_power == pytest.approx(207.65 / 5.0)
+
+
+class TestDamageMatrix:
+    def test_gap_between_snapshots_is_tallied(self, tmp_path):
+        lines = single_lines()
+        # Drop the second snapshot (lines 11..19: summary + 8 CPUs).
+        path = write_variant(tmp_path, lines[:10] + lines[19:])
+        backend = TurbostatReplayBackend(path)
+        assert len(backend) == 3
+        assert backend.repairs == {"gap": 1}
+        indices = [backend.read_interval().index for _ in range(3)]
+        assert indices == [0, 2, 3]
+
+    def test_out_of_order_snapshots_are_resorted(self, tmp_path):
+        lines = single_lines()
+        header, snap1, snap2 = lines[:1], lines[1:10], lines[10:19]
+        rest = lines[19:]
+        path = write_variant(tmp_path, header + snap2 + snap1 + rest)
+        backend = TurbostatReplayBackend(path)
+        assert backend.repairs == {"reorder": 1}
+        stamps = []
+        while len(backend):
+            stamps.append(backend.read_interval().index)
+        assert stamps == sorted(stamps)
+
+    def test_duplicate_snapshot_keeps_first(self, tmp_path):
+        lines = single_lines()
+        snap1 = lines[1:10]
+        path = write_variant(tmp_path, lines[:10] + snap1 + lines[10:])
+        backend = TurbostatReplayBackend(path)
+        assert len(backend) == 4
+        assert backend.repairs == {"duplicate": 1}
+
+    def test_mid_file_corruption_is_fatal_with_location(self, tmp_path):
+        lines = single_lines()
+        lines[5] = lines[5].replace("3460", "bogus", 1)
+        path = write_variant(tmp_path, lines)
+        with pytest.raises(TraceFormatError, match=r":6: unparseable"):
+            TurbostatReplayBackend(path)
+
+    def test_ragged_mid_file_row_is_fatal(self, tmp_path):
+        lines = single_lines()
+        lines[7] = "\t".join(lines[7].split("\t")[:-2])
+        path = write_variant(tmp_path, lines)
+        with pytest.raises(TraceFormatError, match=r":8: expected 12"):
+            TurbostatReplayBackend(path)
+
+    def test_ragged_final_row_is_a_torn_tail(self, tmp_path):
+        lines = single_lines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path = write_variant(tmp_path, lines)
+        backend = TurbostatReplayBackend(path)
+        assert len(backend) == 3
+        assert backend.repairs == {"torn-tail": 1}
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty file"):
+            TurbostatReplayBackend(str(path))
+
+    def test_header_only_recording_is_rejected(self, tmp_path):
+        path = write_variant(tmp_path, single_lines()[:1])
+        with pytest.raises(TraceFormatError, match="no complete interval"):
+            TurbostatReplayBackend(path)
+
+    def test_missing_power_column_is_rejected(self, tmp_path):
+        lines = [
+            "Core\tCPU\tAvg_MHz\tBusy%\tBzy_MHz",
+            "0\t0\t1400\t40.00\t3500",
+        ]
+        path = write_variant(tmp_path, lines)
+        with pytest.raises(TraceFormatError, match="no package power"):
+            TurbostatReplayBackend(path)
+
+    def test_missing_frequency_column_is_rejected(self, tmp_path):
+        lines = ["Core\tCPU\tPkgWatt", "0\t0\t41.0"]
+        path = write_variant(tmp_path, lines)
+        with pytest.raises(TraceFormatError, match="not a turbostat layout"):
+            TurbostatReplayBackend(path)
+
+    def test_duplicate_columns_are_rejected(self, tmp_path):
+        lines = [
+            "Core\tCPU\tAvg_MHz\tAvg_MHz\tPkgWatt",
+            "0\t0\t1400\t1400\t41.0",
+        ]
+        path = write_variant(tmp_path, lines)
+        with pytest.raises(TraceFormatError, match="duplicate column"):
+            TurbostatReplayBackend(path)
+
+    def test_missing_power_cells_flow_through_as_zero(self, tmp_path):
+        # A snapshot with no power anywhere is value-level damage: it is
+        # delivered (0 W) for the downstream filter to judge, same as a
+        # stuck counter in a canonical trace.
+        lines = single_lines()
+        for i in (10, 11):
+            cells = lines[i].split("\t")
+            cells[10] = "-"
+            lines[i] = "\t".join(cells)
+        path = write_variant(tmp_path, lines)
+        backend = TurbostatReplayBackend(path)
+        powers = [backend.read_interval().measured_power for _ in range(4)]
+        assert powers[0] == pytest.approx(41.53)
+        assert powers[1] == 0.0
+
+
+class TestGeometryMapping:
+    def test_nearest_vf_buckets_real_pstates(self):
+        assert nearest_vf(FX8320_VF_TABLE, 3.45).index == 5
+        assert nearest_vf(FX8320_VF_TABLE, 1.45).index == 1
+        assert nearest_vf(FX8320_VF_TABLE, 2.55).index == 3
+
+    def test_wider_recording_folds_onto_model_cores(self, tmp_path):
+        # Sixteen CPUs onto eight cores: ids fold modulo the core count
+        # and folded counters aggregate.
+        header = "Core\tCPU\tAvg_MHz\tBusy%\tBzy_MHz\tPkgWatt"
+        rows = []
+        for snap in range(2):
+            for cpu in range(16):
+                rows.append(
+                    "{}\t{}\t100\t3.00\t3500\t{}".format(
+                        cpu // 2, cpu, "40.0" if cpu == 0 else "-"
+                    )
+                )
+        path = write_variant(tmp_path, [header] + rows)
+        backend = TurbostatReplayBackend(path)
+        assert len(backend) == 2
+        assert backend.cpu_map[8] == 0 and backend.cpu_map[15] == 7
+        first = backend.read_interval()
+        # Two folded CPUs at 100 MHz each over the default 5 s interval.
+        assert first.core_events[0].cycles == pytest.approx(2 * 100e6 * 5.0)
+
+    def test_explicit_interval_used_without_timestamps(self, tmp_path):
+        header = "Core\tCPU\tAvg_MHz\tBusy%\tBzy_MHz\tPkgWatt"
+        rows = ["0\t0\t1000\t30.00\t3500\t40.0"] * 3
+        path = write_variant(tmp_path, [header] + rows)
+        backend = TurbostatReplayBackend(path, interval_s=1.0)
+        assert backend.capabilities().interval_s == pytest.approx(1.0)
+        first = backend.read_interval()
+        assert first.core_events[0].cycles == pytest.approx(1000e6 * 1.0)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            TurbostatReplayBackend(
+                fixture("turbostat_single.tsv"), interval_s=0.0
+            )
+
+
+class TestPipelineEndToEnd:
+    def test_import_feeds_filter_predict_ledger(self, quick_ctx):
+        from repro.experiments import turbostat_import
+
+        result = turbostat_import.run(
+            quick_ctx, fixture("turbostat_single.tsv")
+        )
+        assert result.nonempty
+        assert result.intervals == 4
+        assert result.repairs == {}
+        assert result.quality.get("good", 0) + result.quality.get(
+            "repaired", 0
+        ) + result.quality.get("bad", 0) == 4
+        # The recording runs near VF5 throughout: the per-VF report has
+        # a VF5 row with a finite, positive MAE.
+        assert 5 in result.per_vf_mae_w
+        assert result.per_vf_mae_w[5] > 0.0
+        report = turbostat_import.format_report(result, quick_ctx)
+        assert "VF5" in report
+        assert "model-input starvation" in report
+
+    def test_torn_recording_still_reports(self, quick_ctx):
+        from repro.experiments import turbostat_import
+
+        result = turbostat_import.run(
+            quick_ctx, fixture("turbostat_torn.tsv")
+        )
+        assert result.nonempty
+        assert result.repairs == {"torn-tail": 1}
+
+    def test_end_of_trace_and_recorded_noops(self):
+        backend = TurbostatReplayBackend(fixture("turbostat_single.tsv"))
+        while len(backend):
+            backend.read_interval()
+        with pytest.raises(EndOfTrace):
+            backend.read_interval()
+        slow = FX8320_SPEC.vf_table.slowest
+        backend.set_vf(0, slow)
+        assert backend.requested_vfs == [(0, slow)]
+        with pytest.raises(CapabilityError):
+            backend.set_power_gating(True)
